@@ -1,0 +1,82 @@
+// Microbenchmarks of the simulation kernels (google-benchmark): exact
+// interference field, channel slot resolution, and full engine rounds.
+// These bound how large an instance the experiment harness can afford.
+#include <benchmark/benchmark.h>
+
+#include "analysis/runner.h"
+#include "analysis/scenario.h"
+#include "core/try_adjust_protocol.h"
+#include "phy/interference.h"
+#include "metric/packing.h"
+#include "topo/generators.h"
+
+namespace udwn {
+namespace {
+
+std::vector<NodeId> sample_transmitters(std::size_t n, double fraction,
+                                        Rng& rng) {
+  std::vector<NodeId> txs;
+  for (std::uint32_t v = 0; v < n; ++v)
+    if (rng.chance(fraction)) txs.push_back(NodeId(v));
+  return txs;
+}
+
+void BM_InterferenceField(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  EuclideanMetric metric(uniform_square(n, std::sqrt(n / 8.0), rng));
+  PathLoss pl(1.0, 3.0, 1e-3);
+  const auto txs = sample_transmitters(n, 0.1, rng);
+  for (auto _ : state) {
+    auto field = interference_field(metric, pl, txs);
+    benchmark::DoNotOptimize(field);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * txs.size()));
+}
+BENCHMARK(BM_InterferenceField)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_ChannelResolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  Scenario s(uniform_square(n, std::sqrt(n / 8.0), rng), ScenarioConfig{});
+  const auto txs = sample_transmitters(n, 0.05, rng);
+  for (auto _ : state) {
+    auto outcome = s.channel().resolve(txs, s.network().alive_mask());
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_ChannelResolve)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_EngineRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  Scenario s(uniform_square(n, std::sqrt(n / 8.0), rng), ScenarioConfig{});
+  auto protos = make_protocols(n, [&](NodeId) {
+    return std::make_unique<TryAdjustProtocol>(TryAdjust::standard(n, 1.0));
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{.seed = 3});
+  for (int i = 0; i < 100; ++i) engine.step();  // reach steady state
+  for (auto _ : state) engine.step();
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EngineRound)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_GreedyPacking(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  EuclideanMetric metric(uniform_square(n, std::sqrt(n / 8.0), rng));
+  std::vector<NodeId> ids(n);
+  for (std::uint32_t v = 0; v < n; ++v) ids[v] = NodeId(v);
+  for (auto _ : state) {
+    auto packing = greedy_packing(metric, ids, 0.5);
+    benchmark::DoNotOptimize(packing);
+  }
+}
+BENCHMARK(BM_GreedyPacking)->Arg(128)->Arg(512)->Arg(2048);
+
+}  // namespace
+}  // namespace udwn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,154 @@
+// EXP-03 — Prop. 3.3: in a phase where at least 9/10 of the rounds are
+// low-contention for node v, at least 3/5 of the phase's rounds have v
+// detecting Idle channel while contention and interference are low — the
+// doubling fuel of the Thm 4.1 type-B-phase argument.
+//
+// Workload: the setting where Prop 3.3 is applied (the type-B phases of
+// Thm 4.1): a mostly-drained network in which only a handful of stragglers
+// still contend, each from the n^{-β} probability floor — everyone else has
+// completed and is silent. Per phase we classify low-contention rounds
+// (P^ρ < η) and count rounds that are simultaneously Idle-detected,
+// low-contention and low-interference.
+//
+// Claim shape: in phases with >= 9/10 low-contention rounds, the qualifying
+// fraction is >= 3/5, uniformly in n.
+#include "bench/exp_common.h"
+#include "core/try_adjust_protocol.h"
+#include "sim/probe.h"
+
+namespace udwn {
+namespace {
+
+struct Cell {
+  int low_phases = 0;        // phases with >= 9/10 low-contention rounds
+  double worst_fraction = 1; // min over those phases of the qualifying frac
+  double mean_fraction = 0;
+};
+
+/// Records, per data slot, whether the probe detected Idle and had low
+/// contention/interference.
+class IdleRecorder final : public Recorder {
+ public:
+  IdleRecorder(NodeId probe, double rho, double eta, double cap)
+      : probe_(probe), rho_(rho), eta_(eta), cap_(cap) {}
+
+  void on_slot(Round, Slot slot, const SlotOutcome& outcome,
+               const Engine& engine) override {
+    if (slot != Slot::Data) return;
+    const VicinityStats vs = probe_vicinity(engine, probe_, rho_);
+    // The CD primitive senses OTHER transmitters only, so the operative
+    // contention for Idle detection excludes the probe's own probability
+    // (the paper absorbs this into the h2 constant of the CD definition).
+    const double others =
+        vs.vicinity_contention - engine.last_probability(probe_);
+    const bool low_contention = others < eta_;
+    const bool low_interference = vs.expected_interference <= cap_;
+    const bool idle = !engine.sensing().busy(outcome.interference[probe_.value]);
+    low_.push_back(low_contention);
+    qualifying_.push_back(idle && low_contention && low_interference);
+  }
+
+  NodeId probe_;
+  double rho_, eta_, cap_;
+  std::vector<bool> low_, qualifying_;
+};
+
+/// The silent majority: a completed LocalBcast node (p = 0 forever).
+class SilentProtocol final : public Protocol {
+ public:
+  double transmit_probability(Slot) override { return 0; }
+  void on_slot(const SlotFeedback&) override {}
+  bool finished() const override { return true; }
+};
+
+Cell run_cell(std::size_t n, std::uint64_t seed) {
+  const double density = 8.0;
+  const double extent = std::sqrt(static_cast<double>(n) / density);
+  Rng rng(seed);
+  // A few stragglers (including the probe, node 0) still contending from
+  // the probability floor; everyone else has already delivered. The count
+  // scales with the deployment area so the Prop 3.3 *hypothesis* (low
+  // contention in the probe's vicinity) stays satisfiable at every n.
+  std::vector<bool> active(n, false);
+  active[0] = true;
+  const std::size_t stragglers = n / 256;  // scale with deployment area
+  for (std::size_t k = 0; k < stragglers; ++k) active[rng.below(n)] = true;
+  Scenario scenario(uniform_square(n, extent, rng), ScenarioConfig{});
+  auto protos = make_protocols(n, [&](NodeId id) -> std::unique_ptr<Protocol> {
+    if (active[id.value])
+      return std::make_unique<TryAdjustProtocol>(TryAdjust::standard(n, 1.0));
+    return std::make_unique<SilentProtocol>();
+  });
+  const CarrierSensing cs = scenario.sensing_local();
+  Engine engine(scenario.channel(), scenario.network(), cs, protos,
+                EngineConfig{.seed = seed});
+
+  // η = 0.4: with deterministic threshold-CD, idle probability in a low
+  // round is >= e^{-η} ≈ 0.67 > 3/5 — the role the paper's
+  // η = log_{h2}(10/9) plays for probabilistic CD.
+  IdleRecorder recorder(NodeId(0), 2.0, /*eta=*/0.4, /*cap=*/0.75);
+  engine.set_recorder(&recorder);
+  // γ = 12: phases long enough that single-round noise cannot flip the
+  // 3/5 verdict (the paper's "γ large enough").
+  const int phase_len =
+      static_cast<int>(12 * std::log2(static_cast<double>(n)));
+  const int phases = 12;
+  for (int i = 0; i < phase_len * phases; ++i) engine.step();
+
+  Cell cell;
+  double frac_sum = 0;
+  for (int ph = 0; ph < phases; ++ph) {
+    int low = 0, qual = 0;
+    for (int t = ph * phase_len; t < (ph + 1) * phase_len; ++t) {
+      low += recorder.low_[t] ? 1 : 0;
+      qual += recorder.qualifying_[t] ? 1 : 0;
+    }
+    if (low * 10 >= 9 * phase_len) {
+      ++cell.low_phases;
+      const double frac = static_cast<double>(qual) / phase_len;
+      cell.worst_fraction = std::min(cell.worst_fraction, frac);
+      frac_sum += frac;
+    }
+  }
+  if (cell.low_phases > 0) cell.mean_fraction = frac_sum / cell.low_phases;
+  return cell;
+}
+
+}  // namespace
+}  // namespace udwn
+
+int main() {
+  using namespace udwn;
+  using namespace udwn::bench;
+  banner("EXP-03 (Prop 3.3)",
+         "Phases with >= 9/10 low-contention rounds give >= 3/5 rounds of "
+         "Idle detection with low contention and interference");
+
+  const std::vector<std::size_t> sizes{64, 128, 256, 512};
+  Table table({"n", "low_phases", "mean_qualifying_frac", "worst_frac"});
+  std::vector<double> worst;
+  for (std::size_t n : sizes) {
+    Accumulator mean_frac, worst_frac, low_phases;
+    for (auto seed : seeds(3, 3)) {
+      const Cell cell = run_cell(n, seed);
+      if (cell.low_phases == 0) continue;
+      mean_frac.add(cell.mean_fraction);
+      worst_frac.add(cell.worst_fraction);
+      low_phases.add(cell.low_phases);
+    }
+    worst.push_back(worst_frac.count() ? worst_frac.min() : 0);
+    table.row()
+        .add(n)
+        .add(low_phases.mean(), 1)
+        .add(mean_frac.mean(), 3)
+        .add(worst_frac.count() ? worst_frac.min() : 0.0, 3);
+  }
+  show(table);
+
+  shape_header();
+  bool ok = true;
+  for (double w : worst) ok = ok && w >= 0.6;
+  shape_check(ok, "worst qualifying fraction >= 3/5 in every low-contention "
+                  "phase, at every n");
+  return 0;
+}

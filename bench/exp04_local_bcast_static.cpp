@@ -1,0 +1,157 @@
+// EXP-04 — Cor. 4.3: in a static network, LocalBcast completes local
+// broadcast for every node in O(∆ + log n) rounds, with no knowledge of ∆ —
+// optimal up to constants. Baselines:
+//   * Decay (Bar-Yehuda et al.): O(∆ log n) without carrier sense,
+//   * ALOHA with oracle p = 1/(∆+1): the "knows the degree" comparator.
+//
+// Part (a) sweeps ∆ at a fixed deployment area (density grows with n).
+// Part (b) sweeps n at fixed density (constant ∆), isolating the additive
+// log n term.
+//
+// Claim shape: LocalBcast grows linearly in ∆ and only logarithmically in n;
+// the Decay/LocalBcast ratio grows ~ log n; oracle-ALOHA is comparable to
+// LocalBcast even though the latter knows nothing.
+#include "bench/exp_common.h"
+#include "baselines/aloha.h"
+#include "baselines/decay.h"
+#include "core/local_broadcast.h"
+
+namespace udwn {
+namespace {
+
+enum class Algo { LocalBcast, Decay, Aloha };
+
+const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::LocalBcast: return "LocalBcast";
+    case Algo::Decay: return "Decay";
+    case Algo::Aloha: return "ALOHA(1/maxdeg)";
+  }
+  return "?";
+}
+
+struct RunResult {
+  double completion_max = 0;  // rounds until the last node delivered
+  double completion_p95 = 0;
+  double max_degree = 0;
+  bool complete = false;
+};
+
+RunResult run_once(Algo algo, std::size_t n, double extent,
+                   std::uint64_t seed) {
+  Rng rng(seed);
+  Scenario scenario(uniform_square(n, extent, rng), ScenarioConfig{});
+  const auto delta = scenario.max_degree();
+
+  auto protos = make_protocols(n, [&](NodeId) -> std::unique_ptr<Protocol> {
+    switch (algo) {
+      case Algo::LocalBcast:
+        return std::make_unique<LocalBcastProtocol>(
+            TryAdjust::standard(n, 1.0));
+      case Algo::Decay:
+        return std::make_unique<DecayLocalBcastProtocol>(
+            static_cast<int>(std::log2(static_cast<double>(n))) + 2);
+      case Algo::Aloha:
+        return std::make_unique<AlohaLocalBcastProtocol>(
+            1.0 / static_cast<double>(delta + 1));
+    }
+    return nullptr;
+  });
+  const CarrierSensing cs = scenario.sensing_local();
+  Engine engine(scenario.channel(), scenario.network(), cs, protos,
+                EngineConfig{.seed = seed});
+  const auto result = track_until_all(
+      engine, [](const Protocol& p, NodeId) { return p.finished(); },
+      /*max_rounds=*/300000);
+
+  RunResult out;
+  out.complete = result.all_done;
+  out.max_degree = static_cast<double>(delta);
+  const auto xs = finite_completions(result);
+  const Summary s = summarize(xs);
+  out.completion_max = s.max;
+  out.completion_p95 = s.p95;
+  return out;
+}
+
+}  // namespace
+}  // namespace udwn
+
+int main() {
+  using namespace udwn;
+  using namespace udwn::bench;
+  banner("EXP-04 (Cor 4.3)",
+         "Static LocalBcast completes in O(Delta + log n); Decay pays an "
+         "extra log n; oracle-ALOHA needs Delta knowledge");
+
+  // ---- (a) Delta sweep: fixed 4R x 4R area, growing density --------------
+  std::cout << "\n(a) Delta sweep at fixed area (4 x 4):\n";
+  Table ta({"algo", "n", "max_degree", "p95_rounds", "max_rounds",
+            "rounds_per_degree"});
+  std::vector<double> lb_deltas, lb_times, decay_times, lb_ns;
+  for (std::size_t n : {32, 64, 128, 256}) {
+    for (Algo algo : {Algo::LocalBcast, Algo::Decay, Algo::Aloha}) {
+      Accumulator p95, mx, deg;
+      for (auto seed : seeds(4, 3)) {
+        const RunResult r = run_once(algo, n, 4.0, seed);
+        if (!r.complete) continue;
+        p95.add(r.completion_p95);
+        mx.add(r.completion_max);
+        deg.add(r.max_degree);
+      }
+      ta.row()
+          .add(algo_name(algo))
+          .add(n)
+          .add(deg.mean(), 1)
+          .add(p95.mean(), 0)
+          .add(mx.mean(), 0)
+          .add(mx.mean() / deg.mean(), 1);
+      if (algo == Algo::LocalBcast) {
+        lb_deltas.push_back(deg.mean());
+        lb_times.push_back(mx.mean());
+        lb_ns.push_back(static_cast<double>(n));
+      }
+      if (algo == Algo::Decay) decay_times.push_back(mx.mean());
+    }
+  }
+  show(ta);
+
+  // ---- (b) n sweep at fixed density (Delta constant) ---------------------
+  std::cout << "\n(b) n sweep at fixed density 8 (constant Delta):\n";
+  Table tb({"n", "max_degree", "p95_rounds", "max_rounds"});
+  std::vector<double> fixed_density_times;
+  for (std::size_t n : {64, 128, 256, 512, 1024}) {
+    const double extent = std::sqrt(static_cast<double>(n) / 8.0);
+    Accumulator p95, mx, deg;
+    for (auto seed : seeds(5, 3)) {
+      const RunResult r = run_once(Algo::LocalBcast, n, extent, seed);
+      if (!r.complete) continue;
+      p95.add(r.completion_p95);
+      mx.add(r.completion_max);
+      deg.add(r.max_degree);
+    }
+    tb.row().add(n).add(deg.mean(), 1).add(p95.mean(), 0).add(mx.mean(), 0);
+    fixed_density_times.push_back(mx.mean());
+  }
+  show(tb);
+
+  shape_header();
+  const LineFit pow = fit_power_law(lb_deltas, lb_times);
+  shape_check(pow.slope < 1.6 && pow.r2 > 0.8,
+              "LocalBcast time vs Delta is ~linear (power-law exponent " +
+                  format_double(pow.slope, 2) + ", claim ~1; r2 " +
+                  format_double(pow.r2, 2) + ")");
+  const double ratio_small = decay_times.front() / lb_times.front();
+  const double ratio_large = decay_times.back() / lb_times.back();
+  shape_check(ratio_large > 1.0 && ratio_large >= ratio_small,
+              "Decay/LocalBcast ratio grows with n (" +
+                  format_double(ratio_small, 2) + " -> " +
+                  format_double(ratio_large, 2) + "): the log n gap");
+  const double n_growth =
+      fixed_density_times.back() / fixed_density_times.front();
+  shape_check(n_growth < 4.0,
+              "at fixed Delta, 16x more nodes cost < 4x rounds (" +
+                  format_double(n_growth, 2) +
+                  "x): additive log n, not multiplicative");
+  return 0;
+}

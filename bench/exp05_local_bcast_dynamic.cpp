@@ -1,0 +1,132 @@
+// EXP-05 — Thm 4.1: under churn, a node running LocalBcast mass-delivers in
+// O(∆ρ(t,t') + log n) rounds, where ∆ρ is the DYNAMIC degree — the number
+// of distinct nodes that pass through its vicinity while it runs — not the
+// instantaneous degree.
+//
+// Sweep: churn rate (arrivals=departures per round) in a fixed-area
+// deployment; the probe node is pinned. We measure the probe's completion
+// time and its dynamic degree up to completion.
+//
+// Claim shape: completion time tracks the dynamic degree (the ratio
+// time/(∆ρ + log n) stays within a constant band across churn rates), while
+// the instantaneous degree stays flat and ceases to predict the time.
+#include <unordered_set>
+
+#include "bench/exp_common.h"
+#include "core/local_broadcast.h"
+
+namespace udwn {
+namespace {
+
+struct Cell {
+  double completion = 0;
+  double dynamic_degree = 0;  // |∪_t D^ρ_probe(t)| until completion
+  double static_degree = 0;   // instantaneous at t=0
+  bool complete = false;
+};
+
+Cell run_cell(double churn_rate, std::uint64_t seed) {
+  const std::size_t n = 192;
+  const double extent = 4.0;
+  const double rho = 2.0;
+  Rng rng(seed);
+  Scenario scenario(uniform_square(n, extent, rng), ScenarioConfig{});
+  const NodeId probe(0);
+  // Half the ids start as a reserve pool (dead), so churn arrivals are
+  // genuinely fresh nodes rather than a recycling trickle.
+  for (std::uint32_t v = static_cast<std::uint32_t>(n / 2);
+       v < static_cast<std::uint32_t>(n); ++v)
+    scenario.network().set_alive(NodeId(v), false);
+
+  auto protos = make_protocols(n, [&](NodeId) {
+    return std::make_unique<LocalBcastProtocol>(TryAdjust::standard(n, 1.0));
+  });
+  const CarrierSensing cs = scenario.sensing_local();
+  Engine engine(scenario.channel(), scenario.network(), cs, protos,
+                EngineConfig{.seed = seed});
+  ChurnDynamics churn({.arrival_rate = churn_rate,
+                       .departure_rate = churn_rate,
+                       .placement_extent = extent,
+                       .pinned = {probe}});
+  engine.set_dynamics(&churn);
+
+  Cell cell;
+  cell.static_degree = static_cast<double>(scenario.neighbors(probe).size());
+
+  const double vicinity = rho * scenario.model().max_range();
+  std::unordered_set<std::uint32_t> seen;
+  const QuasiMetric& metric = scenario.metric();
+  for (Round t = 0; t < 60000; ++t) {
+    // Union of the probe's in-ball over time = the dynamic degree.
+    for (NodeId v : scenario.network().alive_nodes())
+      if (metric.distance(v, probe) < vicinity) seen.insert(v.value);
+    if (engine.protocol(probe).finished()) {
+      cell.complete = true;
+      cell.completion = static_cast<double>(engine.round());
+      break;
+    }
+    engine.step();
+  }
+  cell.dynamic_degree = static_cast<double>(seen.size());
+  return cell;
+}
+
+}  // namespace
+}  // namespace udwn
+
+int main() {
+  using namespace udwn;
+  using namespace udwn::bench;
+  banner("EXP-05 (Thm 4.1)",
+         "Dynamic LocalBcast: completion tracks the dynamic degree "
+         "Delta^rho(t,t'), not the instantaneous degree");
+
+  const std::vector<double> churn_rates{0.0, 0.05, 0.2, 0.5};
+  Table table({"churn_rate", "completion", "dynamic_degree", "static_degree",
+               "time/(dyndeg+log n)"});
+  std::vector<double> ratios, dyndegs, times;
+  const double logn = std::log2(192.0);
+  for (double rate : churn_rates) {
+    Accumulator comp, dyn, stat;
+    for (auto seed : seeds(6, 5)) {
+      const Cell cell = run_cell(rate, seed);
+      if (!cell.complete) continue;
+      comp.add(cell.completion);
+      dyn.add(cell.dynamic_degree);
+      stat.add(cell.static_degree);
+    }
+    const double ratio = comp.mean() / (dyn.mean() + logn);
+    ratios.push_back(ratio);
+    dyndegs.push_back(dyn.mean());
+    times.push_back(comp.mean());
+    table.row()
+        .add(rate, 2)
+        .add(comp.mean(), 0)
+        .add(dyn.mean(), 0)
+        .add(stat.mean(), 1)
+        .add(ratio, 2);
+  }
+  show(table);
+
+  shape_header();
+  const double band = *std::max_element(ratios.begin(), ratios.end()) /
+                      *std::min_element(ratios.begin(), ratios.end());
+  shape_check(band < 5.0,
+              "time/(dynamic degree + log n) stays within a " +
+                  format_double(band, 1) +
+                  "x band across churn rates (claim: O(1) band)");
+  shape_check(dyndegs.back() > 1.3 * dyndegs.front(),
+              "churn inflates the dynamic degree (" +
+                  format_double(dyndegs.front(), 0) + " -> " +
+                  format_double(dyndegs.back(), 0) +
+                  ") while the instantaneous degree stays flat");
+  // Thm 4.1 is an upper bound: churn can even *help* a pinned probe by
+  // clearing contenders away. What must hold is that the bound is never
+  // violated.
+  const double worst = *std::max_element(ratios.begin(), ratios.end());
+  shape_check(worst < 4.0,
+              "completion never exceeds ~4x the (dynamic degree + log n) "
+              "bound at any churn rate (worst ratio " +
+                  format_double(worst, 2) + ")");
+  return 0;
+}

@@ -1,0 +1,168 @@
+// EXP-08 — Thm 5.3: without NTD (and without coordinates), broadcast needs
+// Ω(n) rounds on the Fig. 1 bounded-independence construction, even with CD
+// and ACK. With NTD, Bcast* finishes in polylogarithmic time — the
+// separation that proves the primitive necessary.
+//
+// Sweep: n on LowerBoundMetric. The no-NTD algorithm is the decay broadcast
+// (the strongest baseline in our suite that uses no carrier-sense
+// primitives); the NTD algorithm is Bcast*.
+//
+// Claim shape: the no-NTD time grows ~linearly in n (power-law exponent
+// near 1); the NTD time grows sub-linearly (flat/log), so the ratio
+// diverges.
+#include "bench/exp_common.h"
+#include "baselines/decay.h"
+#include "core/broadcast.h"
+#include "metric/lower_bound_metric.h"
+
+namespace udwn {
+namespace {
+
+/// Thm 5.3 also covers *spontaneous* no-NTD algorithms ("even if the nodes
+/// ... operate spontaneously"), defeated by the mirrored Fig. 1b
+/// construction: every node transmits on a blind decay schedule from round
+/// 0, but only informed transmissions carry the payload.
+class SpontaneousBlindDecay final : public Protocol {
+ public:
+  SpontaneousBlindDecay(int cycle_length, bool source)
+      : cycle_(cycle_length), source_(source) {}
+
+  void on_start() override {
+    phase_ = 0;
+    informed_ = source_;
+  }
+  double transmit_probability(Slot slot) override {
+    return slot == Slot::Data ? std::ldexp(1.0, -phase_) : 0.0;
+  }
+  std::uint32_t payload(Slot) const override { return informed_ ? 1u : 0u; }
+  void on_slot(const SlotFeedback& fb) override {
+    if (fb.slot != Slot::Data) return;
+    if (fb.received && fb.payload == 1) informed_ = true;
+    if (fb.local_round) phase_ = (phase_ + 1) % cycle_;
+  }
+  [[nodiscard]] bool informed() const { return informed_; }
+
+ private:
+  int cycle_;
+  bool source_;
+  int phase_ = 0;
+  bool informed_ = false;
+};
+
+double run_spontaneous_no_ntd(std::size_t n, std::uint64_t seed) {
+  Scenario scenario(
+      std::make_unique<LowerBoundMetric>(
+          n, 1.0, 0.3, LowerBoundMetric::Variant::Spontaneous),
+      ScenarioConfig{});
+  auto protos = make_protocols(n, [&](NodeId id) {
+    return std::make_unique<SpontaneousBlindDecay>(
+        static_cast<int>(std::log2(static_cast<double>(n))) + 2,
+        id == NodeId(0));
+  });
+  const CarrierSensing cs = scenario.sensing_local();
+  Engine engine(scenario.channel(), scenario.network(), cs, protos,
+                EngineConfig{.seed = seed});
+  const auto result = track_until_all(
+      engine,
+      [](const Protocol& p, NodeId) {
+        return static_cast<const SpontaneousBlindDecay&>(p).informed();
+      },
+      2000000);
+  return result.all_done ? static_cast<double>(result.rounds) : -1;
+}
+
+double run_no_ntd(std::size_t n, std::uint64_t seed) {
+  Scenario scenario(std::make_unique<LowerBoundMetric>(n, 1.0, 0.3),
+                    ScenarioConfig{});
+  auto protos = make_protocols(n, [&](NodeId id) {
+    return std::make_unique<DecayBroadcastProtocol>(
+        static_cast<int>(std::log2(static_cast<double>(n))) + 2,
+        id == NodeId(0));
+  });
+  const CarrierSensing cs = scenario.sensing_local();
+  Engine engine(scenario.channel(), scenario.network(), cs, protos,
+                EngineConfig{.seed = seed});
+  const auto result = track_until_all(
+      engine,
+      [](const Protocol& p, NodeId) {
+        return static_cast<const DecayBroadcastProtocol&>(p).informed();
+      },
+      2000000);
+  return result.all_done ? static_cast<double>(result.rounds) : -1;
+}
+
+double run_with_ntd(std::size_t n, std::uint64_t seed) {
+  Scenario scenario(std::make_unique<LowerBoundMetric>(n, 1.0, 0.3),
+                    ScenarioConfig{});
+  auto protos = make_protocols(n, [&](NodeId id) {
+    return std::make_unique<BcastProtocol>(TryAdjust::standard(n, 1.0),
+                                           BcastProtocol::Mode::Static,
+                                           id == NodeId(0));
+  });
+  const CarrierSensing cs = scenario.sensing_broadcast();
+  Engine engine(scenario.channel(), scenario.network(), cs, protos,
+                EngineConfig{.slots_per_round = 2, .seed = seed});
+  const auto result = track_until_all(
+      engine,
+      [](const Protocol& p, NodeId) {
+        return static_cast<const BcastProtocol&>(p).informed();
+      },
+      2000000);
+  return result.all_done ? static_cast<double>(result.rounds) : -1;
+}
+
+}  // namespace
+}  // namespace udwn
+
+int main() {
+  using namespace udwn;
+  using namespace udwn::bench;
+  banner("EXP-08 (Thm 5.3)",
+         "On the Fig. 1 metric, broadcast without NTD needs Omega(n) rounds; "
+         "with NTD it is polylog — the primitive is necessary");
+
+  const std::vector<std::size_t> sizes{16, 32, 64, 128, 256};
+  Table table({"n", "noNTD_rounds", "NTD_rounds", "ratio",
+               "spont_noNTD (Fig 1b)"});
+  std::vector<double> xs, no_ntd, with_ntd, spont;
+  for (std::size_t n : sizes) {
+    Accumulator nn, wn, sp;
+    for (auto seed : seeds(11, 5)) {
+      const double a = run_no_ntd(n, seed);
+      const double b = run_with_ntd(n, seed);
+      const double c = run_spontaneous_no_ntd(n, seed);
+      if (a >= 0) nn.add(a);
+      if (b >= 0) wn.add(b);
+      if (c >= 0) sp.add(c);
+    }
+    xs.push_back(static_cast<double>(n));
+    no_ntd.push_back(nn.mean());
+    with_ntd.push_back(wn.mean());
+    spont.push_back(sp.mean());
+    table.row()
+        .add(n)
+        .add(nn.mean(), 0)
+        .add(wn.mean(), 0)
+        .add(nn.mean() / wn.mean(), 1)
+        .add(sp.mean(), 0);
+  }
+  show(table);
+
+  shape_header();
+  const LineFit pow_no = fit_power_law(xs, no_ntd);
+  shape_check(pow_no.slope > 0.7,
+              "no-NTD time grows polynomially in n (exponent " +
+                  format_double(pow_no.slope, 2) + ", claim ~1: Omega(n))");
+  const LineFit pow_with = fit_power_law(xs, with_ntd);
+  shape_check(pow_with.slope < 0.5,
+              "NTD time grows sub-linearly (exponent " +
+                  format_double(pow_with.slope, 2) + ")");
+  shape_check(no_ntd.back() / with_ntd.back() >
+                  2 * no_ntd.front() / with_ntd.front(),
+              "the no-NTD/NTD ratio diverges with n");
+  const LineFit pow_spont = fit_power_law(xs, spont);
+  shape_check(pow_spont.slope > 0.7,
+              "spontaneous operation does not escape the bound on Fig. 1b "
+              "(exponent " + format_double(pow_spont.slope, 2) + ")");
+  return 0;
+}

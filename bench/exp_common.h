@@ -1,0 +1,54 @@
+// Shared scaffolding for the experiment binaries (bench/exp*). Each binary
+// reproduces one claim of the paper (see DESIGN.md experiment index) and
+// prints (a) the measured table and (b) a SHAPE CHECK block summarizing
+// whether the claim's trend holds in this run. EXPERIMENTS.md records the
+// reference output.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/recorders.h"
+#include "analysis/runner.h"
+#include "analysis/scenario.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "topo/generators.h"
+
+namespace udwn::bench {
+
+/// Print a result table; with UDWN_CSV=1 in the environment, also emit the
+/// machine-readable CSV right after it.
+inline void show(const Table& table) {
+  table.print(std::cout);
+  if (const char* csv = std::getenv("UDWN_CSV"); csv && csv[0] == '1') {
+    std::cout << "--- csv ---\n";
+    table.print_csv(std::cout);
+    std::cout << "--- end csv ---\n";
+  }
+}
+
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "==================================================================\n"
+            << id << "\n" << claim << "\n"
+            << "==================================================================\n";
+}
+
+inline void shape_check(bool ok, const std::string& what) {
+  std::cout << (ok ? "  [OK]   " : "  [FAIL] ") << what << "\n";
+}
+
+inline void shape_header() { std::cout << "\nSHAPE CHECK\n"; }
+
+/// Seeds for repetitions: deterministic but distinct per experiment.
+inline std::vector<std::uint64_t> seeds(std::uint64_t base, int reps) {
+  std::vector<std::uint64_t> out;
+  for (int r = 0; r < reps; ++r) out.push_back(base * 1000 + r);
+  return out;
+}
+
+}  // namespace udwn::bench

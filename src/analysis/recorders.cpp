@@ -1,0 +1,56 @@
+#include "analysis/recorders.h"
+
+#include "common/contract.h"
+
+namespace udwn {
+
+DeliveryRecorder::DeliveryRecorder(std::size_t n) : first_(n, -1) {}
+
+void DeliveryRecorder::on_slot(Round round, Slot slot,
+                               const SlotOutcome& outcome,
+                               const Engine& /*engine*/) {
+  if (slot != Slot::Data) return;
+  transmissions_ += static_cast<std::int64_t>(outcome.transmitters.size());
+  for (NodeId u : outcome.transmitters) {
+    if (outcome.clear[u.value]) ++clear_;
+    if (outcome.mass_delivered[u.value]) {
+      ++total_;
+      if (first_[u.value] < 0) first_[u.value] = round;
+    }
+  }
+}
+
+InformedRecorder::InformedRecorder(std::size_t n, std::vector<NodeId> sources)
+    : informed_(n, -1) {
+  for (NodeId s : sources) {
+    UDWN_EXPECT(s.value < n);
+    if (informed_[s.value] < 0) {
+      informed_[s.value] = 0;
+      ++count_;
+    }
+  }
+}
+
+void InformedRecorder::on_slot(Round round, Slot slot,
+                               const SlotOutcome& outcome,
+                               const Engine& /*engine*/) {
+  if (slot != Slot::Data) return;  // payload travels in the data slot
+  for (std::size_t v = 0; v < informed_.size(); ++v) {
+    if (informed_[v] >= 0) continue;
+    const NodeId sender = outcome.decoded_from[v];
+    if (!sender.valid()) continue;
+    // Only decoding an *informed* sender spreads the payload.
+    if (informed_[sender.value] >= 0 && informed_[sender.value] <= round) {
+      informed_[v] = round + 1;
+      ++count_;
+    }
+  }
+}
+
+bool InformedRecorder::all_informed(const Network& network) const {
+  for (NodeId v : network.alive_nodes())
+    if (informed_[v.value] < 0) return false;
+  return true;
+}
+
+}  // namespace udwn

@@ -1,0 +1,62 @@
+// Ground-truth recorders for experiments: first mass-delivery per node,
+// informed-set growth, and per-round transmission statistics.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "sim/engine.h"
+
+namespace udwn {
+
+/// Records, per node, the first global round in which it mass-delivered
+/// (transmitted and all alive neighbors decoded), plus aggregate counters.
+class DeliveryRecorder final : public Recorder {
+ public:
+  explicit DeliveryRecorder(std::size_t n);
+
+  void on_slot(Round round, Slot slot, const SlotOutcome& outcome,
+               const Engine& engine) override;
+
+  /// First mass-delivery round per node id; -1 if none yet.
+  [[nodiscard]] const std::vector<Round>& first_mass_delivery() const {
+    return first_;
+  }
+  [[nodiscard]] std::int64_t total_mass_deliveries() const { return total_; }
+  [[nodiscard]] std::int64_t total_transmissions() const {
+    return transmissions_;
+  }
+  /// Transmissions that met the clear-channel condition of Def. 1.
+  [[nodiscard]] std::int64_t clear_transmissions() const { return clear_; }
+
+ private:
+  std::vector<Round> first_;
+  std::int64_t total_ = 0;
+  std::int64_t transmissions_ = 0;
+  std::int64_t clear_ = 0;
+};
+
+/// Tracks when each node first decoded any message (the informed set of a
+/// global broadcast), measured from ground truth rather than protocol
+/// internals so it works with every protocol type.
+class InformedRecorder final : public Recorder {
+ public:
+  /// `sources` start informed at round 0.
+  InformedRecorder(std::size_t n, std::vector<NodeId> sources);
+
+  void on_slot(Round round, Slot slot, const SlotOutcome& outcome,
+               const Engine& engine) override;
+
+  /// First round each node decoded a message (0 for sources, -1 = never).
+  [[nodiscard]] const std::vector<Round>& informed_round() const {
+    return informed_;
+  }
+  [[nodiscard]] bool all_informed(const Network& network) const;
+  [[nodiscard]] std::size_t informed_count() const { return count_; }
+
+ private:
+  std::vector<Round> informed_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace udwn

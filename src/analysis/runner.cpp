@@ -1,0 +1,58 @@
+#include "analysis/runner.h"
+
+#include "common/contract.h"
+
+namespace udwn {
+
+std::vector<std::unique_ptr<Protocol>> make_protocols(
+    std::size_t n, const ProtocolFactory& factory) {
+  std::vector<std::unique_ptr<Protocol>> protocols;
+  protocols.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    protocols.push_back(factory(NodeId(static_cast<std::uint32_t>(v))));
+    UDWN_ENSURE(protocols.back() != nullptr);
+  }
+  return protocols;
+}
+
+TrackResult track_until_all(
+    Engine& engine,
+    const std::function<bool(const Protocol&, NodeId)>& done,
+    Round max_rounds) {
+  const std::size_t n = engine.network().size();
+  TrackResult result;
+  result.completion.assign(n, -1);
+
+  auto sweep = [&]() {
+    bool all = true;
+    for (NodeId v : engine.network().alive_nodes()) {
+      if (done(engine.protocol(v), v)) {
+        if (result.completion[v.value] < 0)
+          result.completion[v.value] = engine.round();
+      } else {
+        // Churn may revive a node in an un-done state; its earlier
+        // completion no longer stands.
+        result.completion[v.value] = -1;
+        all = false;
+      }
+    }
+    return all;
+  };
+
+  result.all_done = sweep();
+  while (!result.all_done && engine.round() < max_rounds) {
+    engine.step();
+    result.all_done = sweep();
+  }
+  result.rounds = engine.round();
+  return result;
+}
+
+std::vector<double> finite_completions(const TrackResult& result) {
+  std::vector<double> out;
+  for (Round r : result.completion)
+    if (r >= 0) out.push_back(static_cast<double>(r));
+  return out;
+}
+
+}  // namespace udwn

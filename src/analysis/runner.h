@@ -1,0 +1,44 @@
+// Experiment-harness glue: build per-node protocol vectors, drive an engine
+// until a per-node predicate holds everywhere, and collect per-node
+// completion rounds.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/engine.h"
+#include "sim/protocol.h"
+
+namespace udwn {
+
+/// One protocol instance per node id.
+using ProtocolFactory = std::function<std::unique_ptr<Protocol>(NodeId)>;
+
+std::vector<std::unique_ptr<Protocol>> make_protocols(
+    std::size_t n, const ProtocolFactory& factory);
+
+struct TrackResult {
+  /// Global round (1-based: value r means "after r rounds") at which the
+  /// predicate first held for each node; -1 if never within the budget.
+  std::vector<Round> completion;
+  /// The predicate held for every alive node before the budget ran out.
+  bool all_done = false;
+  /// Rounds executed.
+  Round rounds = 0;
+};
+
+/// Step `engine` until `done(protocol, id)` holds for every alive node, or
+/// `max_rounds` elapse. Nodes' completion rounds are recorded the first time
+/// their predicate holds (and reset if churn revives them un-done).
+TrackResult track_until_all(
+    Engine& engine,
+    const std::function<bool(const Protocol&, NodeId)>& done,
+    Round max_rounds);
+
+/// Completion rounds of the nodes that did finish, as doubles (for
+/// Summary/fit helpers). Skips -1 entries and optionally dead nodes.
+std::vector<double> finite_completions(const TrackResult& result);
+
+}  // namespace udwn

@@ -1,0 +1,119 @@
+#include "analysis/scenario.h"
+
+#include <cmath>
+#include <queue>
+
+#include "common/contract.h"
+
+namespace udwn {
+
+Scenario::Scenario(std::vector<Vec2> positions, const ScenarioConfig& config)
+    : config_(config),
+      metric_(std::make_unique<EuclideanMetric>(std::move(positions))) {
+  build(config);
+}
+
+Scenario::Scenario(std::unique_ptr<QuasiMetric> metric,
+                   const ScenarioConfig& config)
+    : config_(config), metric_(std::move(metric)) {
+  UDWN_EXPECT(metric_ != nullptr);
+  build(config);
+}
+
+void Scenario::build(const ScenarioConfig& config) {
+  UDWN_EXPECT(config.radius > 0);
+  UDWN_EXPECT(config.epsilon > 0 && config.epsilon < 1);
+  pathloss_ = std::make_unique<PathLoss>(
+      config.power, config.zeta, config.near_limit_fraction * config.radius);
+
+  const double r = config.radius;
+  switch (config.model) {
+    case ModelKind::Sinr: {
+      // Derive the noise floor so the clear-channel range is exactly R.
+      const double noise =
+          config.power / (config.sinr_beta * std::pow(r, config.zeta));
+      model_ = std::make_unique<SinrReception>(*pathloss_, config.sinr_beta,
+                                               noise);
+      break;
+    }
+    case ModelKind::Udg:
+      model_ = std::make_unique<UdgReception>(r);
+      break;
+    case ModelKind::Qudg:
+      model_ = std::make_unique<QudgReception>(r, config.qudg_outer * r);
+      break;
+    case ModelKind::Protocol:
+      model_ = std::make_unique<ProtocolReception>(
+          r, config.protocol_interference * r);
+      break;
+    case ModelKind::SuccClearOnly: {
+      const SuccClearParams params{
+          .rho_c = config.succ_clear_rho,
+          .i_c = config.succ_clear_ic_fraction * config.power /
+                 std::pow(r, config.zeta)};
+      model_ = std::make_unique<SuccClearOnlyReception>(r, config.epsilon,
+                                                        params);
+      break;
+    }
+  }
+  // Model-derived range must hit the configured R (exact for graph models,
+  // algebraic identity for SINR).
+  UDWN_ENSURE(std::abs(model_->max_range() - r) < 1e-9 * r);
+
+  channel_ =
+      std::make_unique<Channel>(*metric_, *pathloss_, *model_, config.epsilon);
+  network_ = std::make_unique<Network>(*metric_);
+}
+
+EuclideanMetric* Scenario::euclidean() {
+  return dynamic_cast<EuclideanMetric*>(metric_.get());
+}
+
+CarrierSensing Scenario::sensing_local() const {
+  return CarrierSensing::for_model(*model_, *pathloss_, config_.epsilon);
+}
+
+CarrierSensing Scenario::sensing_broadcast() const {
+  const double eps = config_.epsilon;
+  return CarrierSensing::with_precisions(*model_, *pathloss_, eps, eps / 2,
+                                         eps * model_->max_range() / 2);
+}
+
+CarrierSensing Scenario::sensing_domset() const {
+  const double eps = config_.epsilon;
+  return CarrierSensing::with_precisions(*model_, *pathloss_, eps, eps / 2,
+                                         eps * model_->max_range() / 4);
+}
+
+std::vector<NodeId> Scenario::neighbors(NodeId u) const {
+  return channel_->neighbors(u, network_->alive_mask());
+}
+
+std::size_t Scenario::max_degree() const {
+  std::size_t best = 0;
+  for (NodeId v : network_->alive_nodes())
+    best = std::max(best, neighbors(v).size());
+  return best;
+}
+
+std::vector<int> Scenario::hop_distances(NodeId source) const {
+  UDWN_EXPECT(source.value < metric_->size());
+  std::vector<int> dist(metric_->size(), -1);
+  if (!network_->alive(source)) return dist;
+  dist[source.value] = 0;
+  std::queue<NodeId> frontier;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : neighbors(u)) {
+      if (dist[v.value] < 0) {
+        dist[v.value] = dist[u.value] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace udwn

@@ -1,0 +1,54 @@
+#include "analysis/timeseries.h"
+
+#include <algorithm>
+
+#include "common/contract.h"
+
+namespace udwn {
+
+TimeSeriesRecorder::TimeSeriesRecorder(Round stride) : stride_(stride) {
+  UDWN_EXPECT(stride >= 1);
+}
+
+void TimeSeriesRecorder::on_slot(Round round, Slot slot,
+                                 const SlotOutcome& outcome,
+                                 const Engine& engine) {
+  if (slot != Slot::Data) return;
+  std::size_t deliveries = 0, clear = 0;
+  for (NodeId u : outcome.transmitters) {
+    deliveries += outcome.mass_delivered[u.value] ? 1 : 0;
+    clear += outcome.clear[u.value] ? 1 : 0;
+  }
+  cumulative_ += deliveries;
+  if (round % stride_ != 0) return;
+
+  TimeSeriesRow row;
+  row.round = round;
+  row.transmitters = outcome.transmitters.size();
+  row.deliveries = deliveries;
+  row.clear = clear;
+  row.cumulative_deliveries = cumulative_;
+
+  double p_sum = 0;
+  for (NodeId v : engine.network().alive_nodes()) {
+    ++row.alive;
+    p_sum += engine.last_probability(v);
+    row.max_interference =
+        std::max(row.max_interference, outcome.interference[v.value]);
+  }
+  row.mean_probability = row.alive ? p_sum / static_cast<double>(row.alive)
+                                   : 0.0;
+  rows_.push_back(row);
+}
+
+void TimeSeriesRecorder::write_csv(std::ostream& os) const {
+  os << "round,alive,transmitters,deliveries,clear,cumulative_deliveries,"
+        "mean_probability,max_interference\n";
+  for (const auto& r : rows_) {
+    os << r.round << ',' << r.alive << ',' << r.transmitters << ','
+       << r.deliveries << ',' << r.clear << ',' << r.cumulative_deliveries
+       << ',' << r.mean_probability << ',' << r.max_interference << '\n';
+  }
+}
+
+}  // namespace udwn

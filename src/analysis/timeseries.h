@@ -1,0 +1,49 @@
+// Per-round time-series collection: the observability layer an experiment
+// or a downstream user attaches to watch a run unfold — transmitter counts,
+// delivery counts, informed-set growth, mean transmission probability —
+// with CSV export for plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/engine.h"
+
+namespace udwn {
+
+/// One sampled row of the run.
+struct TimeSeriesRow {
+  Round round = 0;
+  std::size_t alive = 0;
+  std::size_t transmitters = 0;       // data slot
+  std::size_t deliveries = 0;         // mass-deliveries this round
+  std::size_t clear = 0;              // clear-channel transmissions
+  std::size_t cumulative_deliveries = 0;
+  double mean_probability = 0;        // over alive nodes, data slot
+  double max_interference = 0;        // over alive nodes
+};
+
+/// Recorder sampling every `stride`-th round (stride 1 = every round).
+class TimeSeriesRecorder final : public Recorder {
+ public:
+  explicit TimeSeriesRecorder(Round stride = 1);
+
+  void on_slot(Round round, Slot slot, const SlotOutcome& outcome,
+               const Engine& engine) override;
+
+  [[nodiscard]] const std::vector<TimeSeriesRow>& rows() const {
+    return rows_;
+  }
+
+  /// Dump as CSV with a header row.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  Round stride_;
+  std::size_t cumulative_ = 0;
+  std::vector<TimeSeriesRow> rows_;
+};
+
+}  // namespace udwn

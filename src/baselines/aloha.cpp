@@ -1,0 +1,33 @@
+#include "baselines/aloha.h"
+
+#include "common/contract.h"
+
+namespace udwn {
+
+AlohaLocalBcastProtocol::AlohaLocalBcastProtocol(double probability)
+    : probability_(probability) {
+  UDWN_EXPECT(probability > 0 && probability <= 1);
+}
+
+void AlohaLocalBcastProtocol::on_start() {
+  delivered_ = false;
+  local_rounds_ = 0;
+  completed_round_ = -1;
+}
+
+double AlohaLocalBcastProtocol::transmit_probability(Slot slot) {
+  if (slot != Slot::Data || delivered_) return 0;
+  return probability_;
+}
+
+void AlohaLocalBcastProtocol::on_slot(const SlotFeedback& feedback) {
+  if (feedback.slot != Slot::Data || !feedback.local_round || delivered_)
+    return;
+  ++local_rounds_;
+  if (feedback.transmitted && feedback.ack) {
+    delivered_ = true;
+    completed_round_ = local_rounds_;
+  }
+}
+
+}  // namespace udwn

@@ -1,0 +1,71 @@
+#include "baselines/decay.h"
+
+#include <cmath>
+
+#include "common/contract.h"
+
+namespace udwn {
+
+namespace {
+double decay_probability(int phase) { return std::ldexp(1.0, -phase); }
+}  // namespace
+
+DecayLocalBcastProtocol::DecayLocalBcastProtocol(int cycle_length)
+    : cycle_length_(cycle_length) {
+  UDWN_EXPECT(cycle_length >= 1);
+}
+
+void DecayLocalBcastProtocol::on_start() {
+  phase_ = 0;
+  delivered_ = false;
+  local_rounds_ = 0;
+  completed_round_ = -1;
+}
+
+double DecayLocalBcastProtocol::transmit_probability(Slot slot) {
+  if (slot != Slot::Data || delivered_) return 0;
+  return decay_probability(phase_);
+}
+
+void DecayLocalBcastProtocol::on_slot(const SlotFeedback& feedback) {
+  if (feedback.slot != Slot::Data || !feedback.local_round || delivered_)
+    return;
+  ++local_rounds_;
+  if (feedback.transmitted && feedback.ack) {
+    delivered_ = true;
+    completed_round_ = local_rounds_;
+    return;
+  }
+  phase_ = (phase_ + 1) % cycle_length_;
+}
+
+DecayBroadcastProtocol::DecayBroadcastProtocol(int cycle_length, bool source)
+    : cycle_length_(cycle_length), source_(source) {
+  UDWN_EXPECT(cycle_length >= 1);
+}
+
+void DecayBroadcastProtocol::on_start() {
+  phase_ = 0;
+  informed_ = source_;
+  local_rounds_ = 0;
+  informed_round_ = source_ ? 0 : -1;
+}
+
+double DecayBroadcastProtocol::transmit_probability(Slot slot) {
+  if (slot != Slot::Data || !informed_) return 0;
+  return decay_probability(phase_);
+}
+
+void DecayBroadcastProtocol::on_slot(const SlotFeedback& feedback) {
+  if (feedback.slot != Slot::Data) return;
+  if (feedback.received && !informed_) {
+    informed_ = true;
+    informed_round_ = local_rounds_ + 1;
+    return;  // starts its own decay from the next round
+  }
+  if (!feedback.local_round || !informed_) return;
+  ++local_rounds_;
+  phase_ = (phase_ + 1) % cycle_length_;
+}
+
+}  // namespace udwn

@@ -1,0 +1,17 @@
+#include "baselines/jammer.h"
+
+#include "common/contract.h"
+
+namespace udwn {
+
+JammerProtocol::JammerProtocol(double q, bool jam_notify)
+    : q_(q), jam_notify_(jam_notify) {
+  UDWN_EXPECT(q >= 0 && q <= 1);
+}
+
+double JammerProtocol::transmit_probability(Slot slot) {
+  if (slot == Slot::Notify && !jam_notify_) return 0;
+  return q_;
+}
+
+}  // namespace udwn

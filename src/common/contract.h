@@ -1,0 +1,33 @@
+// Contract-checking macros in the spirit of the Core Guidelines' Expects/Ensures.
+//
+// UDWN_EXPECT checks a precondition, UDWN_ENSURE a postcondition/invariant.
+// Violations abort with a source location; they are kept in release builds
+// because simulation correctness depends on them and their cost is negligible
+// next to interference computation.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace udwn::detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  std::fprintf(stderr, "%s violated: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace udwn::detail
+
+#define UDWN_EXPECT(cond)                                                    \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::udwn::detail::contract_fail("precondition", #cond, __FILE__,         \
+                                    __LINE__);                               \
+  } while (false)
+
+#define UDWN_ENSURE(cond)                                                    \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::udwn::detail::contract_fail("invariant", #cond, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,140 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contract.h"
+#include "common/rng.h"
+
+namespace udwn {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double Accumulator::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const { return min_; }
+
+double Accumulator::max() const { return max_; }
+
+namespace {
+
+double sorted_percentile(const std::vector<double>& sorted, double q) {
+  UDWN_EXPECT(!sorted.empty());
+  UDWN_EXPECT(q >= 0 && q <= 1);
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  if (sample.empty()) return s;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  Accumulator acc;
+  for (double x : sorted) acc.add(x);
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = sorted.front();
+  s.p25 = sorted_percentile(sorted, 0.25);
+  s.median = sorted_percentile(sorted, 0.5);
+  s.p75 = sorted_percentile(sorted, 0.75);
+  s.p95 = sorted_percentile(sorted, 0.95);
+  s.max = sorted.back();
+  return s;
+}
+
+double percentile(std::vector<double> sample, double q) {
+  std::sort(sample.begin(), sample.end());
+  return sorted_percentile(sample, q);
+}
+
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  UDWN_EXPECT(xs.size() == ys.size());
+  UDWN_EXPECT(xs.size() >= 2);
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LineFit fit;
+  if (sxx == 0) {  // degenerate: vertical line; report flat fit
+    fit.slope = 0;
+    fit.intercept = my;
+    fit.r2 = 0;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = syy == 0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+LineFit fit_power_law(std::span<const double> xs, std::span<const double> ys) {
+  UDWN_EXPECT(xs.size() == ys.size());
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    UDWN_EXPECT(xs[i] > 0 && ys[i] > 0);
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  return fit_line(lx, ly);
+}
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> sample, Rng& rng,
+                                     double level, int resamples) {
+  UDWN_EXPECT(!sample.empty());
+  UDWN_EXPECT(level > 0 && level < 1);
+  UDWN_EXPECT(resamples >= 2);
+  const std::size_t n = sample.size();
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  double original_sum = 0;
+  for (double x : sample) original_sum += x;
+  for (int r = 0; r < resamples; ++r) {
+    double sum = 0;
+    for (std::size_t i = 0; i < n; ++i) sum += sample[rng.below(n)];
+    means.push_back(sum / static_cast<double>(n));
+  }
+  const double tail = (1 - level) / 2;
+  ConfidenceInterval ci;
+  ci.mean = original_sum / static_cast<double>(n);
+  ci.lower = percentile(means, tail);
+  ci.upper = percentile(std::move(means), 1 - tail);
+  return ci;
+}
+
+}  // namespace udwn

@@ -1,0 +1,85 @@
+// Small statistics toolkit used by the analysis layer and the experiment
+// harness: online accumulators, percentiles, and least-squares fits that let
+// benchmarks report the *shape* of a trend (e.g. slope of completion time
+// versus max degree).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace udwn {
+
+/// Online mean/variance accumulator (Welford's algorithm).
+class Accumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double sum_ = 0;
+};
+
+/// Five-number summary plus mean of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double p25 = 0;
+  double median = 0;
+  double p75 = 0;
+  double p95 = 0;
+  double max = 0;
+};
+
+/// Summarize a sample (copies and sorts internally).
+Summary summarize(std::span<const double> sample);
+
+/// Percentile by linear interpolation between order statistics; q in [0,1].
+double percentile(std::vector<double> sample, double q);
+
+/// Result of an ordinary least-squares line fit y = intercept + slope * x.
+struct LineFit {
+  double slope = 0;
+  double intercept = 0;
+  /// Coefficient of determination in [0,1]; 1 means a perfect linear fit.
+  double r2 = 0;
+};
+
+/// Fit y ~ a + b*x. Requires xs.size() == ys.size() >= 2.
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Fit y ~ a * x^b by regressing log y on log x. All inputs must be > 0.
+/// Returns {slope=b, intercept=log a, r2}.
+LineFit fit_power_law(std::span<const double> xs, std::span<const double> ys);
+
+/// Two-sided percentile-bootstrap confidence interval for the mean.
+struct ConfidenceInterval {
+  double lower = 0;
+  double mean = 0;
+  double upper = 0;
+};
+
+/// Resample `sample` with replacement `resamples` times and return the
+/// [(1-level)/2, 1-(1-level)/2] percentile interval of the resampled means.
+/// Requires a non-empty sample and level in (0, 1). Deterministic given the
+/// rng state.
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> sample,
+                                     class Rng& rng, double level = 0.95,
+                                     int resamples = 1000);
+
+}  // namespace udwn

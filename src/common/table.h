@@ -1,0 +1,43 @@
+// Minimal result-table formatting: every experiment binary prints the rows
+// the paper's claims are checked against, both as an aligned console table
+// and (optionally) as CSV for downstream plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace udwn {
+
+/// A simple column-oriented table. Cells are stored as strings; helpers
+/// format numbers consistently.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row. Subsequent add() calls fill it left to right.
+  Table& row();
+
+  Table& add(const std::string& cell);
+  Table& add(double value, int precision = 3);
+  Table& add(std::int64_t value);
+  Table& add(std::size_t value);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Print as an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Print as CSV (RFC-4180-ish; cells containing commas are quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (no trailing-zero stripping; keeps
+/// columns visually aligned).
+std::string format_double(double value, int precision);
+
+}  // namespace udwn

@@ -1,0 +1,44 @@
+// Fundamental identifier and time types shared by all modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace udwn {
+
+/// Index of a node within a network instance. Stable for the lifetime of the
+/// instance: departed nodes keep their id (marked dead) so that traces remain
+/// interpretable under churn.
+struct NodeId {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalid; }
+
+  friend constexpr bool operator==(NodeId, NodeId) = default;
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+};
+
+/// Global simulation round (synchronous mode) or global tick (async mode).
+using Round = std::int64_t;
+
+/// Slot within a round. The broadcast algorithm of Sec. 5 uses two slots per
+/// round: Data carries the payload, Notify carries the "neighborhood covered"
+/// retransmission.
+enum class Slot : std::uint8_t { Data = 0, Notify = 1 };
+
+constexpr std::size_t kSlotsPerRound = 2;
+
+}  // namespace udwn
+
+template <>
+struct std::hash<udwn::NodeId> {
+  std::size_t operator()(udwn::NodeId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,86 @@
+#include "core/broadcast.h"
+
+namespace udwn {
+
+BcastProtocol::BcastProtocol(TryAdjust::Config config, Mode mode, bool source,
+                             bool spontaneous, NtdMode ntd_mode)
+    : controller_(config),
+      mode_(mode),
+      is_source_(source),
+      spontaneous_(spontaneous),
+      ntd_mode_(ntd_mode) {}
+
+void BcastProtocol::on_start() {
+  controller_.reset();
+  informed_ = is_source_ || spontaneous_;
+  stop_reason_ = StopReason::None;
+  local_rounds_ = 0;
+  informed_round_ = informed_ ? 0 : -1;
+  pending_notify_ = false;
+  received_in_data_ = false;
+  was_informed_at_data_ = false;
+}
+
+double BcastProtocol::transmit_probability(Slot slot) {
+  if (finished()) return 0;
+  switch (slot) {
+    case Slot::Data:
+      return informed_ ? controller_.probability() : 0;
+    case Slot::Notify:
+      // Deterministic covered-notification retransmission (Sec. 5, rule 1).
+      return pending_notify_ ? 1.0 : 0.0;
+  }
+  return 0;
+}
+
+void BcastProtocol::restart_or_stop(StopReason reason) {
+  if (mode_ == Mode::Static)
+    stop_reason_ = reason;
+  else
+    controller_.reset();
+}
+
+void BcastProtocol::on_slot(const SlotFeedback& feedback) {
+  if (feedback.slot == Slot::Data) {
+    was_informed_at_data_ = informed_;
+    received_in_data_ = feedback.received;
+    if (feedback.received && !informed_) {
+      // Non-spontaneous wake-up: the node joins the execution now and will
+      // contend from its next round on.
+      informed_ = true;
+      informed_round_ = local_rounds_ + 1;
+    }
+    if (!feedback.local_round || finished()) return;
+    ++local_rounds_;
+    if (!was_informed_at_data_) return;  // took no protocol step this round
+    if (feedback.transmitted && feedback.ack) {
+      // Rule 1, first half: schedule the Notify retransmission.
+      pending_notify_ = true;
+      return;  // restart happens after the Notify slot
+    }
+    controller_.update(feedback.busy);
+    return;
+  }
+
+  // Notify slot.
+  if (!feedback.local_round || finished()) return;
+  if (pending_notify_) {
+    // Rule 1, second half: covered-notification sent; restart (or stop).
+    pending_notify_ = false;
+    restart_or_stop(StopReason::Ack);
+    return;
+  }
+  const bool near_transmission =
+      ntd_mode_ == NtdMode::Primitive
+          ? (feedback.received && feedback.ntd)
+          // Low-power mode: the Notify slot runs at reduced power, so any
+          // reception in it certifies proximity by itself.
+          : feedback.received;
+  if (was_informed_at_data_ && received_in_data_ && near_transmission) {
+    // Rule 2: a node within ~εR/2 just certified covering its neighborhood,
+    // which contains ours.
+    restart_or_stop(StopReason::Ntd);
+  }
+}
+
+}  // namespace udwn

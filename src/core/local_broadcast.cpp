@@ -1,0 +1,33 @@
+#include "core/local_broadcast.h"
+
+namespace udwn {
+
+LocalBcastProtocol::LocalBcastProtocol(TryAdjust::Config config)
+    : controller_(config) {}
+
+void LocalBcastProtocol::on_start() {
+  controller_.reset();
+  delivered_ = false;
+  local_rounds_ = 0;
+  completed_round_ = -1;
+}
+
+double LocalBcastProtocol::transmit_probability(Slot slot) {
+  if (slot != Slot::Data || delivered_) return 0;
+  return controller_.probability();
+}
+
+void LocalBcastProtocol::on_slot(const SlotFeedback& feedback) {
+  if (feedback.slot != Slot::Data || !feedback.local_round || delivered_)
+    return;
+  ++local_rounds_;
+  if (feedback.transmitted && feedback.ack) {
+    // ACK certifies the message reached all neighbors: done (p = 0 forever).
+    delivered_ = true;
+    completed_round_ = local_rounds_;
+    return;
+  }
+  controller_.update(feedback.busy);
+}
+
+}  // namespace udwn

@@ -1,0 +1,57 @@
+#include "core/mac_layer.h"
+
+#include "common/contract.h"
+
+namespace udwn {
+
+MacLayerProtocol::MacLayerProtocol(TryAdjust::Config config,
+                                   AckCallback on_ack,
+                                   DeliverCallback on_deliver)
+    : controller_(config),
+      on_ack_(std::move(on_ack)),
+      on_deliver_(std::move(on_deliver)) {}
+
+void MacLayerProtocol::bcast(std::uint32_t tag) {
+  UDWN_EXPECT(tag != 0);
+  queue_.push_back(tag);
+}
+
+void MacLayerProtocol::on_start() {
+  // Churn re-entry: in-flight state is lost with the node; the application
+  // re-issues what it still needs (standard MAC-layer contract).
+  controller_.reset();
+  queue_.clear();
+  delivered_.clear();
+}
+
+double MacLayerProtocol::transmit_probability(Slot slot) {
+  if (slot != Slot::Data || queue_.empty()) return 0;
+  return controller_.probability();
+}
+
+std::uint32_t MacLayerProtocol::payload(Slot /*slot*/) const {
+  return queue_.empty() ? 0 : queue_.front();
+}
+
+void MacLayerProtocol::on_slot(const SlotFeedback& feedback) {
+  if (feedback.received && feedback.payload != 0) {
+    const auto key = std::make_pair(feedback.sender.value, feedback.payload);
+    if (delivered_.insert(key).second && on_deliver_)
+      on_deliver_(feedback.sender, feedback.payload);
+  }
+  if (feedback.slot != Slot::Data || !feedback.local_round) return;
+  if (queue_.empty()) return;
+  if (feedback.transmitted && feedback.ack) {
+    const std::uint32_t tag = queue_.front();
+    queue_.pop_front();
+    ++acked_;
+    // Fresh (passive) start for the next message keeps the layer from
+    // hogging the channel after a success.
+    controller_.reset();
+    if (on_ack_) on_ack_(tag);
+    return;
+  }
+  controller_.update(feedback.busy);
+}
+
+}  // namespace udwn

@@ -1,0 +1,84 @@
+#include "core/multi_message.h"
+
+#include "common/contract.h"
+
+namespace udwn {
+
+MultiMessageBcastProtocol::MultiMessageBcastProtocol(TryAdjust::Config config,
+                                                     int message_count,
+                                                     bool source)
+    : controller_(config), message_count_(message_count), source_(source) {
+  UDWN_EXPECT(message_count >= 1 && message_count <= kMaxMessages);
+}
+
+void MultiMessageBcastProtocol::on_start() {
+  controller_.reset();
+  received_ = source_ ? all_mask() : 0;
+  discharged_ = 0;
+  local_rounds_ = 0;
+  completed_round_ = source_ ? 0 : -1;
+  pending_notify_ = false;
+  notify_message_ = 0;
+  received_in_data_ = false;
+}
+
+std::uint32_t MultiMessageBcastProtocol::current_message() const {
+  const std::uint32_t pending = received_ & ~discharged_;
+  if (pending == 0) return 0;
+  // Lowest set bit index + 1 = message tag.
+  return static_cast<std::uint32_t>(__builtin_ctz(pending)) + 1;
+}
+
+bool MultiMessageBcastProtocol::finished() const {
+  return has_all() && (received_ & ~discharged_) == 0;
+}
+
+double MultiMessageBcastProtocol::transmit_probability(Slot slot) {
+  if (slot == Slot::Notify) return pending_notify_ ? 1.0 : 0.0;
+  return current_message() != 0 ? controller_.probability() : 0.0;
+}
+
+std::uint32_t MultiMessageBcastProtocol::payload(Slot slot) const {
+  if (slot == Slot::Notify) return notify_message_;
+  return current_message();
+}
+
+void MultiMessageBcastProtocol::on_slot(const SlotFeedback& feedback) {
+  // Message acquisition works in both slots and regardless of local clock.
+  if (feedback.received && feedback.payload >= 1 &&
+      feedback.payload <= static_cast<std::uint32_t>(message_count_)) {
+    received_ |= 1u << (feedback.payload - 1);
+    if (has_all() && completed_round_ < 0)
+      completed_round_ = local_rounds_ + 1;
+    // Rule 2: an NTD-close transmission of message m certifies that m's
+    // coverage of our neighborhood is handled.
+    if (feedback.ntd) discharged_ |= 1u << (feedback.payload - 1);
+  }
+  if (!feedback.local_round) return;
+
+  if (feedback.slot == Slot::Data) {
+    received_in_data_ = feedback.received;
+    ++local_rounds_;
+    const std::uint32_t msg = current_message();
+    if (msg == 0) return;  // nothing to contend for this round
+    if (feedback.transmitted && feedback.ack) {
+      // Rule 1: retransmit in the Notify slot, then mark discharged.
+      pending_notify_ = true;
+      notify_message_ = msg;
+      return;
+    }
+    controller_.update(feedback.busy);
+    return;
+  }
+
+  // Notify slot.
+  if (pending_notify_) {
+    pending_notify_ = false;
+    discharged_ |= 1u << (notify_message_ - 1);
+    notify_message_ = 0;
+    // Move on to the next pending message with a fresh (passive) start.
+    controller_.reset();
+  }
+}
+
+}  // namespace udwn

@@ -1,0 +1,193 @@
+#include "core/spontaneous.h"
+
+#include "common/contract.h"
+
+namespace udwn {
+
+DominatorFloodProtocol::DominatorFloodProtocol(bool dominator, bool source,
+                                               double p0)
+    : dominator_(dominator), source_(source), p0_(p0) {
+  UDWN_EXPECT(p0 > 0 && p0 <= 0.5);
+}
+
+void DominatorFloodProtocol::on_start() {
+  informed_ = source_;
+  done_ = false;
+  rounds_ = 0;
+  informed_round_ = source_ ? 0 : -1;
+}
+
+double DominatorFloodProtocol::transmit_probability(Slot slot) {
+  if (slot != Slot::Data || done_ || !informed_) return 0;
+  if (!dominator_ && !source_) return 0;
+  return p0_;
+}
+
+void DominatorFloodProtocol::on_slot(const SlotFeedback& feedback) {
+  if (feedback.slot != Slot::Data) return;
+  if (feedback.received && !informed_) {
+    informed_ = true;
+    informed_round_ = rounds_ + 1;
+  }
+  if (!feedback.local_round || done_) return;
+  ++rounds_;
+  if (feedback.transmitted && feedback.ack) done_ = true;
+}
+
+OverlappedSpontaneousProtocol::OverlappedSpontaneousProtocol(
+    TryAdjust::Config stage1, double p0, bool source)
+    : controller_(stage1), p0_(p0), source_(source) {
+  UDWN_EXPECT(p0 > 0 && p0 <= 0.5);
+}
+
+void OverlappedSpontaneousProtocol::on_start() {
+  controller_.reset();
+  informed_ = source_;
+  verdict_ = BcastProtocol::StopReason::None;
+  flood_done_ = false;
+  pending_notify_ = false;
+  received_in_data_ = false;
+}
+
+bool OverlappedSpontaneousProtocol::finished() const {
+  // Done once elected AND (if informed) the payload obligation is
+  // discharged. An uninformed elected node is not finished: it will owe a
+  // flood when the payload arrives.
+  return verdict_ != BcastProtocol::StopReason::None && informed_ &&
+         flood_done_;
+}
+
+double OverlappedSpontaneousProtocol::transmit_probability(Slot slot) {
+  if (slot == Slot::Notify) return pending_notify_ ? 1.0 : 0.0;
+  // Data slot.
+  if (verdict_ == BcastProtocol::StopReason::None)
+    return controller_.probability();  // still electing (stage 1)
+  // Flood phase: EVERY informed elected node repeats the payload until its
+  // coverage is certified — by its own ACK, or by an NTD-close payload
+  // transmission whose (ε/2-precision) coverage contains ours (the Sec. 5
+  // rule-2 handoff). Without the dominated nodes participating, a source
+  // elected as dominated would trap the message.
+  if (informed_ && !flood_done_) return p0_;
+  return 0;
+}
+
+std::uint32_t OverlappedSpontaneousProtocol::payload(Slot /*slot*/) const {
+  // Every transmission of an informed node carries the broadcast message;
+  // uninformed stage-1 traffic is dummy contention (tag 0).
+  return informed_ ? 1u : 0u;
+}
+
+void OverlappedSpontaneousProtocol::on_slot(const SlotFeedback& feedback) {
+  if (feedback.received && feedback.payload == 1) {
+    informed_ = true;
+    // Coverage handoff: a payload transmission from within the NTD radius
+    // was received — that sender's neighborhood covers ours, so our own
+    // flood obligation is discharged (Sec. 5, rule 2 applied to the flood).
+    if (feedback.ntd) flood_done_ = true;
+  }
+  if (!feedback.local_round) return;
+
+  if (feedback.slot == Slot::Data) {
+    received_in_data_ = feedback.received;
+    if (verdict_ == BcastProtocol::StopReason::None) {
+      if (feedback.transmitted && feedback.ack) {
+        pending_notify_ = true;  // covered-notification, then dominator
+        return;
+      }
+      controller_.update(feedback.busy);
+      return;
+    }
+    // Flood phase: an acknowledged payload transmission completes the node.
+    if (informed_ && !flood_done_ && feedback.transmitted && feedback.ack)
+      flood_done_ = true;
+    return;
+  }
+
+  // Notify slot.
+  if (pending_notify_) {
+    pending_notify_ = false;
+    verdict_ = BcastProtocol::StopReason::Ack;  // dominator
+    return;
+  }
+  if (verdict_ == BcastProtocol::StopReason::None && received_in_data_ &&
+      feedback.received && feedback.ntd)
+    verdict_ = BcastProtocol::StopReason::Ntd;  // dominated
+}
+
+SpontaneousBcastResult SpontaneousBcast::run(
+    const Channel& channel, Network& network,
+    const CarrierSensing& sensing_stage1,
+    const CarrierSensing& sensing_stage2, NodeId source,
+    const Config& config) {
+  UDWN_EXPECT(source.value < network.size());
+  UDWN_EXPECT(network.alive(source));
+  const std::size_t n = network.size();
+
+  SpontaneousBcastResult result;
+  result.informed_round.assign(n, -1);
+
+  // ---- Stage 1: dominating set via spontaneous Bcast* --------------------
+  std::vector<std::unique_ptr<Protocol>> stage1;
+  stage1.reserve(n);
+  for (std::size_t v = 0; v < n; ++v)
+    stage1.push_back(std::make_unique<BcastProtocol>(
+        config.stage1, BcastProtocol::Mode::Static, /*source=*/false,
+        /*spontaneous=*/true));
+
+  EngineConfig cfg1;
+  cfg1.slots_per_round = 2;
+  cfg1.seed = config.seed;
+  Engine engine1(channel, network, sensing_stage1, stage1, cfg1);
+
+  auto all_stopped = [&](const Engine& e) {
+    for (NodeId v : e.network().alive_nodes())
+      if (!e.protocol(v).finished()) return false;
+    return true;
+  };
+  const auto stage1_done = engine1.run_until(all_stopped,
+                                             config.stage1_max_rounds);
+  result.stage1_rounds = stage1_done.value_or(config.stage1_max_rounds);
+
+  for (NodeId v : network.alive_nodes()) {
+    const auto& proto = static_cast<const BcastProtocol&>(engine1.protocol(v));
+    if (proto.stop_reason() == BcastProtocol::StopReason::Ack)
+      result.dominators.push_back(v);
+  }
+
+  // ---- Stage 2: dominator flood ------------------------------------------
+  std::vector<std::uint8_t> is_dominator(n, 0);
+  for (NodeId v : result.dominators) is_dominator[v.value] = 1;
+
+  std::vector<std::unique_ptr<Protocol>> stage2;
+  stage2.reserve(n);
+  for (std::size_t v = 0; v < n; ++v)
+    stage2.push_back(std::make_unique<DominatorFloodProtocol>(
+        is_dominator[v] != 0, NodeId(static_cast<std::uint32_t>(v)) == source,
+        config.p0));
+
+  EngineConfig cfg2;
+  cfg2.slots_per_round = 1;
+  cfg2.seed = config.seed + 1;
+  Engine engine2(channel, network, sensing_stage2, stage2, cfg2);
+
+  auto all_informed = [&](const Engine& e) {
+    for (NodeId v : e.network().alive_nodes())
+      if (!static_cast<const DominatorFloodProtocol&>(e.protocol(v))
+               .informed())
+        return false;
+    return true;
+  };
+  const auto stage2_done =
+      engine2.run_until(all_informed, config.stage2_max_rounds);
+  result.stage2_rounds = stage2_done.value_or(config.stage2_max_rounds);
+  result.complete = stage2_done.has_value();
+
+  for (NodeId v : network.alive_nodes())
+    result.informed_round[v.value] =
+        static_cast<const DominatorFloodProtocol&>(engine2.protocol(v))
+            .informed_round();
+
+  return result;
+}
+
+}  // namespace udwn

@@ -1,0 +1,38 @@
+#include "core/try_adjust.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contract.h"
+
+namespace udwn {
+
+TryAdjust::Config TryAdjust::standard(std::size_t n_bound, double beta) {
+  UDWN_EXPECT(n_bound >= 2);
+  UDWN_EXPECT(beta >= 1);
+  const double floor = std::pow(static_cast<double>(n_bound), -beta);
+  return {.initial = floor / 2, .floor = floor};
+}
+
+TryAdjust::Config TryAdjust::uniform(double initial) {
+  // 1e-12 instead of a true zero floor: halving can never reach zero anyway,
+  // and the guard keeps probabilities out of denormal range.
+  return {.initial = initial, .floor = 1e-12};
+}
+
+TryAdjust::TryAdjust(Config config) : config_(config) {
+  UDWN_EXPECT(config.initial > 0 && config.initial <= 0.5);
+  UDWN_EXPECT(config.floor > 0 && config.floor <= 0.5);
+  reset();
+}
+
+void TryAdjust::reset() { p_ = config_.initial; }
+
+void TryAdjust::update(bool busy) {
+  if (busy)
+    p_ = std::max(p_ / 2, config_.floor);
+  else
+    p_ = std::min(2 * p_, 0.5);
+}
+
+}  // namespace udwn

@@ -1,0 +1,54 @@
+// Try&Adjust(β) — the contention-balancing procedure of Sec. 3, the paper's
+// core building block.
+//
+//   Each node maintains a transmission probability p <= 1/2, initialized to
+//   (1/2)·n^{-β} on entering the network. Every round it transmits with
+//   probability p, then sets
+//       p <- max{p/2, n^{-β}}   on Busy channel,
+//       p <- min{2p, 1/2}       otherwise.
+//
+// This class is the probability controller only; protocols embed it and
+// feed it the CD outcome of each local round. The spontaneous/uniform mode
+// (remark after Thm 4.1) is obtained by choosing an arbitrary initial value
+// and no floor.
+#pragma once
+
+#include <cstddef>
+
+namespace udwn {
+
+class TryAdjust {
+ public:
+  struct Config {
+    /// Initial transmission probability (must be in (0, 1/2]).
+    double initial = 0;
+    /// Lower limit for halving; the paper's n^{-β}. A tiny positive value
+    /// (rather than 0) realizes the "no lower limit" uniform mode while
+    /// keeping doublings able to recover in O(log) steps.
+    double floor = 0;
+  };
+
+  /// The paper's standard configuration: initial (1/2)·n^{-β}, floor n^{-β}.
+  static Config standard(std::size_t n_bound, double beta);
+
+  /// Uniform (size-oblivious) configuration for the static spontaneous
+  /// setting: starts at `initial`, effectively no floor.
+  static Config uniform(double initial = 0.25);
+
+  explicit TryAdjust(Config config);
+
+  /// Return to the initial configuration (node re-entry, or the Bcast
+  /// "restart Try&Adjust" step).
+  void reset();
+
+  [[nodiscard]] double probability() const { return p_; }
+
+  /// Apply one round's CD outcome.
+  void update(bool busy);
+
+ private:
+  Config config_;
+  double p_ = 0;
+};
+
+}  // namespace udwn

@@ -1,0 +1,25 @@
+#include "core/try_adjust_protocol.h"
+
+namespace udwn {
+
+TryAdjustProtocol::TryAdjustProtocol(TryAdjust::Config config)
+    : controller_(config) {}
+
+void TryAdjustProtocol::on_start() {
+  controller_.reset();
+  busy_rounds_ = 0;
+  local_rounds_ = 0;
+}
+
+double TryAdjustProtocol::transmit_probability(Slot slot) {
+  return slot == Slot::Data ? controller_.probability() : 0;
+}
+
+void TryAdjustProtocol::on_slot(const SlotFeedback& feedback) {
+  if (feedback.slot != Slot::Data || !feedback.local_round) return;
+  ++local_rounds_;
+  busy_rounds_ += feedback.busy ? 1 : 0;
+  controller_.update(feedback.busy);
+}
+
+}  // namespace udwn

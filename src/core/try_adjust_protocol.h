@@ -1,0 +1,32 @@
+// Bare Try&Adjust as a runnable protocol: adapts its probability to the CD
+// outcome forever, never stops. This is the object of study of Sec. 3 — the
+// contention experiments (EXP-01..03) run it directly to measure good-round
+// fractions, phase types and delivery rates without the LocalBcast stopping
+// rule draining the network.
+#pragma once
+
+#include "core/try_adjust.h"
+#include "sim/protocol.h"
+
+namespace udwn {
+
+class TryAdjustProtocol final : public Protocol {
+ public:
+  explicit TryAdjustProtocol(TryAdjust::Config config);
+
+  void on_start() override;
+  [[nodiscard]] double transmit_probability(Slot slot) override;
+  void on_slot(const SlotFeedback& feedback) override;
+
+  [[nodiscard]] double probability() const { return controller_.probability(); }
+  /// Busy rounds observed since the last on_start.
+  [[nodiscard]] std::int64_t busy_rounds() const { return busy_rounds_; }
+  [[nodiscard]] std::int64_t local_rounds() const { return local_rounds_; }
+
+ private:
+  TryAdjust controller_;
+  std::int64_t busy_rounds_ = 0;
+  std::int64_t local_rounds_ = 0;
+};
+
+}  // namespace udwn

@@ -1,0 +1,31 @@
+#include "metric/euclidean.h"
+
+#include "common/contract.h"
+
+namespace udwn {
+
+EuclideanMetric::EuclideanMetric(std::vector<Vec2> positions)
+    : positions_(std::move(positions)) {}
+
+double EuclideanMetric::distance(NodeId u, NodeId v) const {
+  UDWN_EXPECT(u.value < positions_.size() && v.value < positions_.size());
+  if (u == v) return 0;
+  return udwn::distance(positions_[u.value], positions_[v.value]);
+}
+
+Vec2 EuclideanMetric::position(NodeId u) const {
+  UDWN_EXPECT(u.value < positions_.size());
+  return positions_[u.value];
+}
+
+void EuclideanMetric::set_position(NodeId u, Vec2 p) {
+  UDWN_EXPECT(u.value < positions_.size());
+  positions_[u.value] = p;
+}
+
+NodeId EuclideanMetric::add_point(Vec2 p) {
+  positions_.push_back(p);
+  return NodeId(static_cast<std::uint32_t>(positions_.size() - 1));
+}
+
+}  // namespace udwn

@@ -1,0 +1,38 @@
+// Euclidean plane instance of the quasi-metric. This is the standard SINR
+// setting: path loss f(u,v) = |u-v|^ζ, hence d(u,v) = |u-v| and the
+// metricity constant is 1. Positions are mutable so the dynamics layer can
+// move nodes (edge changes of Sec. 2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "metric/geometry.h"
+#include "metric/quasi_metric.h"
+
+namespace udwn {
+
+class EuclideanMetric final : public QuasiMetric {
+ public:
+  EuclideanMetric() = default;
+  explicit EuclideanMetric(std::vector<Vec2> positions);
+
+  [[nodiscard]] std::size_t size() const override {
+    return positions_.size();
+  }
+
+  [[nodiscard]] double distance(NodeId u, NodeId v) const override;
+
+  [[nodiscard]] Vec2 position(NodeId u) const;
+  void set_position(NodeId u, Vec2 p);
+
+  /// Append a point (node arrival); returns its id.
+  NodeId add_point(Vec2 p);
+
+  [[nodiscard]] std::span<const Vec2> positions() const { return positions_; }
+
+ private:
+  std::vector<Vec2> positions_;
+};
+
+}  // namespace udwn

@@ -1,0 +1,52 @@
+#include "metric/graph_metric.h"
+
+#include <queue>
+
+#include "common/contract.h"
+
+namespace udwn {
+
+GraphMetric::GraphMetric(std::vector<std::vector<NodeId>> adjacency,
+                         double edge_length)
+    : adj_(std::move(adjacency)), edge_length_(edge_length) {
+  UDWN_EXPECT(edge_length_ > 0);
+  hop_.assign(adj_.size() * adj_.size(), -1);
+  for (std::size_t s = 0; s < adj_.size(); ++s) bfs_from(s);
+}
+
+void GraphMetric::bfs_from(std::size_t source) {
+  const std::size_t n = adj_.size();
+  auto dist_of = [&](std::size_t v) -> int& { return hop_[source * n + v]; };
+  dist_of(source) = 0;
+  std::queue<std::size_t> frontier;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.front();
+    frontier.pop();
+    for (NodeId w : adj_[u]) {
+      UDWN_EXPECT(w.value < n);
+      if (dist_of(w.value) < 0) {
+        dist_of(w.value) = dist_of(u) + 1;
+        frontier.push(w.value);
+      }
+    }
+  }
+}
+
+double GraphMetric::distance(NodeId u, NodeId v) const {
+  const int h = hops(u, v);
+  if (h < 0) return infinity();
+  return edge_length_ * h;
+}
+
+int GraphMetric::hops(NodeId u, NodeId v) const {
+  UDWN_EXPECT(u.value < adj_.size() && v.value < adj_.size());
+  return hop_[static_cast<std::size_t>(u.value) * adj_.size() + v.value];
+}
+
+const std::vector<NodeId>& GraphMetric::neighbors(NodeId u) const {
+  UDWN_EXPECT(u.value < adj_.size());
+  return adj_[u.value];
+}
+
+}  // namespace udwn

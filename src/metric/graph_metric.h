@@ -1,0 +1,45 @@
+// Shortest-path (hop-count) metric over an undirected graph, scaled by an
+// edge length. This realizes the Bounded Independence Graph (BIG) model of
+// App. B: a graph whose r-hop neighborhoods have independent sets of size
+// O(r^λ) yields a (1, λ)-bounded-independence metric under its shortest-path
+// distance.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "metric/quasi_metric.h"
+
+namespace udwn {
+
+class GraphMetric final : public QuasiMetric {
+ public:
+  /// Build from adjacency lists (undirected; both directions must be
+  /// present). `edge_length` scales hop counts into distance units so the
+  /// transmission radius R can be expressed in the same units as Euclidean
+  /// instances. Distances between disconnected nodes are `infinity()`.
+  GraphMetric(std::vector<std::vector<NodeId>> adjacency, double edge_length);
+
+  [[nodiscard]] std::size_t size() const override { return adj_.size(); }
+  [[nodiscard]] double distance(NodeId u, NodeId v) const override;
+
+  /// Hop distance (unscaled); max() of int if disconnected.
+  [[nodiscard]] int hops(NodeId u, NodeId v) const;
+
+  [[nodiscard]] static double infinity() {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId u) const;
+
+ private:
+  void bfs_from(std::size_t source);
+
+  std::vector<std::vector<NodeId>> adj_;
+  double edge_length_;
+  // All-pairs hop distances, row-major; -1 = unreachable. Computed eagerly
+  // (instances are at most a few thousand nodes).
+  std::vector<int> hop_;
+};
+
+}  // namespace udwn

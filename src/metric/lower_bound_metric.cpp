@@ -1,0 +1,74 @@
+#include "metric/lower_bound_metric.h"
+
+#include "common/contract.h"
+
+namespace udwn {
+
+LowerBoundMetric::LowerBoundMetric(std::size_t n, double radius,
+                                   double epsilon, Variant variant)
+    : n_(n), variant_(variant) {
+  UDWN_EXPECT(radius > 0);
+  UDWN_EXPECT(epsilon > 0 && epsilon < 1);
+  UDWN_EXPECT(variant == Variant::NonSpontaneous ? n >= 4 : n >= 6);
+  rb_ = (1 - epsilon) * radius;
+  // δ = ε/(8(1-ε)) so that δ R_B = εR/8.
+  d_cloud_ = epsilon * radius / 8.0;
+  const double mu = epsilon * (1 + epsilon) / (1 - epsilon);
+  UDWN_EXPECT(mu < 1);  // needs ε < sqrt(2)-1 ~ 0.414 for μ < 1
+  d_bridge_ = mu * rb_;
+  d_far_ = (mu + 1) * rb_;
+}
+
+std::size_t LowerBoundMetric::cloud_size() const {
+  return variant_ == Variant::NonSpontaneous ? n_ - 2 : n_ - 4;
+}
+
+NodeId LowerBoundMetric::bridge() const {
+  return NodeId(static_cast<std::uint32_t>(cloud_size()));
+}
+
+NodeId LowerBoundMetric::far_node() const {
+  return NodeId(static_cast<std::uint32_t>(cloud_size() + 1));
+}
+
+NodeId LowerBoundMetric::mirror_bridge() const {
+  if (variant_ == Variant::NonSpontaneous) return NodeId{};
+  return NodeId(static_cast<std::uint32_t>(cloud_size() + 2));
+}
+
+NodeId LowerBoundMetric::mirror_far_node() const {
+  if (variant_ == Variant::NonSpontaneous) return NodeId{};
+  return NodeId(static_cast<std::uint32_t>(cloud_size() + 3));
+}
+
+bool LowerBoundMetric::in_cloud(NodeId u) const {
+  return u.value < cloud_size();
+}
+
+double LowerBoundMetric::distance(NodeId u, NodeId v) const {
+  UDWN_EXPECT(u.value < n_ && v.value < n_);
+  if (u == v) return 0;
+  const bool uc = in_cloud(u), vc = in_cloud(v);
+  if (uc && vc) return d_cloud_;
+
+  auto pair_is = [&](NodeId a, NodeId b, NodeId x, NodeId y) {
+    return (u == a && v == b) || (u == b && v == a) || (u == x && v == y) ||
+           (u == y && v == x);
+  };
+
+  // Cloud <-> bridge(s): within communication range (μ R_B < R_B).
+  if ((uc && (v == bridge() || v == mirror_bridge())) ||
+      (vc && (u == bridge() || u == mirror_bridge())))
+    return d_bridge_;
+  // Cloud <-> far node(s): just out of range ((μ+1) R_B > R).
+  if ((uc && (v == far_node() || v == mirror_far_node())) ||
+      (vc && (u == far_node() || u == mirror_far_node())))
+    return d_far_;
+  // Bridge <-> its far node: exactly the communication radius.
+  if (pair_is(bridge(), far_node(), mirror_bridge(), mirror_far_node()))
+    return rb_;
+  // Remaining cross pairs of the mirrored construction: out of range.
+  return d_far_ + rb_;
+}
+
+}  // namespace udwn

@@ -1,0 +1,60 @@
+// The lower-bound construction of Thm 5.3 (Fig. 1).
+//
+// n points: p_1..p_{n-2} form a "cloud" at mutual distance δ·R_B = εR/8
+// (pairwise equal — this is where the metric departs from anything
+// Euclidean: arbitrarily many mutually-close points), p_{n-1} is a bridge
+// within communication range of the cloud, and p_n is reachable only from
+// the bridge. The space is (εR/8, 1)-bounded independent. Any broadcast
+// algorithm without node coordinates or NTD needs Ω(n) rounds to find the
+// bridge, because the cloud nodes are symmetric under CD and ACK.
+//
+// The spontaneous variant (Fig. 1b) mirrors the construction with a second
+// bridge/far pair so that nodes acting before receiving the message gain no
+// advantage; the asymptotics are identical.
+#pragma once
+
+#include <cstddef>
+
+#include "metric/quasi_metric.h"
+
+namespace udwn {
+
+class LowerBoundMetric final : public QuasiMetric {
+ public:
+  enum class Variant {
+    NonSpontaneous,  // Fig. 1a: cloud + bridge + far node
+    Spontaneous,     // Fig. 1b: mirrored construction
+  };
+
+  /// `n` is the total number of points (>= 4); `radius` is the maximum
+  /// transmission distance R; `epsilon` the precision parameter of Sec. 2.
+  LowerBoundMetric(std::size_t n, double radius, double epsilon,
+                   Variant variant = Variant::NonSpontaneous);
+
+  [[nodiscard]] std::size_t size() const override { return n_; }
+  [[nodiscard]] double distance(NodeId u, NodeId v) const override;
+
+  /// Ids of the structural roles.
+  [[nodiscard]] NodeId bridge() const;
+  [[nodiscard]] NodeId far_node() const;
+  /// Second bridge / far node of the spontaneous variant (invalid for 1a).
+  [[nodiscard]] NodeId mirror_bridge() const;
+  [[nodiscard]] NodeId mirror_far_node() const;
+
+  [[nodiscard]] std::size_t cloud_size() const;
+
+  /// Communication radius R_B = (1-ε)R.
+  [[nodiscard]] double comm_radius() const { return rb_; }
+
+ private:
+  [[nodiscard]] bool in_cloud(NodeId u) const;
+
+  std::size_t n_;
+  Variant variant_;
+  double rb_;      // R_B = (1-ε)R
+  double d_cloud_; // δ R_B = εR/8
+  double d_bridge_;// μ R_B, μ = ε(1+ε)/(1-ε)
+  double d_far_;   // (μ+1) R_B
+};
+
+}  // namespace udwn

@@ -1,0 +1,66 @@
+#include "metric/matrix_metric.h"
+
+#include <cmath>
+
+#include "common/contract.h"
+
+namespace udwn {
+
+MatrixMetric::MatrixMetric(std::size_t n, std::vector<double> distances)
+    : n_(n), d_(std::move(distances)) {
+  UDWN_EXPECT(d_.size() == n * n);
+  for (std::size_t u = 0; u < n; ++u) {
+    UDWN_EXPECT(d_[u * n + u] == 0);
+    for (std::size_t v = 0; v < n; ++v)
+      if (u != v) UDWN_EXPECT(d_[u * n + v] > 0);
+  }
+}
+
+MatrixMetric MatrixMetric::from_path_loss(std::size_t n,
+                                          const std::vector<double>& losses,
+                                          double zeta) {
+  UDWN_EXPECT(zeta > 0);
+  UDWN_EXPECT(losses.size() == n * n);
+  std::vector<double> d(n * n, 0.0);
+  for (std::size_t u = 0; u < n; ++u)
+    for (std::size_t v = 0; v < n; ++v)
+      if (u != v) d[u * n + v] = std::pow(losses[u * n + v], 1.0 / zeta);
+  return MatrixMetric(n, std::move(d));
+}
+
+MatrixMetric MatrixMetric::random(std::size_t n, double min_dist,
+                                  double max_dist, double asymmetry,
+                                  Rng& rng) {
+  UDWN_EXPECT(0 < min_dist && min_dist <= max_dist);
+  UDWN_EXPECT(asymmetry >= 0);
+  std::vector<double> d(n * n, 0.0);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      const double base = rng.uniform(min_dist, max_dist);
+      d[u * n + v] = base * rng.uniform(1.0, 1.0 + asymmetry);
+      d[v * n + u] = base * rng.uniform(1.0, 1.0 + asymmetry);
+    }
+  }
+  // Floyd-Warshall closure: shortest-path distances satisfy the (directed)
+  // triangle inequality exactly.
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t u = 0; u < n; ++u)
+      for (std::size_t v = 0; v < n; ++v) {
+        const double via = d[u * n + k] + d[k * n + v];
+        if (u != v && via < d[u * n + v]) d[u * n + v] = via;
+      }
+  return MatrixMetric(n, std::move(d));
+}
+
+double MatrixMetric::distance(NodeId u, NodeId v) const {
+  UDWN_EXPECT(u.value < n_ && v.value < n_);
+  return d_[static_cast<std::size_t>(u.value) * n_ + v.value];
+}
+
+void MatrixMetric::set_distance(NodeId u, NodeId v, double d) {
+  UDWN_EXPECT(u.value < n_ && v.value < n_);
+  UDWN_EXPECT(u != v ? d > 0 : d == 0);
+  d_[static_cast<std::size_t>(u.value) * n_ + v.value] = d;
+}
+
+}  // namespace udwn

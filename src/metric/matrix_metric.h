@@ -1,0 +1,45 @@
+// Arbitrary quasi-metric from an explicit distance (or path-loss) table —
+// the "beyond geometry" setting of Bodlaender & Halldórsson [5] that the
+// paper's model is built on: relative signal decay implicitly defines a
+// quasi-distance that need not be symmetric or Euclidean. This is the only
+// metric in the library that exercises genuine asymmetry (e.g. power
+// imbalance, obstacles that attenuate one direction more than the other).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "metric/quasi_metric.h"
+
+namespace udwn {
+
+class MatrixMetric final : public QuasiMetric {
+ public:
+  /// Row-major n×n distance table: entry [u*n + v] = d(u,v). Diagonal must
+  /// be 0, off-diagonal entries positive.
+  MatrixMetric(std::size_t n, std::vector<double> distances);
+
+  /// Build from a path-loss table f via d(u,v) = f(u,v)^{1/ζ} (Sec. 2).
+  static MatrixMetric from_path_loss(std::size_t n,
+                                     const std::vector<double>& losses,
+                                     double zeta);
+
+  /// A random quasi-metric: symmetric base distances perturbed per
+  /// direction by a factor in [1, 1+asymmetry]. Distances lie in
+  /// [min_dist, max_dist] before perturbation; the triangle inequality is
+  /// then enforced by closing the table under shortest paths (so the
+  /// result is a true quasi-metric with bounded asymmetry).
+  static MatrixMetric random(std::size_t n, double min_dist, double max_dist,
+                             double asymmetry, Rng& rng);
+
+  [[nodiscard]] std::size_t size() const override { return n_; }
+  [[nodiscard]] double distance(NodeId u, NodeId v) const override;
+
+  void set_distance(NodeId u, NodeId v, double d);
+
+ private:
+  std::size_t n_;
+  std::vector<double> d_;
+};
+
+}  // namespace udwn

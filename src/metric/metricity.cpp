@@ -1,0 +1,115 @@
+#include "metric/metricity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contract.h"
+#include "common/stats.h"
+#include "metric/packing.h"
+
+namespace udwn {
+namespace {
+
+std::vector<NodeId> all_ids(const QuasiMetric& metric) {
+  std::vector<NodeId> ids(metric.size());
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    ids[i] = NodeId(static_cast<std::uint32_t>(i));
+  return ids;
+}
+
+}  // namespace
+
+double relaxed_triangle_constant(const QuasiMetric& metric, Rng& rng,
+                                 std::size_t budget) {
+  const std::size_t n = metric.size();
+  UDWN_EXPECT(n >= 3);
+  double worst = 1.0;
+  auto check = [&](NodeId u, NodeId v, NodeId w) {
+    if (u == v || v == w || u == w) return;
+    const double direct = metric.distance(u, v);
+    const double via = metric.distance(u, w) + metric.distance(w, v);
+    if (via > 0) worst = std::max(worst, direct / via);
+  };
+  if (n * n * n <= budget) {
+    for (std::size_t a = 0; a < n; ++a)
+      for (std::size_t b = 0; b < n; ++b)
+        for (std::size_t c = 0; c < n; ++c)
+          check(NodeId(static_cast<std::uint32_t>(a)),
+                NodeId(static_cast<std::uint32_t>(b)),
+                NodeId(static_cast<std::uint32_t>(c)));
+  } else {
+    for (std::size_t i = 0; i < budget; ++i)
+      check(NodeId(static_cast<std::uint32_t>(rng.below(n))),
+            NodeId(static_cast<std::uint32_t>(rng.below(n))),
+            NodeId(static_cast<std::uint32_t>(rng.below(n))));
+  }
+  return worst;
+}
+
+double asymmetry_constant(const QuasiMetric& metric, Rng& rng,
+                          std::size_t budget) {
+  const std::size_t n = metric.size();
+  UDWN_EXPECT(n >= 2);
+  double worst = 1.0;
+  auto check = [&](NodeId u, NodeId v) {
+    if (u == v) return;
+    const double duv = metric.distance(u, v);
+    const double dvu = metric.distance(v, u);
+    if (dvu > 0) worst = std::max(worst, duv / dvu);
+    if (duv > 0) worst = std::max(worst, dvu / duv);
+  };
+  if (n * n <= budget) {
+    for (std::size_t a = 0; a < n; ++a)
+      for (std::size_t b = a + 1; b < n; ++b)
+        check(NodeId(static_cast<std::uint32_t>(a)),
+              NodeId(static_cast<std::uint32_t>(b)));
+  } else {
+    for (std::size_t i = 0; i < budget; ++i)
+      check(NodeId(static_cast<std::uint32_t>(rng.below(n))),
+            NodeId(static_cast<std::uint32_t>(rng.below(n))));
+  }
+  return worst;
+}
+
+IndependenceEstimate estimate_independence(const QuasiMetric& metric,
+                                           double rmin,
+                                           std::span<const double> qs,
+                                           Rng& rng,
+                                           std::size_t centers_per_q) {
+  UDWN_EXPECT(rmin > 0);
+  UDWN_EXPECT(qs.size() >= 2);
+  const auto ids = all_ids(metric);
+  IndependenceEstimate est;
+  for (double q : qs) {
+    UDWN_EXPECT(q >= 1);
+    double max_pack = 0;
+    for (std::size_t trial = 0; trial < centers_per_q; ++trial) {
+      const NodeId center(
+          static_cast<std::uint32_t>(rng.below(metric.size())));
+      auto members = in_ball(metric, center, q * rmin, ids);
+      // Randomize processing order: greedy packings depend on it and we
+      // want the largest packing we can find, so take the best of a few
+      // shuffles.
+      std::shuffle(members.begin(), members.end(), rng);
+      // Standard metric-packing convention: centers pairwise >= 2*rmin
+      // (abstract radius-rmin balls disjoint).
+      const auto packing = greedy_packing(metric, members, rmin);
+      max_pack = std::max(max_pack, static_cast<double>(packing.size()));
+    }
+    if (max_pack > 0) est.samples.emplace_back(q, max_pack);
+  }
+  if (est.samples.size() >= 2) {
+    std::vector<double> xs, ys;
+    for (auto [q, s] : est.samples) {
+      xs.push_back(q);
+      ys.push_back(s);
+    }
+    const LineFit fit = fit_power_law(xs, ys);
+    est.lambda = fit.slope;
+    est.constant = std::exp(fit.intercept);
+    est.r2 = fit.r2;
+  }
+  return est;
+}
+
+}  // namespace udwn

@@ -1,0 +1,55 @@
+// Estimators for the two structural parameters of Sec. 2:
+//
+//  * metricity ζ — the smallest constant such that
+//      d(u,v) <= ζ·d(u,w) + d(w,v)  for all triplets (after the 1/ζ-power
+//    transform of path losses; we work directly on d);
+//  * (rmin, λ)-bounded independence — the maximum rmin-packing of any
+//    in-ball of radius q·rmin has size at most C·q^λ.
+//
+// Both are verified empirically on instances: exact over all triplets for
+// small point sets, sampled for large ones. Used by tests (Euclidean plane
+// must report ζ ≈ 1, λ ≈ 2; the Thm 5.3 construction λ ≈ 1) and by the
+// pan-model experiment.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "metric/quasi_metric.h"
+
+namespace udwn {
+
+/// Smallest c with d(u,v) <= c*(d(u,w) + d(w,v)) over the examined triplets
+/// (a relaxed-triangle-inequality constant; 1 for genuine metrics). Examines
+/// all triplets when size^3 <= budget, otherwise `budget` random triplets.
+double relaxed_triangle_constant(const QuasiMetric& metric, Rng& rng,
+                                 std::size_t budget = 2'000'000);
+
+/// Largest asymmetry ratio d(u,v)/d(v,u) over the examined pairs; 1 for
+/// symmetric metrics.
+double asymmetry_constant(const QuasiMetric& metric, Rng& rng,
+                          std::size_t budget = 2'000'000);
+
+struct IndependenceEstimate {
+  /// Fitted growth exponent λ of max packing size vs ball-radius factor q.
+  double lambda = 0;
+  /// Fitted leading constant C.
+  double constant = 0;
+  /// Goodness of the power-law fit.
+  double r2 = 0;
+  /// Raw measurements: (q, max packing size observed).
+  std::vector<std::pair<double, double>> samples;
+};
+
+/// Estimate the bounded-independence exponent of the space: for each radius
+/// factor q in `qs`, measure the largest rmin-packing found inside in-balls
+/// D(v, q*rmin) over `centers_per_q` sampled centers, then fit size ~ C*q^λ.
+IndependenceEstimate estimate_independence(const QuasiMetric& metric,
+                                           double rmin,
+                                           std::span<const double> qs,
+                                           Rng& rng,
+                                           std::size_t centers_per_q = 16);
+
+}  // namespace udwn

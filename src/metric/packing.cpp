@@ -1,0 +1,82 @@
+#include "metric/packing.h"
+
+#include "common/contract.h"
+
+namespace udwn {
+
+std::vector<NodeId> greedy_packing(const QuasiMetric& metric,
+                                   std::span<const NodeId> candidates,
+                                   double r) {
+  UDWN_EXPECT(r >= 0);
+  std::vector<NodeId> chosen;
+  for (NodeId c : candidates) {
+    bool ok = true;
+    for (NodeId s : chosen) {
+      if (metric.sym_distance(c, s) < 2 * r) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) chosen.push_back(c);
+  }
+  return chosen;
+}
+
+std::vector<NodeId> greedy_cover(const QuasiMetric& metric,
+                                 std::span<const NodeId> candidates,
+                                 double r) {
+  UDWN_EXPECT(r > 0);
+  std::vector<NodeId> centers;
+  for (NodeId c : candidates) {
+    bool covered = false;
+    for (NodeId s : centers) {
+      if (metric.sym_distance(c, s) < r) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) centers.push_back(c);
+  }
+  return centers;
+}
+
+bool is_cover(const QuasiMetric& metric, std::span<const NodeId> centers,
+              std::span<const NodeId> covered, double r) {
+  for (NodeId v : covered) {
+    bool ok = false;
+    for (NodeId s : centers) {
+      if (metric.sym_distance(v, s) < r) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool is_packing(const QuasiMetric& metric, std::span<const NodeId> centers,
+                double r) {
+  for (std::size_t i = 0; i < centers.size(); ++i)
+    for (std::size_t j = i + 1; j < centers.size(); ++j)
+      if (metric.sym_distance(centers[i], centers[j]) < 2 * r) return false;
+  return true;
+}
+
+std::vector<NodeId> in_ball(const QuasiMetric& metric, NodeId center, double r,
+                            std::span<const NodeId> universe) {
+  std::vector<NodeId> result;
+  for (NodeId v : universe)
+    if (metric.distance(v, center) < r) result.push_back(v);
+  return result;
+}
+
+std::vector<NodeId> ball(const QuasiMetric& metric, NodeId center, double r,
+                         std::span<const NodeId> universe) {
+  std::vector<NodeId> result;
+  for (NodeId v : universe)
+    if (metric.sym_distance(v, center) < r) result.push_back(v);
+  return result;
+}
+
+}  // namespace udwn

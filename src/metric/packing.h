@@ -1,0 +1,50 @@
+// Packings and covers (Sec. 2).
+//
+// A set S is an r-packing if the balls B(s, r), s in S, are pairwise
+// disjoint; it is an r-cover of S' if the balls of radius r centered at S
+// contain S'. The analysis uses the classic fact that a maximal r-packing is
+// a 2r-cover. These routines are used by the bounded-independence estimator,
+// by tests of the dominating-set construction, and by the analysis layer.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "metric/quasi_metric.h"
+
+namespace udwn {
+
+/// Greedily select a maximal subset of `candidates` whose pairwise
+/// symmetrized distances are >= 2r (hence an r-packing: balls B(.,r) are
+/// disjoint). Processing order is the order of `candidates`, so callers can
+/// randomize it for expected-case behaviour.
+std::vector<NodeId> greedy_packing(const QuasiMetric& metric,
+                                   std::span<const NodeId> candidates,
+                                   double r);
+
+/// Greedily select centers such that every candidate is within symmetrized
+/// distance < r of some selected center (an r-cover of the candidate set).
+/// The result is simultaneously an (r/2)-packing.
+std::vector<NodeId> greedy_cover(const QuasiMetric& metric,
+                                 std::span<const NodeId> candidates,
+                                 double r);
+
+/// True iff every point of `covered` lies within symmetrized distance < r of
+/// some center.
+bool is_cover(const QuasiMetric& metric, std::span<const NodeId> centers,
+              std::span<const NodeId> covered, double r);
+
+/// True iff the pairwise symmetrized distances of `centers` are all >= 2r.
+bool is_packing(const QuasiMetric& metric, std::span<const NodeId> centers,
+                double r);
+
+/// Points of `universe` inside the in-ball D(center, r) = {v : d(v,center) < r}.
+std::vector<NodeId> in_ball(const QuasiMetric& metric, NodeId center, double r,
+                            std::span<const NodeId> universe);
+
+/// Points of `universe` inside the (symmetrized) ball B(center, r).
+std::vector<NodeId> ball(const QuasiMetric& metric, NodeId center, double r,
+                         std::span<const NodeId> universe);
+
+}  // namespace udwn

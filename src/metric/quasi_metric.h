@@ -1,0 +1,38 @@
+// The quasi-metric abstraction of Sec. 2.
+//
+// The paper models signal decay between nodes u, v by a path loss f(u,v) > 0
+// and derives a quasi-distance d(u,v) = f(u,v)^(1/ζ). All metric axioms
+// except symmetry are required to hold (up to the metricity constant ζ).
+// Algorithms and the physical layer consume this interface only, which is
+// what makes the model "unified": SINR (Euclidean), bounded-independence
+// graphs, and the adversarial lower-bound construction all plug in here.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace udwn {
+
+class QuasiMetric {
+ public:
+  virtual ~QuasiMetric() = default;
+
+  /// Number of points (ids are 0..size()-1). Points may be dead in the
+  /// surrounding network; the metric itself is total on all ids.
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Quasi-distance d(u,v): 0 iff u == v, positive otherwise, triangle
+  /// inequality within the metricity constant; symmetry NOT guaranteed.
+  [[nodiscard]] virtual double distance(NodeId u, NodeId v) const = 0;
+
+  /// Symmetrized distance max{d(u,v), d(v,u)}, used by the ball definition
+  /// B(u,r) of Sec. 2.
+  [[nodiscard]] double sym_distance(NodeId u, NodeId v) const {
+    const double duv = distance(u, v);
+    const double dvu = distance(v, u);
+    return duv > dvu ? duv : dvu;
+  }
+};
+
+}  // namespace udwn

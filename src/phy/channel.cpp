@@ -1,0 +1,111 @@
+#include "phy/channel.h"
+
+#include <cmath>
+
+#include "common/contract.h"
+#include "phy/interference.h"
+
+namespace udwn {
+
+Channel::Channel(const QuasiMetric& metric, const PathLoss& pathloss,
+                 const ReceptionModel& model, double epsilon)
+    : metric_(&metric),
+      pathloss_(&pathloss),
+      model_(&model),
+      epsilon_(epsilon) {
+  UDWN_EXPECT(epsilon > 0 && epsilon < 1);
+}
+
+double Channel::comm_radius() const {
+  return (1 - epsilon_) * model_->max_range();
+}
+
+std::vector<NodeId> Channel::neighbors(
+    NodeId u, std::span<const std::uint8_t> alive) const {
+  UDWN_EXPECT(alive.size() == metric_->size());
+  const double rb = comm_radius();
+  std::vector<NodeId> result;
+  for (std::size_t v = 0; v < metric_->size(); ++v) {
+    const NodeId id(static_cast<std::uint32_t>(v));
+    if (id == u || !alive[v]) continue;
+    if (metric_->distance(u, id) <= rb) result.push_back(id);
+  }
+  return result;
+}
+
+double Channel::power_scale_for_range_factor(double factor) const {
+  UDWN_EXPECT(factor > 0);
+  return std::pow(factor, pathloss_->zeta());
+}
+
+SlotOutcome Channel::resolve(std::span<const NodeId> transmitters,
+                             std::span<const std::uint8_t> alive,
+                             double power_scale) const {
+  UDWN_EXPECT(alive.size() == metric_->size());
+  UDWN_EXPECT(power_scale > 0);
+  const std::size_t n = metric_->size();
+
+  // Per-slot uniform power scaling (App. B power control): physics runs on
+  // the scaled path loss; model parameters (ranges, SuccClear thresholds)
+  // keep their full-power meaning.
+  const PathLoss scaled(pathloss_->power() * power_scale, pathloss_->zeta(),
+                        pathloss_->near_limit());
+  const PathLoss& pl = power_scale == 1.0 ? *pathloss_ : scaled;
+
+  SlotOutcome out;
+  out.transmitters.assign(transmitters.begin(), transmitters.end());
+  out.interference = interference_field(*metric_, pl, transmitters);
+  out.decoded_from.assign(n, NodeId{});
+  out.mass_delivered.assign(n, 0);
+  out.clear.assign(n, 0);
+
+  std::vector<std::uint8_t> is_tx(n, 0);
+  for (NodeId u : transmitters) {
+    UDWN_EXPECT(u.value < n);
+    UDWN_EXPECT(alive[u.value]);
+    is_tx[u.value] = 1;
+  }
+
+  const SlotView view{.metric = metric_,
+                      .pathloss = &pl,
+                      .transmitters = transmitters,
+                      .transmitting = is_tx,
+                      .interference = out.interference};
+
+  // Decode decisions. For each alive, non-transmitting listener pick the
+  // decodable sender with the strongest signal (with SINR threshold β >= 1
+  // at most one sender is decodable; graph models admit exactly one by
+  // construction — the tie-break only matters for degenerate parameters).
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!alive[v] || is_tx[v]) continue;
+    const NodeId receiver(static_cast<std::uint32_t>(v));
+    NodeId best;
+    double best_signal = -1;
+    for (NodeId u : transmitters) {
+      if (!model_->receives(receiver, u, view)) continue;
+      const double s = pl.signal(metric_->distance(u, receiver));
+      if (s > best_signal) {
+        best_signal = s;
+        best = u;
+      }
+    }
+    out.decoded_from[v] = best;
+  }
+
+  // Mass-delivery and clear-channel flags per transmitter.
+  for (NodeId u : transmitters) {
+    bool all = true;
+    for (NodeId v : neighbors(u, alive)) {
+      if (out.decoded_from[v.value] != u) {
+        all = false;
+        break;
+      }
+    }
+    out.mass_delivered[u.value] = all ? 1 : 0;
+    out.clear[u.value] = model_->clear_channel(u, view, epsilon_) ? 1 : 0;
+  }
+
+  return out;
+}
+
+}  // namespace udwn

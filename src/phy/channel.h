@@ -1,0 +1,77 @@
+// Per-slot channel resolution: ties the metric, path loss and reception
+// model together. The engine hands the channel a set of transmitters; the
+// channel computes the exact interference field, decides every decode, and
+// reports mass-deliveries (Sec. 2: a node mass-delivers when all its alive
+// neighbors receive its message) plus the ground-truth clear-channel flags
+// used by tests and the oracle primitives.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "metric/quasi_metric.h"
+#include "phy/pathloss.h"
+#include "phy/reception.h"
+
+namespace udwn {
+
+/// Everything that physically happened in one slot.
+struct SlotOutcome {
+  /// The transmitters, as passed in.
+  std::vector<NodeId> transmitters;
+  /// Exact interference field (indexed by node id; see interference.h).
+  std::vector<double> interference;
+  /// decoded_from[v] = the sender v decoded this slot, or invalid. Always
+  /// invalid for transmitters (half-duplex) and dead nodes.
+  std::vector<NodeId> decoded_from;
+  /// mass_delivered[v] != 0 iff v transmitted and every alive neighbor
+  /// decoded its message. Vacuously true for a transmitter with no alive
+  /// neighbors.
+  std::vector<std::uint8_t> mass_delivered;
+  /// clear[v] != 0 iff v transmitted on a clear channel per Def. 1 (used by
+  /// tests and by the dominating-set ground truth).
+  std::vector<std::uint8_t> clear;
+};
+
+class Channel {
+ public:
+  /// `alive[v] != 0` marks nodes present in the network; dead nodes neither
+  /// receive nor block mass-delivery. The spans must outlive the Channel.
+  Channel(const QuasiMetric& metric, const PathLoss& pathloss,
+          const ReceptionModel& model, double epsilon);
+
+  /// Resolve one slot. `alive` is indexed by node id and must have
+  /// metric.size() entries; every transmitter must be alive. `power_scale`
+  /// scales every transmitter's power for this slot only (all transmitters
+  /// uniformly, per the paper's uniform-power assumption) — the App. B
+  /// power-control trick: a slot at scale (ε/2)^ζ has clear-channel range
+  /// εR/2, so plain reception doubles as the NTD primitive.
+  [[nodiscard]] SlotOutcome resolve(std::span<const NodeId> transmitters,
+                                    std::span<const std::uint8_t> alive,
+                                    double power_scale = 1.0) const;
+
+  /// The power scale that shrinks the SINR clear-channel range by `factor`:
+  /// factor^ζ.
+  [[nodiscard]] double power_scale_for_range_factor(double factor) const;
+
+  /// Communication radius R_B = (1-ε)·R (Sec. 2).
+  [[nodiscard]] double comm_radius() const;
+
+  /// Alive neighbors N(u) = {v : d(u,v) <= (1-ε)R, v != u}.
+  [[nodiscard]] std::vector<NodeId> neighbors(
+      NodeId u, std::span<const std::uint8_t> alive) const;
+
+  [[nodiscard]] const QuasiMetric& metric() const { return *metric_; }
+  [[nodiscard]] const PathLoss& pathloss() const { return *pathloss_; }
+  [[nodiscard]] const ReceptionModel& model() const { return *model_; }
+  [[nodiscard]] double epsilon() const { return epsilon_; }
+
+ private:
+  const QuasiMetric* metric_;
+  const PathLoss* pathloss_;
+  const ReceptionModel* model_;
+  double epsilon_;
+};
+
+}  // namespace udwn

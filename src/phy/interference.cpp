@@ -1,0 +1,30 @@
+#include "phy/interference.h"
+
+namespace udwn {
+
+std::vector<double> interference_field(const QuasiMetric& metric,
+                                       const PathLoss& pathloss,
+                                       std::span<const NodeId> transmitters) {
+  std::vector<double> field(metric.size(), 0.0);
+  for (NodeId u : transmitters) {
+    for (std::size_t v = 0; v < field.size(); ++v) {
+      if (u.value == v) continue;
+      field[v] +=
+          pathloss.signal(metric.distance(u, NodeId(static_cast<std::uint32_t>(v))));
+    }
+  }
+  return field;
+}
+
+double interference_at(const QuasiMetric& metric, const PathLoss& pathloss,
+                       std::span<const NodeId> transmitters, NodeId listener,
+                       NodeId excluded) {
+  double sum = 0;
+  for (NodeId u : transmitters) {
+    if (u == listener || u == excluded) continue;
+    sum += pathloss.signal(metric.distance(u, listener));
+  }
+  return sum;
+}
+
+}  // namespace udwn

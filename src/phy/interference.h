@@ -1,0 +1,32 @@
+// Exact cumulative interference computation.
+//
+// Given the set S of concurrently transmitting nodes, the interference at a
+// listener v is  I(v) = Σ_{u in S, u != v}  P / d(u,v)^ζ  (Sec. 2). The
+// engine computes the whole field once per slot; reception decisions and the
+// carrier-sensing primitives both read from it, so the physics seen by the
+// protocol and the physics used for delivery are identical.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "metric/quasi_metric.h"
+#include "phy/pathloss.h"
+
+namespace udwn {
+
+/// Interference at every node id in [0, metric.size()): entry v is the sum
+/// of signal strengths from all `transmitters` other than v itself.
+/// Complexity O(|transmitters| * metric.size()).
+std::vector<double> interference_field(const QuasiMetric& metric,
+                                       const PathLoss& pathloss,
+                                       std::span<const NodeId> transmitters);
+
+/// Interference at a single listener from `transmitters` (excluding the
+/// listener itself and `excluded`, typically the intended sender).
+double interference_at(const QuasiMetric& metric, const PathLoss& pathloss,
+                       std::span<const NodeId> transmitters, NodeId listener,
+                       NodeId excluded = NodeId{});
+
+}  // namespace udwn

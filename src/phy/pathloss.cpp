@@ -1,0 +1,26 @@
+#include "phy/pathloss.h"
+
+#include <cmath>
+
+#include "common/contract.h"
+
+namespace udwn {
+
+PathLoss::PathLoss(double power, double zeta, double near_limit)
+    : power_(power), zeta_(zeta), near_limit_(near_limit) {
+  UDWN_EXPECT(power > 0);
+  UDWN_EXPECT(zeta > 0);
+  UDWN_EXPECT(near_limit > 0);
+}
+
+double PathLoss::signal(double dist) const {
+  const double d = dist < near_limit_ ? near_limit_ : dist;
+  return power_ / std::pow(d, zeta_);
+}
+
+double PathLoss::range_for_signal(double strength) const {
+  UDWN_EXPECT(strength > 0);
+  return std::pow(power_ / strength, 1.0 / zeta_);
+}
+
+}  // namespace udwn

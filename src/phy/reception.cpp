@@ -1,0 +1,189 @@
+#include "phy/reception.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/contract.h"
+
+namespace udwn {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+bool ReceptionModel::clear_channel(NodeId sender, const SlotView& view,
+                                   double epsilon) const {
+  const SuccClearParams params = succ_clear(epsilon);
+  const double guard = params.rho_c * max_range();
+  if (guard > 0) {
+    for (NodeId w : view.transmitters) {
+      if (w == sender) continue;
+      // In-ball membership: d(w, sender) < ρ_c R.
+      if (view.metric->distance(w, sender) < guard) return false;
+    }
+  }
+  if (params.i_c < kInf && view.interference[sender.value] > params.i_c)
+    return false;
+  return true;
+}
+
+// ---------------------------------------------------------------- SINR ----
+
+SinrReception::SinrReception(const PathLoss& pathloss, double beta,
+                             double noise)
+    : pathloss_(&pathloss), beta_(beta), noise_(noise) {
+  UDWN_EXPECT(beta >= 1);
+  UDWN_EXPECT(noise > 0);
+}
+
+double SinrReception::max_range() const {
+  // R = (P / (βN))^(1/ζ): the largest distance at which the SINR constraint
+  // holds with zero interference.
+  return pathloss_->range_for_signal(beta_ * noise_);
+}
+
+SuccClearParams SinrReception::succ_clear(double epsilon) const {
+  UDWN_EXPECT(epsilon > 0 && epsilon < 1);
+  // App. B: I_c = min{β, (1-ε)^{-ζ} - 1} · N / 2^ζ, ρ_c = 0.
+  const double zeta = pathloss_->zeta();
+  const double cap =
+      std::min(beta_, std::pow(1 - epsilon, -zeta) - 1) * noise_ /
+      std::pow(2.0, zeta);
+  return {.rho_c = 0, .i_c = cap};
+}
+
+bool SinrReception::receives(NodeId receiver, NodeId sender,
+                             const SlotView& view) const {
+  const double signal =
+      view.pathloss->signal(view.metric->distance(sender, receiver));
+  // interference[receiver] includes the sender; subtract the same clamped
+  // value that was added so the difference is exact.
+  const double others = view.interference[receiver.value] - signal;
+  return signal > beta_ * (others + noise_);
+}
+
+// ----------------------------------------------------------------- UDG ----
+
+UdgReception::UdgReception(double range) : range_(range) {
+  UDWN_EXPECT(range > 0);
+}
+
+SuccClearParams UdgReception::succ_clear(double /*epsilon*/) const {
+  return {.rho_c = 2.0, .i_c = kInf};
+}
+
+bool UdgReception::receives(NodeId receiver, NodeId sender,
+                            const SlotView& view) const {
+  if (view.metric->distance(sender, receiver) > range_) return false;
+  for (NodeId w : view.transmitters) {
+    if (w == sender || w == receiver) continue;
+    if (view.metric->distance(w, receiver) <= range_) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- QUDG ----
+
+QudgReception::QudgReception(double inner, double outer, GreyPolicy policy,
+                             std::uint64_t seed)
+    : inner_(inner), outer_(outer), policy_(policy), seed_(seed) {
+  UDWN_EXPECT(inner > 0);
+  UDWN_EXPECT(outer >= inner);
+}
+
+SuccClearParams QudgReception::succ_clear(double /*epsilon*/) const {
+  // App. B: ρ_c = (R + R')/R.
+  return {.rho_c = (inner_ + outer_) / inner_, .i_c = kInf};
+}
+
+bool QudgReception::grey_edge(NodeId a, NodeId b) const {
+  switch (policy_) {
+    case GreyPolicy::Pessimal:
+      return false;
+    case GreyPolicy::Friendly:
+      return true;
+    case GreyPolicy::RandomStatic: {
+      // Order-independent mix of the pair with the adversary seed
+      // (splitmix64 finalizer); the low bit decides the edge.
+      const std::uint64_t lo = std::min(a.value, b.value);
+      const std::uint64_t hi = std::max(a.value, b.value);
+      std::uint64_t z = seed_ ^ (lo * 0x9e3779b97f4a7c15ull) ^
+                        (hi * 0xbf58476d1ce4e5b9ull);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      z ^= z >> 31;
+      return (z & 1) != 0;
+    }
+  }
+  return false;
+}
+
+bool QudgReception::receives(NodeId receiver, NodeId sender,
+                             const SlotView& view) const {
+  const double d = view.metric->distance(sender, receiver);
+  const bool connected =
+      d <= inner_ || (d <= outer_ && grey_edge(sender, receiver));
+  if (!connected) return false;
+  for (NodeId w : view.transmitters) {
+    if (w == sender || w == receiver) continue;
+    const double dw = view.metric->distance(w, receiver);
+    if (dw > outer_) continue;
+    // Under the pessimal policy a grey transmitter always interferes; under
+    // the edge-based policies interference travels on (grey) edges.
+    const bool blocks = dw <= inner_ ||
+                        policy_ == GreyPolicy::Pessimal ||
+                        grey_edge(w, receiver);
+    if (blocks) return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------ Protocol ----
+
+ProtocolReception::ProtocolReception(double comm_range,
+                                     double interference_range)
+    : comm_range_(comm_range), interference_range_(interference_range) {
+  UDWN_EXPECT(comm_range > 0);
+  UDWN_EXPECT(interference_range >= comm_range);
+}
+
+SuccClearParams ProtocolReception::succ_clear(double /*epsilon*/) const {
+  return {.rho_c = (comm_range_ + interference_range_) / comm_range_,
+          .i_c = kInf};
+}
+
+bool ProtocolReception::receives(NodeId receiver, NodeId sender,
+                                 const SlotView& view) const {
+  if (view.metric->distance(sender, receiver) > comm_range_) return false;
+  for (NodeId w : view.transmitters) {
+    if (w == sender || w == receiver) continue;
+    if (view.metric->distance(w, receiver) <= interference_range_)
+      return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------- SuccClearOnly ----
+
+SuccClearOnlyReception::SuccClearOnlyReception(double range, double epsilon,
+                                               SuccClearParams params)
+    : range_(range), epsilon_(epsilon), params_(params) {
+  UDWN_EXPECT(range > 0);
+  UDWN_EXPECT(epsilon > 0 && epsilon < 1);
+}
+
+SuccClearParams SuccClearOnlyReception::succ_clear(double /*epsilon*/) const {
+  return params_;
+}
+
+bool SuccClearOnlyReception::receives(NodeId receiver, NodeId sender,
+                                      const SlotView& view) const {
+  // Receive iff `receiver` is a neighbor of `sender` and the clear-channel
+  // condition holds at the sender — the minimum Def. 1 promises, nothing
+  // more (pessimal adversary).
+  if (view.metric->distance(sender, receiver) > (1 - epsilon_) * range_)
+    return false;
+  return clear_channel(sender, view, epsilon_);
+}
+
+}  // namespace udwn

@@ -1,0 +1,200 @@
+// Reception models — concrete instantiations of the unified communication
+// model (Sec. 2, Def. 1 and App. B).
+//
+// The paper's algorithms are proved only under **SuccClear**: a transmission
+// by u reaches all of u's neighbors whenever (a) no other node transmits in
+// the in-ball D(u, ρ_c·R) and (b) the total interference at u is at most
+// I_c. Anything outside that clear-channel condition is adversarial. Each
+// class below is one adversary/model instantiation:
+//
+//   SinrReception        — fading channel: decode iff SINR > β       (App. B)
+//   UdgReception         — unit ball graph: decode iff sender is the only
+//                          transmitting neighbor                     (App. B)
+//   QudgReception        — quasi-UDG with adversarial grey zone      (App. B)
+//   ProtocolReception    — transmission radius R, interference radius R';
+//                          also realizes k-hop graph variants        (App. B)
+//   SuccClearOnlyReception — the *pessimal* adversary: succeed exactly when
+//                          the clear-channel condition holds, fail otherwise.
+//
+// The BIG model is UdgReception/ProtocolReception over a GraphMetric.
+//
+// Every model reports its SuccClear parameters (ρ_c, I_c) and its maximum
+// clear-channel transmission distance R, from which the sensing module
+// derives the App. B primitive thresholds.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "metric/quasi_metric.h"
+#include "phy/pathloss.h"
+
+namespace udwn {
+
+/// Immutable view of one slot's physical state, shared by all reception
+/// decisions within the slot.
+struct SlotView {
+  const QuasiMetric* metric = nullptr;
+  const PathLoss* pathloss = nullptr;
+  /// All concurrently transmitting nodes.
+  std::span<const NodeId> transmitters;
+  /// transmitting[v] != 0 iff node v transmits this slot (indexed by id).
+  std::span<const std::uint8_t> transmitting;
+  /// interference[v] = sum of signal strengths at v from all transmitters
+  /// other than v itself (indexed by id).
+  std::span<const double> interference;
+};
+
+/// SuccClear parameters of Def. 1 as realized by a model.
+struct SuccClearParams {
+  /// Guard-zone factor: the clear-channel condition requires no other
+  /// transmitter in D(u, rho_c * R). 0 means no guard zone is needed
+  /// (the interference budget subsumes it, as in SINR).
+  double rho_c = 0;
+  /// Interference budget at the sender; may be +infinity (graph models).
+  double i_c = 0;
+};
+
+class ReceptionModel {
+ public:
+  virtual ~ReceptionModel() = default;
+
+  /// Maximum transmission distance R in a clear channel.
+  [[nodiscard]] virtual double max_range() const = 0;
+
+  /// SuccClear parameters for precision ε.
+  [[nodiscard]] virtual SuccClearParams succ_clear(double epsilon) const = 0;
+
+  /// Does `receiver` decode `sender`'s transmission? Both ids must be valid;
+  /// `sender` must be in view.transmitters and `receiver` must not transmit
+  /// (half-duplex is enforced by the caller).
+  [[nodiscard]] virtual bool receives(NodeId receiver, NodeId sender,
+                                      const SlotView& view) const = 0;
+
+  /// Human-readable model name for experiment tables.
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// True iff the clear-channel condition of Def. 1 holds at `sender` for
+  /// precision ε: no other transmitter in D(sender, ρ_c·R) and interference
+  /// at sender <= I_c. SuccClear then *guarantees* mass-delivery; model
+  /// tests check every implementation honors this.
+  [[nodiscard]] bool clear_channel(NodeId sender, const SlotView& view,
+                                   double epsilon) const;
+};
+
+/// SINR / physical model: v decodes u iff
+///   P/d(u,v)^ζ > β · (Σ_{w≠u,v} P/d(w,v)^ζ + N).
+class SinrReception final : public ReceptionModel {
+ public:
+  /// `beta` >= 1 is the SINR threshold, `noise` > 0 the ambient noise.
+  SinrReception(const PathLoss& pathloss, double beta, double noise);
+
+  [[nodiscard]] double max_range() const override;
+  [[nodiscard]] SuccClearParams succ_clear(double epsilon) const override;
+  [[nodiscard]] bool receives(NodeId receiver, NodeId sender,
+                              const SlotView& view) const override;
+  [[nodiscard]] const char* name() const override { return "SINR"; }
+
+  [[nodiscard]] double beta() const { return beta_; }
+  [[nodiscard]] double noise() const { return noise_; }
+
+ private:
+  const PathLoss* pathloss_;
+  double beta_;
+  double noise_;
+};
+
+/// Unit disk / unit ball graph model: v decodes u iff d(u,v) <= R and no
+/// other transmitter w has d(w,v) <= R.
+class UdgReception final : public ReceptionModel {
+ public:
+  explicit UdgReception(double range);
+
+  [[nodiscard]] double max_range() const override { return range_; }
+  [[nodiscard]] SuccClearParams succ_clear(double epsilon) const override;
+  [[nodiscard]] bool receives(NodeId receiver, NodeId sender,
+                              const SlotView& view) const override;
+  [[nodiscard]] const char* name() const override { return "UDG"; }
+
+ private:
+  double range_;
+};
+
+/// Quasi unit disk graph: pairs within `inner` are connected, pairs beyond
+/// `outer` are not, and the grey zone (inner, outer] is adversarial. Three
+/// adversary realizations are provided; all satisfy SuccClear with
+/// ρ_c = (R+R')/R:
+///   Pessimal     — grey pairs interfere but never communicate (worst case);
+///   Friendly     — grey pairs behave like full edges (best case);
+///   RandomStatic — each grey pair is fixed connected/disconnected by a
+///                  seeded hash (a static adversarial topology, as in the
+///                  QUDG literature's "grey area determined by an
+///                  adversary").
+class QudgReception final : public ReceptionModel {
+ public:
+  enum class GreyPolicy { Pessimal, Friendly, RandomStatic };
+
+  QudgReception(double inner, double outer,
+                GreyPolicy policy = GreyPolicy::Pessimal,
+                std::uint64_t seed = 0);
+
+  [[nodiscard]] double max_range() const override { return inner_; }
+  [[nodiscard]] SuccClearParams succ_clear(double epsilon) const override;
+  [[nodiscard]] bool receives(NodeId receiver, NodeId sender,
+                              const SlotView& view) const override;
+  [[nodiscard]] const char* name() const override { return "QUDG"; }
+
+  /// The adversary's (static) verdict for a grey pair: does the edge exist?
+  [[nodiscard]] bool grey_edge(NodeId a, NodeId b) const;
+
+ private:
+  double inner_;
+  double outer_;
+  GreyPolicy policy_;
+  std::uint64_t seed_;
+};
+
+/// Protocol model: communication radius R, interference radius R' >= R.
+/// v decodes u iff d(u,v) <= R and every other transmitter w has
+/// d(w,v) > R'. With a GraphMetric and R = k0 * edge, R' = k * edge this is
+/// the k-hop interference variant of the graph models.
+class ProtocolReception final : public ReceptionModel {
+ public:
+  ProtocolReception(double comm_range, double interference_range);
+
+  [[nodiscard]] double max_range() const override { return comm_range_; }
+  [[nodiscard]] SuccClearParams succ_clear(double epsilon) const override;
+  [[nodiscard]] bool receives(NodeId receiver, NodeId sender,
+                              const SlotView& view) const override;
+  [[nodiscard]] const char* name() const override { return "Protocol"; }
+
+ private:
+  double comm_range_;
+  double interference_range_;
+};
+
+/// The pessimal adversary allowed by Def. 1: a transmission is received by a
+/// neighbor exactly when the sender's channel is clear; otherwise it fails.
+/// Algorithms proved under SuccClear must still work here — this model is
+/// the acid test of the "unified" claim.
+class SuccClearOnlyReception final : public ReceptionModel {
+ public:
+  /// `params` are the SuccClear constants to enforce; `range` is R and
+  /// `epsilon` the precision the neighborhood is defined at.
+  SuccClearOnlyReception(double range, double epsilon, SuccClearParams params);
+
+  [[nodiscard]] double max_range() const override { return range_; }
+  [[nodiscard]] SuccClearParams succ_clear(double epsilon) const override;
+  [[nodiscard]] bool receives(NodeId receiver, NodeId sender,
+                              const SlotView& view) const override;
+  [[nodiscard]] const char* name() const override { return "SuccClearOnly"; }
+
+ private:
+  double range_;
+  double epsilon_;
+  SuccClearParams params_;
+};
+
+}  // namespace udwn

@@ -1,0 +1,37 @@
+#include "phy/spatial_grid.h"
+
+#include <cmath>
+
+#include "common/contract.h"
+
+namespace udwn {
+
+SpatialGrid::SpatialGrid(std::span<const Vec2> points, double cell_size)
+    : points_(points.begin(), points.end()), cell_size_(cell_size) {
+  UDWN_EXPECT(cell_size > 0);
+  cells_.reserve(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const auto [cx, cy] = cell_of(points_[i]);
+    cells_[key(cx, cy)].push_back(NodeId(static_cast<std::uint32_t>(i)));
+  }
+}
+
+std::pair<std::int64_t, std::int64_t> SpatialGrid::cell_of(Vec2 p) const {
+  return {static_cast<std::int64_t>(std::floor(p.x / cell_size_)),
+          static_cast<std::int64_t>(std::floor(p.y / cell_size_))};
+}
+
+std::uint64_t SpatialGrid::key(std::int64_t cx, std::int64_t cy) {
+  // Pack two 32-bit cell coordinates; instances never span 2^31 cells.
+  const auto ux = static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx));
+  const auto uy = static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+  return (ux << 32) | uy;
+}
+
+std::vector<NodeId> SpatialGrid::within(Vec2 q, double r) const {
+  std::vector<NodeId> result;
+  for_each_within(q, r, [&](NodeId id) { result.push_back(id); });
+  return result;
+}
+
+}  // namespace udwn

@@ -1,0 +1,60 @@
+// Uniform-cell spatial index over plane points. Used by topology generators
+// and by Euclidean-instance range queries (neighborhood scans) to avoid the
+// O(n) sweep per query. Interference sums remain exact and are computed by
+// the interference module; the grid only accelerates *membership* queries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "metric/geometry.h"
+
+namespace udwn {
+
+class SpatialGrid {
+ public:
+  /// Build over `points` with the given cell size (> 0). Points may lie
+  /// anywhere; cells are materialized sparsely via hashing on cell coords.
+  SpatialGrid(std::span<const Vec2> points, double cell_size);
+
+  /// Ids of all indexed points within Euclidean distance <= r of q
+  /// (inclusive; callers needing strict `<` filter the boundary themselves).
+  [[nodiscard]] std::vector<NodeId> within(Vec2 q, double r) const;
+
+  /// Visit ids of all indexed points within distance <= r of q.
+  template <typename Fn>
+  void for_each_within(Vec2 q, double r, Fn&& fn) const {
+    const double r2 = r * r;
+    const auto [clo, rlo] = cell_of({q.x - r, q.y - r});
+    const auto [chi, rhi] = cell_of({q.x + r, q.y + r});
+    for (std::int64_t cy = rlo; cy <= rhi; ++cy) {
+      for (std::int64_t cx = clo; cx <= chi; ++cx) {
+        const auto it = cells_.find(key(cx, cy));
+        if (it == cells_.end()) continue;
+        for (NodeId id : it->second) {
+          const Vec2 p = points_[id.value];
+          if ((p - q).norm2() <= r2) fn(id);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+ private:
+  friend class SpatialGridTestPeer;
+
+  [[nodiscard]] std::pair<std::int64_t, std::int64_t> cell_of(Vec2 p) const;
+  [[nodiscard]] static std::uint64_t key(std::int64_t cx, std::int64_t cy);
+
+  std::vector<Vec2> points_;
+  double cell_size_;
+  // Sparse map from packed cell coordinate to member ids.
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> cells_;
+};
+
+}  // namespace udwn

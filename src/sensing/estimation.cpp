@@ -1,0 +1,37 @@
+#include "sensing/estimation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/contract.h"
+
+namespace udwn {
+
+double estimate_contention(std::span<const double> scales,
+                           std::span<const double> silence_fractions,
+                           double freq_floor) {
+  UDWN_EXPECT(!scales.empty());
+  UDWN_EXPECT(scales.size() == silence_fractions.size());
+  UDWN_EXPECT(freq_floor > 0);
+  // Zero-intercept least squares: minimize Σ (y_i - P α_i)² with
+  // y_i = -ln(freq_i)  =>  P = Σ α y / Σ α².
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    UDWN_EXPECT(scales[i] > 0);
+    const double freq =
+        std::clamp(silence_fractions[i], freq_floor, 1.0);
+    num += scales[i] * (-std::log(freq));
+    den += scales[i] * scales[i];
+  }
+  return num / den;
+}
+
+std::vector<double> probe_scales(int levels) {
+  UDWN_EXPECT(levels >= 1);
+  std::vector<double> scales(static_cast<std::size_t>(levels));
+  for (int i = 0; i < levels; ++i) scales[i] = std::ldexp(1.0, -i);
+  return scales;
+}
+
+}  // namespace udwn

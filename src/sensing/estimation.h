@@ -1,0 +1,32 @@
+// CD "by other means" (App. B): in a synchronized system without physical
+// carrier sensing, contention can be estimated with logarithmic overhead by
+// probabilistic probing — for a sequence of scale factors α, the contenders
+// transmit with α-scaled probabilities for Θ(log n) rounds and listeners
+// record how often the channel stays silent. Since
+//     P[silence] = Π_j (1 - α p_j) ≈ e^{-α P},   P = Σ_j p_j,
+// the silence frequency at known scales yields P by regression. This module
+// provides the estimator; the probing protocol itself is exercised in
+// tests/test_estimation.cpp against the exact channel.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace udwn {
+
+/// Estimate the total contention P from (scale, silence-frequency) pairs:
+/// least squares of -ln(freq) against α (intercept forced through 0).
+/// Frequencies are clamped to [freq_floor, 1] before the log so that a
+/// fully-busy probe level cannot produce an infinite estimate.
+/// Requires at least one pair; scales must be positive.
+double estimate_contention(std::span<const double> scales,
+                           std::span<const double> silence_fractions,
+                           double freq_floor = 1e-4);
+
+/// Geometric probe schedule α_i = 2^{-i}, i = 0..levels-1 — the App. B
+/// sweep "for each probability p = 2^{-i}".
+std::vector<double> probe_scales(int levels);
+
+}  // namespace udwn

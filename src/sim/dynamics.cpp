@@ -1,0 +1,107 @@
+#include "sim/dynamics.h"
+
+#include <algorithm>
+
+#include "common/contract.h"
+
+namespace udwn {
+
+ChurnDynamics::ChurnDynamics(Config config) : config_(std::move(config)) {
+  UDWN_EXPECT(config_.arrival_rate >= 0);
+  UDWN_EXPECT(config_.departure_rate >= 0);
+}
+
+bool ChurnDynamics::pinned(NodeId v) const {
+  return std::find(config_.pinned.begin(), config_.pinned.end(), v) !=
+         config_.pinned.end();
+}
+
+ChangeSet ChurnDynamics::step(Network& network, Rng& rng, Round /*round*/) {
+  ChangeSet changes;
+
+  departure_credit_ += config_.departure_rate;
+  while (departure_credit_ >= 1) {
+    departure_credit_ -= 1;
+    std::vector<NodeId> candidates;
+    for (NodeId v : network.alive_nodes())
+      if (!pinned(v)) candidates.push_back(v);
+    if (candidates.empty()) break;
+    const NodeId victim = candidates[rng.below(candidates.size())];
+    network.set_alive(victim, false);
+    changes.departures.push_back(victim);
+  }
+
+  arrival_credit_ += config_.arrival_rate;
+  while (arrival_credit_ >= 1) {
+    arrival_credit_ -= 1;
+    std::vector<NodeId> dead;
+    for (std::size_t v = 0; v < network.size(); ++v) {
+      const NodeId id(static_cast<std::uint32_t>(v));
+      if (!network.alive(id)) dead.push_back(id);
+    }
+    if (dead.empty()) break;
+    const NodeId reborn = dead[rng.below(dead.size())];
+    if (config_.placement_extent > 0) {
+      if (auto* euclid = dynamic_cast<EuclideanMetric*>(&network.metric())) {
+        euclid->set_position(reborn,
+                             {rng.uniform(0, config_.placement_extent),
+                              rng.uniform(0, config_.placement_extent)});
+      }
+    }
+    network.set_alive(reborn, true);
+    changes.arrivals.push_back(reborn);
+  }
+
+  return changes;
+}
+
+WaypointMobility::WaypointMobility(EuclideanMetric& metric, Config config)
+    : metric_(&metric), config_(config) {
+  UDWN_EXPECT(config.speed >= 0);
+  UDWN_EXPECT(config.extent > 0);
+}
+
+ChangeSet WaypointMobility::step(Network& network, Rng& rng,
+                                 Round /*round*/) {
+  if (!initialized_) {
+    waypoints_.resize(metric_->size());
+    for (auto& w : waypoints_)
+      w = {rng.uniform(0, config_.extent), rng.uniform(0, config_.extent)};
+    initialized_ = true;
+  }
+  if (config_.speed == 0) return {};
+  for (NodeId v : network.alive_nodes()) {
+    Vec2 pos = metric_->position(v);
+    Vec2& target = waypoints_[v.value];
+    const Vec2 delta = target - pos;
+    const double dist = delta.norm();
+    if (dist <= config_.speed) {
+      pos = target;
+      target = {rng.uniform(0, config_.extent),
+                rng.uniform(0, config_.extent)};
+    } else {
+      pos = pos + delta * (config_.speed / dist);
+    }
+    metric_->set_position(v, pos);
+  }
+  return {};
+}
+
+CompositeDynamics::CompositeDynamics(std::vector<Dynamics*> parts)
+    : parts_(std::move(parts)) {
+  for (const auto* part : parts_) UDWN_EXPECT(part != nullptr);
+}
+
+ChangeSet CompositeDynamics::step(Network& network, Rng& rng, Round round) {
+  ChangeSet all;
+  for (auto* part : parts_) {
+    ChangeSet changes = part->step(network, rng, round);
+    all.arrivals.insert(all.arrivals.end(), changes.arrivals.begin(),
+                        changes.arrivals.end());
+    all.departures.insert(all.departures.end(), changes.departures.begin(),
+                          changes.departures.end());
+  }
+  return all;
+}
+
+}  // namespace udwn

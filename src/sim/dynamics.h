@@ -1,0 +1,96 @@
+// Adversarial/dynamic behaviour drivers (Sec. 2 "Dynamicity").
+//
+// The paper allows unlimited node churn (arrivals restart from the initial
+// protocol configuration) and rate-limited edge changes: over any window of
+// Ω(log n) rounds a node may gain at most τ·|T| new neighbors from edge
+// dynamics. We realize churn by toggling ids between alive and a reserve
+// pool, and edge changes by bounded-speed waypoint mobility whose speed cap
+// is derived from the target τ.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "metric/euclidean.h"
+#include "sim/network.h"
+
+namespace udwn {
+
+/// Population changes one dynamics step produced. Arrivals must be reported
+/// so the engine can restart the nodes' protocols.
+struct ChangeSet {
+  std::vector<NodeId> arrivals;
+  std::vector<NodeId> departures;
+};
+
+class Dynamics {
+ public:
+  virtual ~Dynamics() = default;
+  /// Advance one round of dynamics before the communication slots run.
+  virtual ChangeSet step(Network& network, Rng& rng, Round round) = 0;
+};
+
+/// Rate-based churn: on average `arrival_rate` dead nodes revive and
+/// `departure_rate` alive nodes leave per round (fractional rates
+/// accumulate). Euclidean arrivals are re-placed uniformly in a bounding
+/// box; non-Euclidean metrics revive in place. Ids in `pinned` never leave
+/// (e.g. a broadcast source or the probe node of an experiment).
+class ChurnDynamics final : public Dynamics {
+ public:
+  struct Config {
+    double arrival_rate = 0;
+    double departure_rate = 0;
+    /// Re-place Euclidean arrivals uniformly in [0,extent]²; 0 keeps the
+    /// node's previous position.
+    double placement_extent = 0;
+    std::vector<NodeId> pinned;
+  };
+
+  explicit ChurnDynamics(Config config);
+
+  ChangeSet step(Network& network, Rng& rng, Round round) override;
+
+ private:
+  [[nodiscard]] bool pinned(NodeId v) const;
+
+  Config config_;
+  double arrival_credit_ = 0;
+  double departure_credit_ = 0;
+};
+
+/// Bounded-speed random-waypoint mobility over a EuclideanMetric. Each node
+/// drifts toward a private waypoint at `speed` distance-units per round and
+/// draws a fresh waypoint (uniform in [0,extent]²) on arrival. The
+/// edge-change rate τ of Sec. 2 scales with speed/R.
+class WaypointMobility final : public Dynamics {
+ public:
+  struct Config {
+    double speed = 0;   // distance per round, >= 0
+    double extent = 0;  // waypoint domain [0,extent]^2, > 0
+  };
+
+  /// `metric` must be the metric the target network runs on.
+  WaypointMobility(EuclideanMetric& metric, Config config);
+
+  ChangeSet step(Network& network, Rng& rng, Round round) override;
+
+ private:
+  EuclideanMetric* metric_;
+  Config config_;
+  std::vector<Vec2> waypoints_;
+  bool initialized_ = false;
+};
+
+/// Runs several dynamics in sequence each round (e.g. churn + mobility).
+class CompositeDynamics final : public Dynamics {
+ public:
+  explicit CompositeDynamics(std::vector<Dynamics*> parts);
+
+  ChangeSet step(Network& network, Rng& rng, Round round) override;
+
+ private:
+  std::vector<Dynamics*> parts_;
+};
+
+}  // namespace udwn

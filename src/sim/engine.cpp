@@ -1,0 +1,158 @@
+#include "sim/engine.h"
+
+#include <cmath>
+
+#include "common/contract.h"
+
+namespace udwn {
+
+Engine::Engine(const Channel& channel, Network& network,
+               const CarrierSensing& sensing,
+               std::span<const std::unique_ptr<Protocol>> protocols,
+               EngineConfig config)
+    : channel_(&channel),
+      network_(&network),
+      sensing_(&sensing),
+      protocols_(protocols),
+      config_(config),
+      rng_(config.seed) {
+  UDWN_EXPECT(protocols_.size() == network.size());
+  UDWN_EXPECT(config_.slots_per_round >= 1 &&
+              config_.slots_per_round <= static_cast<int>(kSlotsPerRound));
+  UDWN_EXPECT(config_.drift_bound >= 1);
+
+  const std::size_t n = network.size();
+  node_rng_.reserve(n);
+  clock_rate_.resize(n, 1.0);
+  clock_progress_.resize(n, 0.0);
+  fired_.assign(n, 0);
+  last_probability_.assign(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    node_rng_.push_back(rng_.split());
+    if (config_.async) {
+      const double period = node_rng_.back().uniform(1.0, config_.drift_bound);
+      clock_rate_[v] = 1.0 / period;
+      clock_progress_[v] = node_rng_.back().uniform();  // random phase
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    UDWN_EXPECT(protocols_[v] != nullptr);
+    if (network.alive(NodeId(static_cast<std::uint32_t>(v))))
+      protocols_[v]->on_start();
+  }
+}
+
+Protocol& Engine::protocol(NodeId v) const {
+  UDWN_EXPECT(v.value < protocols_.size());
+  return *protocols_[v.value];
+}
+
+double Engine::last_probability(NodeId v) const {
+  UDWN_EXPECT(v.value < last_probability_.size());
+  return last_probability_[v.value];
+}
+
+bool Engine::clock_fired(NodeId v) const {
+  UDWN_EXPECT(v.value < fired_.size());
+  return fired_[v.value] != 0;
+}
+
+void Engine::step() {
+  const std::size_t n = network_->size();
+
+  if (dynamics_ != nullptr) {
+    const ChangeSet changes = dynamics_->step(*network_, rng_, round_);
+    // Arrivals restart from the protocol's initial configuration (Sec. 2).
+    for (NodeId v : changes.arrivals) protocols_[v.value]->on_start();
+  }
+
+  // Advance local clocks.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!network_->alive(NodeId(static_cast<std::uint32_t>(v)))) {
+      fired_[v] = 0;
+      continue;
+    }
+    if (!config_.async) {
+      fired_[v] = 1;
+      continue;
+    }
+    const double before = clock_progress_[v];
+    clock_progress_[v] += clock_rate_[v];
+    fired_[v] = std::floor(clock_progress_[v]) > std::floor(before) ? 1 : 0;
+  }
+
+  for (int s = 0; s < config_.slots_per_round; ++s)
+    run_slot(static_cast<Slot>(s));
+
+  ++round_;
+  if (recorder_ != nullptr) recorder_->on_round_end(round_, *this);
+}
+
+void Engine::run_slot(Slot slot) {
+  const std::size_t n = network_->size();
+
+  std::vector<NodeId> transmitters;
+  // Payloads are captured at transmission time: feedback delivery below may
+  // mutate protocol state before all receivers have been served.
+  std::vector<std::uint32_t> tx_payload(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const NodeId id(static_cast<std::uint32_t>(v));
+    if (!network_->alive(id)) {
+      if (slot == Slot::Data) last_probability_[v] = 0;
+      continue;
+    }
+    double p = 0;
+    if (fired_[v]) {
+      p = protocols_[v]->transmit_probability(slot);
+      UDWN_EXPECT(p >= 0 && p <= 1);
+    }
+    if (slot == Slot::Data) last_probability_[v] = p;
+    if (p > 0 && node_rng_[v].chance(p)) {
+      transmitters.push_back(id);
+      tx_payload[v] = protocols_[v]->payload(slot);
+    }
+  }
+
+  const double power_scale =
+      slot == Slot::Notify ? config_.notify_power_scale : 1.0;
+  const SlotOutcome outcome =
+      channel_->resolve(transmitters, network_->alive_mask(), power_scale);
+
+  std::vector<std::uint8_t> is_tx(n, 0);
+  for (NodeId u : outcome.transmitters) is_tx[u.value] = 1;
+
+  const QuasiMetric& metric = channel_->metric();
+  for (std::size_t v = 0; v < n; ++v) {
+    const NodeId id(static_cast<std::uint32_t>(v));
+    if (!network_->alive(id)) continue;
+    SlotFeedback fb;
+    fb.slot = slot;
+    fb.local_round = fired_[v] != 0;
+    const bool transmitted = is_tx[v] != 0;
+    fb.transmitted = transmitted;
+    fb.busy = sensing_->busy(outcome.interference[v]);
+    fb.ack = transmitted && sensing_->ack(outcome.interference[v]);
+    const NodeId sender = outcome.decoded_from[v];
+    fb.received = sender.valid();
+    fb.sender = sender;
+    fb.payload = fb.received ? tx_payload[sender.value] : 0;
+    fb.ntd = fb.received && sensing_->ntd(metric.distance(sender, id));
+    protocols_[v]->on_slot(fb);
+  }
+
+  if (recorder_ != nullptr)
+    recorder_->on_slot(round_, slot, outcome, *this);
+}
+
+std::optional<Round> Engine::run_until(
+    const std::function<bool(const Engine&)>& done, Round max_rounds) {
+  UDWN_EXPECT(max_rounds >= 0);
+  if (done(*this)) return round_;
+  for (Round i = 0; i < max_rounds; ++i) {
+    step();
+    if (done(*this)) return round_;
+  }
+  return std::nullopt;
+}
+
+}  // namespace udwn

@@ -1,0 +1,116 @@
+// The round engine: drives all protocols through (possibly two-slot) rounds
+// against the exact physical channel, applying dynamics between rounds and
+// the App. B carrier-sensing primitives after each slot.
+//
+// Synchronous mode: every alive node takes a protocol step each round
+// (Sec. 5 assumes this for Bcast). Drift-async mode: each node owns a clock
+// period drawn from [1, drift_bound] global rounds; the node takes protocol
+// steps only in rounds where its local round counter advances, matching the
+// paper's "clocks of different nodes run at a similar rate ... differ at
+// most by a factor of 2" (Sec. 2). Radios stay on regardless: message
+// receptions are delivered to every alive node in every slot.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "phy/channel.h"
+#include "sensing/primitives.h"
+#include "sim/dynamics.h"
+#include "sim/network.h"
+#include "sim/protocol.h"
+
+namespace udwn {
+
+class Engine;
+
+/// Observation hook for traces and experiment measurement. Recorders see
+/// ground truth (the full SlotOutcome), which protocols never do.
+class Recorder {
+ public:
+  virtual ~Recorder() = default;
+  virtual void on_slot(Round round, Slot slot, const SlotOutcome& outcome,
+                       const Engine& engine) = 0;
+  virtual void on_round_end(Round /*round*/, const Engine& /*engine*/) {}
+};
+
+struct EngineConfig {
+  /// 1 for Try&Adjust / LocalBcast, 2 for the broadcast algorithms (Sec. 5).
+  int slots_per_round = 1;
+  /// Power scale applied to Notify-slot transmissions (App. B power-control
+  /// NTD: at scale (ε/2)^ζ, receiving a notify at all certifies the sender
+  /// is within ~εR/2 — no RSS-based NTD primitive needed). 1 = full power.
+  double notify_power_scale = 1.0;
+  /// Drift-async clocks; false = synchronous.
+  bool async = false;
+  /// Upper bound on the ratio of round lengths (paper: 2).
+  double drift_bound = 2.0;
+  std::uint64_t seed = 1;
+};
+
+class Engine {
+ public:
+  /// `protocols` must contain one entry per node id of the network's metric
+  /// and outlive the engine; likewise channel/network/sensing. Protocols of
+  /// initially-alive nodes are on_start()-ed here.
+  Engine(const Channel& channel, Network& network,
+         const CarrierSensing& sensing,
+         std::span<const std::unique_ptr<Protocol>> protocols,
+         EngineConfig config);
+
+  /// Optional dynamics driver, stepped at the beginning of every round.
+  void set_dynamics(Dynamics* dynamics) { dynamics_ = dynamics; }
+  /// Optional observation hook.
+  void set_recorder(Recorder* recorder) { recorder_ = recorder; }
+
+  /// Execute one global round (dynamics step + all slots + feedback).
+  void step();
+
+  /// Step until `done(*this)` holds or `max_rounds` rounds have run.
+  /// Returns the number of rounds executed when `done` fired, nullopt on
+  /// timeout. The predicate is evaluated after every round.
+  std::optional<Round> run_until(
+      const std::function<bool(const Engine&)>& done, Round max_rounds);
+
+  /// Rounds executed so far.
+  [[nodiscard]] Round round() const { return round_; }
+
+  [[nodiscard]] const Network& network() const { return *network_; }
+  [[nodiscard]] const Channel& channel() const { return *channel_; }
+  [[nodiscard]] const CarrierSensing& sensing() const { return *sensing_; }
+
+  [[nodiscard]] Protocol& protocol(NodeId v) const;
+
+  /// Transmission probability node v used in the most recent data slot
+  /// (0 for dead or never-stepped nodes). Recorders use this to measure the
+  /// contention quantities of Sec. 3.
+  [[nodiscard]] double last_probability(NodeId v) const;
+
+  /// Did v's local clock fire in the most recently executed round?
+  [[nodiscard]] bool clock_fired(NodeId v) const;
+
+ private:
+  void run_slot(Slot slot);
+
+  const Channel* channel_;
+  Network* network_;
+  const CarrierSensing* sensing_;
+  std::span<const std::unique_ptr<Protocol>> protocols_;
+  EngineConfig config_;
+  Dynamics* dynamics_ = nullptr;
+  Recorder* recorder_ = nullptr;
+
+  Rng rng_;
+  std::vector<Rng> node_rng_;
+  std::vector<double> clock_rate_;      // rounds advance per global round
+  std::vector<double> clock_progress_;  // fractional local round counter
+  std::vector<std::uint8_t> fired_;     // clock fired this round
+  std::vector<double> last_probability_;
+  Round round_ = 0;
+};
+
+}  // namespace udwn

@@ -1,0 +1,80 @@
+#include "sim/probe.h"
+
+#include <algorithm>
+
+#include "common/contract.h"
+
+namespace udwn {
+
+VicinityStats probe_vicinity(const Engine& engine, NodeId v, double rho) {
+  UDWN_EXPECT(rho > 0);
+  const Channel& channel = engine.channel();
+  const QuasiMetric& metric = channel.metric();
+  const PathLoss& pathloss = channel.pathloss();
+  const double radius = channel.model().max_range();
+  const double close = radius / 2;
+  const double vicinity = rho * radius;
+
+  VicinityStats stats;
+  for (std::size_t w = 0; w < metric.size(); ++w) {
+    const NodeId id(static_cast<std::uint32_t>(w));
+    if (!engine.network().alive(id)) continue;
+    const double p = engine.last_probability(id);
+    if (p == 0) continue;
+    if (id != v && metric.sym_distance(id, v) < close)
+      stats.close_contention += p;
+    if (id == v) stats.close_contention += p;
+    // In-ball membership D(v, ρR): d(u, v) < ρR.
+    if (metric.distance(id, v) < vicinity) {
+      stats.vicinity_contention += p;
+    } else {
+      stats.expected_interference +=
+          p * pathloss.signal(metric.distance(id, v));
+    }
+  }
+  return stats;
+}
+
+bool is_good_round(const Engine& engine, NodeId v, double rho,
+                   const GoodRoundThresholds& thresholds) {
+  const VicinityStats stats = probe_vicinity(engine, v, rho);
+  return stats.vicinity_contention < thresholds.eta_hat &&
+         stats.expected_interference <= thresholds.interference_cap;
+}
+
+GoodRoundRecorder::GoodRoundRecorder(std::vector<NodeId> probes, double rho,
+                                     GoodRoundThresholds thresholds)
+    : probes_(std::move(probes)), rho_(rho), thresholds_(thresholds) {
+  UDWN_EXPECT(!probes_.empty());
+  tallies_.resize(probes_.size());
+}
+
+void GoodRoundRecorder::on_slot(Round /*round*/, Slot slot,
+                                const SlotOutcome& /*outcome*/,
+                                const Engine& engine) {
+  if (slot != Slot::Data) return;  // contention is defined on the data slot
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    const NodeId v = probes_[i];
+    if (!engine.network().alive(v)) continue;
+    const VicinityStats stats = probe_vicinity(engine, v, rho_);
+    Tally& tally = tallies_[i];
+    ++tally.rounds;
+    const bool bounded = stats.vicinity_contention < thresholds_.eta_hat;
+    const bool low =
+        stats.expected_interference <= thresholds_.interference_cap;
+    tally.bounded_contention += bounded ? 1 : 0;
+    tally.low_interference += low ? 1 : 0;
+    tally.good += (bounded && low) ? 1 : 0;
+    tally.max_vicinity_contention =
+        std::max(tally.max_vicinity_contention, stats.vicinity_contention);
+    tally.sum_vicinity_contention += stats.vicinity_contention;
+  }
+}
+
+const GoodRoundRecorder::Tally& GoodRoundRecorder::tally(NodeId probe) const {
+  const auto it = std::find(probes_.begin(), probes_.end(), probe);
+  UDWN_EXPECT(it != probes_.end());
+  return tallies_[static_cast<std::size_t>(it - probes_.begin())];
+}
+
+}  // namespace udwn

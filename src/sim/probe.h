@@ -1,0 +1,67 @@
+// Ground-truth measurement of the Sec. 3 analysis quantities. These are
+// *observer-side* values — no protocol can compute them — used by the
+// contention experiments (EXP-01..03) and by tests of Prop. 3.1:
+//
+//   P_t(v)   = Σ_{w in B(v, R/2)}  p_t(w)      close contention
+//   P^ρ_t(v) = Σ_{u in D(v, ρR)}   p_t(u)      vicinity contention
+//   Î^ρ_t(v) = Σ_{w outside D(v, ρR)} p_t(w)·I_wv   expected ext. interference
+//
+// A round is *good* for v when P^ρ_t(v) < η̂ and Î^ρ_t(v) <= Î.
+#pragma once
+
+#include "common/types.h"
+#include "sim/engine.h"
+
+namespace udwn {
+
+struct VicinityStats {
+  double close_contention = 0;       // P_t(v)
+  double vicinity_contention = 0;    // P^ρ_t(v)
+  double expected_interference = 0;  // Î^ρ_t(v)
+};
+
+/// Measure the Sec. 3 quantities for node v using the probabilities nodes
+/// employed in the last executed data slot. `rho` is the vicinity factor ρ.
+VicinityStats probe_vicinity(const Engine& engine, NodeId v, double rho);
+
+/// Thresholds classifying rounds (Sec. 3).
+struct GoodRoundThresholds {
+  double eta_hat = 0;          // bounded-contention threshold η̂
+  double interference_cap = 0; // low-interference threshold Î
+};
+
+/// Is the last executed round good for v?
+bool is_good_round(const Engine& engine, NodeId v, double rho,
+                   const GoodRoundThresholds& thresholds);
+
+/// Recorder that tallies, for a fixed set of probe nodes, how many rounds
+/// were good / bounded-contention / low-interference, plus the contention
+/// trajectory. Attach with Engine::set_recorder.
+class GoodRoundRecorder final : public Recorder {
+ public:
+  GoodRoundRecorder(std::vector<NodeId> probes, double rho,
+                    GoodRoundThresholds thresholds);
+
+  void on_slot(Round round, Slot slot, const SlotOutcome& outcome,
+               const Engine& engine) override;
+
+  struct Tally {
+    std::int64_t rounds = 0;
+    std::int64_t good = 0;
+    std::int64_t bounded_contention = 0;
+    std::int64_t low_interference = 0;
+    double max_vicinity_contention = 0;
+    double sum_vicinity_contention = 0;
+  };
+
+  [[nodiscard]] const Tally& tally(NodeId probe) const;
+  [[nodiscard]] const std::vector<NodeId>& probes() const { return probes_; }
+
+ private:
+  std::vector<NodeId> probes_;
+  double rho_;
+  GoodRoundThresholds thresholds_;
+  std::vector<Tally> tallies_;
+};
+
+}  // namespace udwn

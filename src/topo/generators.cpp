@@ -1,0 +1,140 @@
+#include "topo/generators.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/contract.h"
+
+namespace udwn {
+
+std::vector<Vec2> uniform_square(std::size_t n, double extent, Rng& rng) {
+  UDWN_EXPECT(extent > 0);
+  std::vector<Vec2> points(n);
+  for (auto& p : points)
+    p = {rng.uniform(0, extent), rng.uniform(0, extent)};
+  return points;
+}
+
+std::vector<Vec2> lattice(std::size_t rows, std::size_t cols, double spacing) {
+  UDWN_EXPECT(spacing > 0);
+  std::vector<Vec2> points;
+  points.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      points.push_back({static_cast<double>(c) * spacing,
+                        static_cast<double>(r) * spacing});
+  return points;
+}
+
+std::vector<Vec2> uniform_disk(std::size_t n, Vec2 center, double radius,
+                               Rng& rng) {
+  UDWN_EXPECT(radius > 0);
+  std::vector<Vec2> points(n);
+  for (auto& p : points) {
+    // Area-uniform: radius via sqrt of a uniform variate.
+    const double r = radius * std::sqrt(rng.uniform());
+    const double phi = rng.uniform(0, 2 * std::numbers::pi);
+    p = center + Vec2{r * std::cos(phi), r * std::sin(phi)};
+  }
+  return points;
+}
+
+std::vector<Vec2> cluster_chain(std::size_t clusters, std::size_t per_cluster,
+                                double spacing, double cluster_radius,
+                                Rng& rng) {
+  UDWN_EXPECT(clusters >= 1);
+  UDWN_EXPECT(spacing > 0);
+  std::vector<Vec2> points;
+  points.reserve(clusters * per_cluster);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    const Vec2 center{static_cast<double>(c) * spacing, 0};
+    auto group = uniform_disk(per_cluster, center, cluster_radius, rng);
+    points.insert(points.end(), group.begin(), group.end());
+  }
+  return points;
+}
+
+std::vector<Vec2> uniform_annulus(std::size_t n, Vec2 center, double r0,
+                                  double r1, Rng& rng) {
+  UDWN_EXPECT(0 < r0 && r0 < r1);
+  std::vector<Vec2> points(n);
+  for (auto& p : points) {
+    // Area-uniform in the annulus.
+    const double u = rng.uniform();
+    const double r = std::sqrt(r0 * r0 + u * (r1 * r1 - r0 * r0));
+    const double phi = rng.uniform(0, 2 * std::numbers::pi);
+    p = center + Vec2{r * std::cos(phi), r * std::sin(phi)};
+  }
+  return points;
+}
+
+std::vector<std::vector<NodeId>> unit_ball_adjacency(
+    const std::vector<Vec2>& points, double radius) {
+  UDWN_EXPECT(radius > 0);
+  std::vector<std::vector<NodeId>> adj(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      if (distance(points[i], points[j]) <= radius) {
+        adj[i].push_back(NodeId(static_cast<std::uint32_t>(j)));
+        adj[j].push_back(NodeId(static_cast<std::uint32_t>(i)));
+      }
+    }
+  }
+  return adj;
+}
+
+std::vector<std::vector<NodeId>> random_tree_adjacency(std::size_t n,
+                                                       std::size_t max_degree,
+                                                       Rng& rng) {
+  UDWN_EXPECT(n >= 1);
+  UDWN_EXPECT(max_degree >= 2);
+  std::vector<std::vector<NodeId>> adj(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    // Rejection-sample a parent with spare degree; falls back to a linear
+    // scan if unlucky (possible only in tiny instances).
+    std::size_t parent = n;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const std::size_t cand = rng.below(i);
+      if (adj[cand].size() < max_degree - 1 || (cand == 0 && i == 1)) {
+        parent = cand;
+        break;
+      }
+    }
+    if (parent == n) {
+      for (std::size_t cand = 0; cand < i; ++cand) {
+        if (adj[cand].size() < max_degree) {
+          parent = cand;
+          break;
+        }
+      }
+    }
+    UDWN_ENSURE(parent < n);
+    adj[i].push_back(NodeId(static_cast<std::uint32_t>(parent)));
+    adj[parent].push_back(NodeId(static_cast<std::uint32_t>(i)));
+  }
+  return adj;
+}
+
+std::vector<std::vector<NodeId>> grid_adjacency(std::size_t rows,
+                                                std::size_t cols) {
+  UDWN_EXPECT(rows >= 1 && cols >= 1);
+  std::vector<std::vector<NodeId>> adj(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return NodeId(static_cast<std::uint32_t>(r * cols + c));
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        adj[id(r, c).value].push_back(id(r, c + 1));
+        adj[id(r, c + 1).value].push_back(id(r, c));
+      }
+      if (r + 1 < rows) {
+        adj[id(r, c).value].push_back(id(r + 1, c));
+        adj[id(r + 1, c).value].push_back(id(r, c));
+      }
+    }
+  }
+  return adj;
+}
+
+}  // namespace udwn

@@ -1,0 +1,60 @@
+// Topology generators for experiments and examples. All produce point sets
+// in the plane (consumed by EuclideanMetric) or adjacency lists (consumed by
+// GraphMetric for the BIG model experiments). Distances are in units of the
+// transmission radius R of the scenario that uses them, unless stated
+// otherwise.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "metric/geometry.h"
+
+namespace udwn {
+
+/// n points uniform in the square [0, extent]².
+std::vector<Vec2> uniform_square(std::size_t n, double extent, Rng& rng);
+
+/// rows x cols lattice with the given spacing, origin at (0,0).
+std::vector<Vec2> lattice(std::size_t rows, std::size_t cols, double spacing);
+
+/// A chain of `clusters` groups spaced `spacing` apart along the x-axis,
+/// each group holding `per_cluster` points uniform in a disk of
+/// `cluster_radius`. With spacing slightly below the communication radius
+/// this realizes diameter-controlled instances for the broadcast sweeps.
+std::vector<Vec2> cluster_chain(std::size_t clusters, std::size_t per_cluster,
+                                double spacing, double cluster_radius,
+                                Rng& rng);
+
+/// n points uniform in a disk of radius `radius` centered at `center` —
+/// a maximum-degree-controlled single-hop clique for local broadcast
+/// experiments.
+std::vector<Vec2> uniform_disk(std::size_t n, Vec2 center, double radius,
+                               Rng& rng);
+
+/// Points spread in an annulus between radii r0 < r1 around `center`.
+std::vector<Vec2> uniform_annulus(std::size_t n, Vec2 center, double r0,
+                                  double r1, Rng& rng);
+
+/// Undirected adjacency of the unit-ball graph over `points` with the given
+/// connection radius — input for GraphMetric / the BIG model.
+std::vector<std::vector<NodeId>> unit_ball_adjacency(
+    const std::vector<Vec2>& points, double radius);
+
+/// Random bounded-degree tree adjacency: node i > 0 attaches to a uniformly
+/// random earlier node with degree < max_degree. Always connected. NOTE:
+/// bounded degree does NOT imply bounded independence — k-balls of a random
+/// tree grow exponentially, so this is a *negative control* for the BIG
+/// model (EXP-17 measures its growth exponent blowing past λ = 2).
+std::vector<std::vector<NodeId>> random_tree_adjacency(std::size_t n,
+                                                       std::size_t max_degree,
+                                                       Rng& rng);
+
+/// rows x cols grid-graph adjacency (4-neighborhood) — a genuine
+/// (1, λ=2)-bounded-independence graph, the canonical BIG instance.
+std::vector<std::vector<NodeId>> grid_adjacency(std::size_t rows,
+                                                std::size_t cols);
+
+}  // namespace udwn

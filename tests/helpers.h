@@ -1,0 +1,52 @@
+// Shared fixtures and builders for the test suite.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "analysis/scenario.h"
+#include "common/rng.h"
+#include "metric/geometry.h"
+#include "topo/generators.h"
+
+namespace udwn::test {
+
+/// Default scenario config used across tests (SINR, R = 1, ε = 0.3, ζ = 3).
+inline ScenarioConfig default_config() { return ScenarioConfig{}; }
+
+inline ScenarioConfig config_for(ModelKind kind) {
+  ScenarioConfig cfg;
+  cfg.model = kind;
+  return cfg;
+}
+
+/// Small deterministic deployment: n nodes uniform in [0, extent]².
+inline std::vector<Vec2> random_points(std::size_t n, double extent,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  return uniform_square(n, extent, rng);
+}
+
+/// Two nodes at the given separation, useful for single-link physics tests.
+inline std::vector<Vec2> pair_at(double separation) {
+  return {{0, 0}, {separation, 0}};
+}
+
+/// All model kinds, for parameterized pan-model tests.
+inline std::vector<ModelKind> all_models() {
+  return {ModelKind::Sinr, ModelKind::Udg, ModelKind::Qudg,
+          ModelKind::Protocol, ModelKind::SuccClearOnly};
+}
+
+inline const char* model_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::Sinr: return "Sinr";
+    case ModelKind::Udg: return "Udg";
+    case ModelKind::Qudg: return "Qudg";
+    case ModelKind::Protocol: return "Protocol";
+    case ModelKind::SuccClearOnly: return "SuccClearOnly";
+  }
+  return "?";
+}
+
+}  // namespace udwn::test

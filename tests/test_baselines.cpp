@@ -1,0 +1,125 @@
+#include "baselines/aloha.h"
+#include "baselines/decay.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/recorders.h"
+#include "analysis/runner.h"
+#include "analysis/scenario.h"
+#include "tests/helpers.h"
+#include "topo/generators.h"
+
+namespace udwn {
+namespace {
+
+SlotFeedback data_fb(bool transmitted = false, bool ack = false) {
+  SlotFeedback fb;
+  fb.slot = Slot::Data;
+  fb.local_round = true;
+  fb.transmitted = transmitted;
+  fb.ack = transmitted && ack;
+  return fb;
+}
+
+TEST(DecayLocal, ProbabilitySweepsPowersOfTwo) {
+  DecayLocalBcastProtocol p(4);
+  p.on_start();
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 1.0);
+  p.on_slot(data_fb());
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.5);
+  p.on_slot(data_fb());
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.25);
+  p.on_slot(data_fb());
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.125);
+  p.on_slot(data_fb());
+  // Cycle wraps.
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 1.0);
+}
+
+TEST(DecayLocal, StopsOnAck) {
+  DecayLocalBcastProtocol p(4);
+  p.on_start();
+  p.on_slot(data_fb(true, true));
+  EXPECT_TRUE(p.finished());
+  EXPECT_EQ(p.rounds_to_delivery(), 1);
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.0);
+}
+
+TEST(DecayLocal, EndToEndCompletes) {
+  Scenario s(test::random_points(30, 3, 50), test::default_config());
+  auto protos = make_protocols(30, [](NodeId) {
+    return std::make_unique<DecayLocalBcastProtocol>(6);
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.seed = 51});
+  const auto result = track_until_all(
+      engine, [](const Protocol& p, NodeId) { return p.finished(); }, 30000);
+  EXPECT_TRUE(result.all_done);
+}
+
+TEST(Aloha, FixedProbabilityUntilAck) {
+  AlohaLocalBcastProtocol p(0.2);
+  p.on_start();
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.2);
+  p.on_slot(data_fb());
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.2);
+  p.on_slot(data_fb(true, true));
+  EXPECT_TRUE(p.finished());
+}
+
+TEST(Aloha, EndToEndCompletesWithOracleDegree) {
+  Scenario s(test::random_points(30, 3, 52), test::default_config());
+  const double p0 = 1.0 / static_cast<double>(s.max_degree() + 1);
+  auto protos = make_protocols(30, [&](NodeId) {
+    return std::make_unique<AlohaLocalBcastProtocol>(p0);
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.seed = 53});
+  const auto result = track_until_all(
+      engine, [](const Protocol& p, NodeId) { return p.finished(); }, 60000);
+  EXPECT_TRUE(result.all_done);
+}
+
+TEST(DecayBroadcast, UninformedStaysSilent) {
+  DecayBroadcastProtocol p(5, /*source=*/false);
+  p.on_start();
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.0);
+  EXPECT_FALSE(p.informed());
+}
+
+TEST(DecayBroadcast, ReceptionInformsAndActivates) {
+  DecayBroadcastProtocol p(5, false);
+  p.on_start();
+  SlotFeedback fb = data_fb();
+  fb.received = true;
+  fb.sender = NodeId(2);
+  p.on_slot(fb);
+  EXPECT_TRUE(p.informed());
+  EXPECT_EQ(p.informed_round(), 1);
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 1.0);  // cycle start
+}
+
+TEST(DecayBroadcast, EndToEndFloodsChain) {
+  Rng rng(54);
+  auto pts = cluster_chain(5, 5, 0.6, 0.05, rng);
+  Scenario s(std::move(pts), test::default_config());
+  const std::size_t n = s.network().size();
+  auto protos = make_protocols(n, [](NodeId id) {
+    return std::make_unique<DecayBroadcastProtocol>(6, id == NodeId(0));
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.seed = 55});
+  const auto result = track_until_all(
+      engine,
+      [](const Protocol& p, NodeId) {
+        return static_cast<const DecayBroadcastProtocol&>(p).informed();
+      },
+      30000);
+  EXPECT_TRUE(result.all_done);
+}
+
+}  // namespace
+}  // namespace udwn

@@ -1,0 +1,205 @@
+#include "core/broadcast.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/recorders.h"
+#include "analysis/runner.h"
+#include "analysis/scenario.h"
+#include "tests/helpers.h"
+#include "topo/generators.h"
+
+namespace udwn {
+namespace {
+
+SlotFeedback fb(Slot slot) {
+  SlotFeedback f;
+  f.slot = slot;
+  f.local_round = true;
+  return f;
+}
+
+TryAdjust::Config cfg_n(std::size_t n) { return TryAdjust::standard(n, 1.0); }
+
+TEST(BcastProtocol, NonSourceStartsAsleep) {
+  BcastProtocol p(cfg_n(16), BcastProtocol::Mode::Static, /*source=*/false);
+  p.on_start();
+  EXPECT_FALSE(p.informed());
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.0);
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Notify), 0.0);
+}
+
+TEST(BcastProtocol, SourceStartsInformed) {
+  BcastProtocol p(cfg_n(16), BcastProtocol::Mode::Static, /*source=*/true);
+  p.on_start();
+  EXPECT_TRUE(p.informed());
+  EXPECT_EQ(p.informed_round(), 0);
+  EXPECT_GT(p.transmit_probability(Slot::Data), 0.0);
+}
+
+TEST(BcastProtocol, ReceivingWakesNode) {
+  BcastProtocol p(cfg_n(16), BcastProtocol::Mode::Static, false);
+  p.on_start();
+  SlotFeedback f = fb(Slot::Data);
+  f.received = true;
+  f.sender = NodeId(5);
+  p.on_slot(f);
+  p.on_slot(fb(Slot::Notify));
+  EXPECT_TRUE(p.informed());
+  // Contends from the next round with the initial probability.
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 1.0 / 32);
+}
+
+TEST(BcastProtocol, AckSchedulesNotifyRetransmission) {
+  BcastProtocol p(cfg_n(16), BcastProtocol::Mode::Static, true);
+  p.on_start();
+  SlotFeedback f = fb(Slot::Data);
+  f.transmitted = true;
+  f.ack = true;
+  p.on_slot(f);
+  // Rule 1: deterministic retransmission in the Notify slot.
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Notify), 1.0);
+  p.on_slot(fb(Slot::Notify));
+  // Static mode: stop with reason Ack after the notify went out.
+  EXPECT_TRUE(p.finished());
+  EXPECT_EQ(p.stop_reason(), BcastProtocol::StopReason::Ack);
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.0);
+}
+
+TEST(BcastProtocol, DynamicModeRestartsInsteadOfStopping) {
+  BcastProtocol p(cfg_n(16), BcastProtocol::Mode::Dynamic, true);
+  p.on_start();
+  // Push the probability up first.
+  for (int i = 0; i < 4; ++i) {
+    p.on_slot(fb(Slot::Data));  // idle -> double
+    p.on_slot(fb(Slot::Notify));
+  }
+  EXPECT_GT(p.transmit_probability(Slot::Data), 1.0 / 32);
+  SlotFeedback f = fb(Slot::Data);
+  f.transmitted = true;
+  f.ack = true;
+  p.on_slot(f);
+  p.on_slot(fb(Slot::Notify));
+  EXPECT_FALSE(p.finished());
+  // Restarted at the initial (passive) probability.
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 1.0 / 32);
+}
+
+TEST(BcastProtocol, NtdInNotifySlotStopsStaticNode) {
+  BcastProtocol p(cfg_n(16), BcastProtocol::Mode::Static, true);
+  p.on_start();
+  // Rule 2 requires: received a message in the Data slot...
+  SlotFeedback data = fb(Slot::Data);
+  data.received = true;
+  data.sender = NodeId(3);
+  p.on_slot(data);
+  // ...and NTD in the Notify slot.
+  SlotFeedback notify = fb(Slot::Notify);
+  notify.received = true;
+  notify.sender = NodeId(3);
+  notify.ntd = true;
+  p.on_slot(notify);
+  EXPECT_TRUE(p.finished());
+  EXPECT_EQ(p.stop_reason(), BcastProtocol::StopReason::Ntd);
+}
+
+TEST(BcastProtocol, NtdWithoutDataReceptionIsIgnored) {
+  BcastProtocol p(cfg_n(16), BcastProtocol::Mode::Static, true);
+  p.on_start();
+  p.on_slot(fb(Slot::Data));  // nothing received
+  SlotFeedback notify = fb(Slot::Notify);
+  notify.received = true;
+  notify.sender = NodeId(3);
+  notify.ntd = true;
+  p.on_slot(notify);
+  EXPECT_FALSE(p.finished());
+}
+
+TEST(BcastProtocol, SpontaneousModeStartsInformed) {
+  BcastProtocol p(cfg_n(16), BcastProtocol::Mode::Static, false,
+                  /*spontaneous=*/true);
+  p.on_start();
+  EXPECT_TRUE(p.informed());
+}
+
+// --- end-to-end -----------------------------------------------------------
+
+TEST(BcastEndToEnd, StaticChainInformsEveryNode) {
+  // 8 clusters of 6 nodes, adjacent clusters within communication range:
+  // a diameter-8-ish instance. Bcast* must inform everyone.
+  Rng rng(21);
+  auto pts = cluster_chain(8, 6, 0.6, 0.05, rng);
+  Scenario s(std::move(pts), test::default_config());
+  const std::size_t n = s.network().size();
+  const NodeId source(0);
+  auto protos = make_protocols(n, [&](NodeId id) {
+    return std::make_unique<BcastProtocol>(
+        cfg_n(n), BcastProtocol::Mode::Static, id == source);
+  });
+  const CarrierSensing cs = s.sensing_broadcast();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.slots_per_round = 2, .seed = 8});
+  const auto result = track_until_all(
+      engine,
+      [](const Protocol& p, NodeId) {
+        return static_cast<const BcastProtocol&>(p).informed();
+      },
+      20000);
+  EXPECT_TRUE(result.all_done);
+}
+
+TEST(BcastEndToEnd, InformedSetGrowsMonotonically) {
+  Rng rng(22);
+  auto pts = cluster_chain(5, 5, 0.6, 0.05, rng);
+  Scenario s(std::move(pts), test::default_config());
+  const std::size_t n = s.network().size();
+  auto protos = make_protocols(n, [&](NodeId id) {
+    return std::make_unique<BcastProtocol>(
+        cfg_n(n), BcastProtocol::Mode::Static, id == NodeId(0));
+  });
+  const CarrierSensing cs = s.sensing_broadcast();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.slots_per_round = 2, .seed = 9});
+  std::size_t last = 0;
+  for (int i = 0; i < 3000; ++i) {
+    engine.step();
+    std::size_t informed = 0;
+    for (NodeId v : s.network().alive_nodes())
+      if (static_cast<const BcastProtocol&>(engine.protocol(v)).informed())
+        ++informed;
+    EXPECT_GE(informed, last);
+    last = informed;
+    if (last == n) break;
+  }
+  EXPECT_EQ(last, n);
+}
+
+TEST(BcastEndToEnd, DynamicModeSurvivesChurn) {
+  Rng rng(23);
+  auto pts = cluster_chain(4, 8, 0.6, 0.1, rng);
+  Scenario s(std::move(pts), test::default_config());
+  const std::size_t n = s.network().size();
+  const NodeId source(0);
+  auto protos = make_protocols(n, [&](NodeId id) {
+    return std::make_unique<BcastProtocol>(
+        TryAdjust::standard(n, 2.0), BcastProtocol::Mode::Dynamic,
+        id == source);
+  });
+  const CarrierSensing cs = s.sensing_broadcast();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.slots_per_round = 2, .seed = 10});
+  ChurnDynamics churn({.arrival_rate = 0.02,
+                       .departure_rate = 0.02,
+                       .pinned = {source}});
+  engine.set_dynamics(&churn);
+  const auto result = track_until_all(
+      engine,
+      [](const Protocol& p, NodeId) {
+        return static_cast<const BcastProtocol&>(p).informed();
+      },
+      30000);
+  // All *currently alive* nodes are informed.
+  EXPECT_TRUE(result.all_done);
+}
+
+}  // namespace
+}  // namespace udwn

@@ -1,0 +1,146 @@
+#include "phy/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/scenario.h"
+#include "common/rng.h"
+#include "tests/helpers.h"
+
+namespace udwn {
+namespace {
+
+std::vector<NodeId> txset(std::initializer_list<std::uint32_t> ids) {
+  std::vector<NodeId> out;
+  for (auto id : ids) out.push_back(NodeId(id));
+  return out;
+}
+
+TEST(Channel, CommRadiusIsOneMinusEpsilonR) {
+  Scenario s(test::pair_at(0.5), test::default_config());
+  EXPECT_NEAR(s.channel().comm_radius(), 0.7, 1e-12);
+}
+
+TEST(Channel, NeighborsRespectRadiusAndAliveness) {
+  Scenario s({{0, 0}, {0.5, 0}, {0.69, 0}, {0.8, 0}}, test::default_config());
+  auto nbrs = s.channel().neighbors(NodeId(0), s.network().alive_mask());
+  ASSERT_EQ(nbrs.size(), 2u);  // 0.5 and 0.69; 0.8 is out of R_B = 0.7
+
+  s.network().set_alive(NodeId(1), false);
+  nbrs = s.channel().neighbors(NodeId(0), s.network().alive_mask());
+  ASSERT_EQ(nbrs.size(), 1u);
+  EXPECT_EQ(nbrs[0], NodeId(2));
+}
+
+TEST(Channel, LoneTransmitterMassDelivers) {
+  Scenario s({{0, 0}, {0.5, 0}, {0.6, 0}}, test::default_config());
+  const auto outcome =
+      s.channel().resolve(txset({0}), s.network().alive_mask());
+  EXPECT_TRUE(outcome.mass_delivered[0]);
+  EXPECT_TRUE(outcome.clear[0]);
+  EXPECT_EQ(outcome.decoded_from[1], NodeId(0));
+  EXPECT_EQ(outcome.decoded_from[2], NodeId(0));
+}
+
+TEST(Channel, TransmittersNeverDecode) {
+  Scenario s({{0, 0}, {0.5, 0}}, test::default_config());
+  const auto outcome =
+      s.channel().resolve(txset({0, 1}), s.network().alive_mask());
+  EXPECT_FALSE(outcome.decoded_from[0].valid());
+  EXPECT_FALSE(outcome.decoded_from[1].valid());
+}
+
+TEST(Channel, TransmittingNeighborBlocksMassDelivery) {
+  // Node 1 transmits concurrently: half-duplex, it cannot receive node 0,
+  // so node 0's mass-delivery fails even though node 2 decodes.
+  Scenario s({{0, 0}, {0.5, 0}, {5, 0}, {5.5, 0}}, test::default_config());
+  const auto outcome =
+      s.channel().resolve(txset({0, 1}), s.network().alive_mask());
+  EXPECT_FALSE(outcome.mass_delivered[0]);
+}
+
+TEST(Channel, DeadNodesNeitherDecodeNorBlock) {
+  Scenario s({{0, 0}, {0.5, 0}, {0.6, 0}}, test::default_config());
+  s.network().set_alive(NodeId(1), false);
+  const auto outcome =
+      s.channel().resolve(txset({0}), s.network().alive_mask());
+  EXPECT_FALSE(outcome.decoded_from[1].valid());
+  EXPECT_TRUE(outcome.mass_delivered[0]);  // only alive neighbor is node 2
+}
+
+TEST(Channel, IsolatedTransmitterVacuouslyMassDelivers) {
+  Scenario s({{0, 0}, {50, 0}}, test::default_config());
+  const auto outcome =
+      s.channel().resolve(txset({0}), s.network().alive_mask());
+  EXPECT_TRUE(outcome.mass_delivered[0]);  // no neighbors at all
+}
+
+TEST(Channel, EmptyTransmitterSet) {
+  Scenario s(test::random_points(10, 3, 40), test::default_config());
+  const auto outcome = s.channel().resolve(txset({}), s.network().alive_mask());
+  EXPECT_TRUE(outcome.transmitters.empty());
+  for (std::size_t v = 0; v < 10; ++v) {
+    EXPECT_FALSE(outcome.decoded_from[v].valid());
+    EXPECT_DOUBLE_EQ(outcome.interference[v], 0.0);
+  }
+}
+
+// Invariants that must hold for every model, random instance and random
+// transmitter set.
+class ChannelInvariants : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(ChannelInvariants, ResolveIsConsistent) {
+  Rng rng(99);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Scenario s(test::random_points(50, 5, seed),
+               test::config_for(GetParam()));
+    const auto alive = s.network().alive_mask();
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<NodeId> txs;
+      for (std::uint32_t v = 0; v < 50; ++v)
+        if (rng.chance(0.1)) txs.push_back(NodeId(v));
+      const auto outcome = s.channel().resolve(txs, alive);
+
+      std::vector<std::uint8_t> is_tx(50, 0);
+      for (NodeId u : txs) is_tx[u.value] = 1;
+
+      for (std::size_t v = 0; v < 50; ++v) {
+        const NodeId decoded = outcome.decoded_from[v];
+        if (decoded.valid()) {
+          // Decoded sender must be an actual transmitter, and a receiver
+          // never transmits.
+          EXPECT_TRUE(std::find(txs.begin(), txs.end(), decoded) != txs.end());
+          EXPECT_FALSE(is_tx[v]);
+        }
+      }
+      for (NodeId u : txs) {
+        // mass_delivered consistency with per-receiver decodes.
+        bool all = true;
+        for (NodeId v : s.neighbors(u))
+          if (outcome.decoded_from[v.value] != u) all = false;
+        EXPECT_EQ(outcome.mass_delivered[u.value] != 0, all);
+        // Def. 1: clear channel forces mass delivery.
+        if (outcome.clear[u.value]) {
+          EXPECT_TRUE(outcome.mass_delivered[u.value]);
+        }
+      }
+      // Non-transmitters carry no flags.
+      for (std::size_t v = 0; v < 50; ++v) {
+        if (!is_tx[v]) {
+          EXPECT_FALSE(outcome.mass_delivered[v]);
+          EXPECT_FALSE(outcome.clear[v]);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ChannelInvariants,
+                         ::testing::ValuesIn(test::all_models()),
+                         [](const auto& info) {
+                           return test::model_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace udwn

@@ -1,0 +1,163 @@
+#include "sim/dynamics.h"
+
+#include <gtest/gtest.h>
+
+#include "metric/euclidean.h"
+#include "tests/helpers.h"
+
+namespace udwn {
+namespace {
+
+TEST(ChurnDynamics, DepartureRateRemovesNodes) {
+  EuclideanMetric m(test::random_points(20, 5, 1));
+  Network net(m);
+  ChurnDynamics churn({.departure_rate = 1.0});
+  Rng rng(1);
+  for (Round t = 0; t < 5; ++t) {
+    const auto changes = churn.step(net, rng, t);
+    EXPECT_EQ(changes.departures.size(), 1u);
+  }
+  EXPECT_EQ(net.alive_count(), 15u);
+}
+
+TEST(ChurnDynamics, FractionalRatesAccumulate) {
+  EuclideanMetric m(test::random_points(20, 5, 2));
+  Network net(m);
+  ChurnDynamics churn({.departure_rate = 0.25});
+  Rng rng(2);
+  std::size_t departed = 0;
+  for (Round t = 0; t < 8; ++t)
+    departed += churn.step(net, rng, t).departures.size();
+  EXPECT_EQ(departed, 2u);
+}
+
+TEST(ChurnDynamics, ArrivalsReviveDeadNodes) {
+  EuclideanMetric m(test::random_points(10, 5, 3));
+  Network net(m);
+  for (std::uint32_t v = 0; v < 5; ++v) net.set_alive(NodeId(v), false);
+  ChurnDynamics churn({.arrival_rate = 1.0, .placement_extent = 5.0});
+  Rng rng(3);
+  for (Round t = 0; t < 3; ++t) {
+    const auto changes = churn.step(net, rng, t);
+    EXPECT_EQ(changes.arrivals.size(), 1u);
+    EXPECT_TRUE(net.alive(changes.arrivals[0]));
+  }
+  EXPECT_EQ(net.alive_count(), 8u);
+}
+
+TEST(ChurnDynamics, ArrivalsStopWhenPoolEmpty) {
+  EuclideanMetric m(test::random_points(3, 5, 4));
+  Network net(m);
+  ChurnDynamics churn({.arrival_rate = 2.0});
+  Rng rng(4);
+  const auto changes = churn.step(net, rng, 0);
+  EXPECT_TRUE(changes.arrivals.empty());  // everyone already alive
+}
+
+TEST(ChurnDynamics, ArrivalsRepositionWithPlacementExtent) {
+  EuclideanMetric m(test::random_points(6, 5, 11));
+  Network net(m);
+  for (std::uint32_t v = 0; v < 6; ++v) net.set_alive(NodeId(v), false);
+  const Vec2 before = m.position(NodeId(0));
+  ChurnDynamics churn({.arrival_rate = 6.0, .placement_extent = 100.0});
+  Rng rng(11);
+  churn.step(net, rng, 0);
+  // All six revived; at least some were re-placed (probability of all six
+  // landing on their old coordinates is zero).
+  EXPECT_EQ(net.alive_count(), 6u);
+  bool moved = false;
+  for (std::uint32_t v = 0; v < 6; ++v)
+    moved = moved || !(m.position(NodeId(v)) == test::random_points(6, 5, 11)[v]);
+  EXPECT_TRUE(moved);
+  (void)before;
+}
+
+TEST(ChurnDynamics, ZeroPlacementExtentKeepsPositions) {
+  EuclideanMetric m(test::random_points(3, 5, 12));
+  const auto original = test::random_points(3, 5, 12);
+  Network net(m);
+  net.set_alive(NodeId(1), false);
+  ChurnDynamics churn({.arrival_rate = 1.0, .placement_extent = 0.0});
+  Rng rng(12);
+  churn.step(net, rng, 0);
+  EXPECT_TRUE(net.alive(NodeId(1)));
+  EXPECT_EQ(m.position(NodeId(1)), original[1]);
+}
+
+TEST(ChurnDynamics, PinnedNodesNeverLeave) {
+  EuclideanMetric m(test::random_points(4, 5, 5));
+  Network net(m);
+  ChurnDynamics churn(
+      {.departure_rate = 1.0, .pinned = {NodeId(0), NodeId(1)}});
+  Rng rng(5);
+  for (Round t = 0; t < 10; ++t) churn.step(net, rng, t);
+  EXPECT_TRUE(net.alive(NodeId(0)));
+  EXPECT_TRUE(net.alive(NodeId(1)));
+  EXPECT_EQ(net.alive_count(), 2u);
+}
+
+TEST(WaypointMobility, SpeedBoundsDisplacementPerRound) {
+  EuclideanMetric m(test::random_points(30, 10, 6));
+  Network net(m);
+  WaypointMobility mobility(m, {.speed = 0.05, .extent = 10.0});
+  Rng rng(6);
+  std::vector<Vec2> before(30);
+  for (std::uint32_t v = 0; v < 30; ++v) before[v] = m.position(NodeId(v));
+  mobility.step(net, rng, 0);
+  for (std::uint32_t v = 0; v < 30; ++v) {
+    const double moved = distance(before[v], m.position(NodeId(v)));
+    EXPECT_LE(moved, 0.05 + 1e-12);
+  }
+}
+
+TEST(WaypointMobility, ZeroSpeedFreezesPositions) {
+  EuclideanMetric m(test::random_points(10, 5, 7));
+  Network net(m);
+  WaypointMobility mobility(m, {.speed = 0.0, .extent = 5.0});
+  Rng rng(7);
+  const Vec2 before = m.position(NodeId(3));
+  for (Round t = 0; t < 10; ++t) mobility.step(net, rng, t);
+  EXPECT_EQ(m.position(NodeId(3)), before);
+}
+
+TEST(WaypointMobility, DeadNodesDoNotMove) {
+  EuclideanMetric m(test::random_points(10, 5, 8));
+  Network net(m);
+  net.set_alive(NodeId(0), false);
+  WaypointMobility mobility(m, {.speed = 0.5, .extent = 5.0});
+  Rng rng(8);
+  const Vec2 before = m.position(NodeId(0));
+  for (Round t = 0; t < 10; ++t) mobility.step(net, rng, t);
+  EXPECT_EQ(m.position(NodeId(0)), before);
+}
+
+TEST(WaypointMobility, NodesStayInExtent) {
+  EuclideanMetric m(test::random_points(20, 5, 9));
+  Network net(m);
+  WaypointMobility mobility(m, {.speed = 0.3, .extent = 5.0});
+  Rng rng(9);
+  for (Round t = 0; t < 200; ++t) mobility.step(net, rng, t);
+  for (std::uint32_t v = 0; v < 20; ++v) {
+    const Vec2 p = m.position(NodeId(v));
+    EXPECT_GE(p.x, -0.3);
+    EXPECT_LE(p.x, 5.3);
+    EXPECT_GE(p.y, -0.3);
+    EXPECT_LE(p.y, 5.3);
+  }
+}
+
+TEST(CompositeDynamics, RunsAllPartsAndMergesChanges) {
+  EuclideanMetric m(test::random_points(20, 5, 10));
+  Network net(m);
+  for (std::uint32_t v = 10; v < 20; ++v) net.set_alive(NodeId(v), false);
+  ChurnDynamics arrivals({.arrival_rate = 1.0});
+  ChurnDynamics departures({.departure_rate = 1.0});
+  CompositeDynamics combo({&arrivals, &departures});
+  Rng rng(10);
+  const auto changes = combo.step(net, rng, 0);
+  EXPECT_EQ(changes.arrivals.size(), 1u);
+  EXPECT_EQ(changes.departures.size(), 1u);
+}
+
+}  // namespace
+}  // namespace udwn

@@ -1,0 +1,262 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/runner.h"
+#include "analysis/scenario.h"
+#include "tests/helpers.h"
+
+namespace udwn {
+namespace {
+
+/// Scripted protocol that transmits with a fixed probability and records
+/// everything it observes.
+class ProbeProtocol final : public Protocol {
+ public:
+  explicit ProbeProtocol(double p) : p_(p) {}
+
+  void on_start() override {
+    ++starts;
+    feedback.clear();
+  }
+  double transmit_probability(Slot slot) override {
+    return slot == Slot::Data ? p_ : 0.0;
+  }
+  void on_slot(const SlotFeedback& fb) override { feedback.push_back(fb); }
+
+  int starts = 0;
+  std::vector<SlotFeedback> feedback;
+
+ private:
+  double p_;
+};
+
+std::vector<std::unique_ptr<Protocol>> probe_protocols(std::size_t n,
+                                                       double p) {
+  return make_protocols(n, [p](NodeId) {
+    return std::make_unique<ProbeProtocol>(p);
+  });
+}
+
+ProbeProtocol& probe_at(std::span<const std::unique_ptr<Protocol>> protos,
+                        std::size_t i) {
+  return static_cast<ProbeProtocol&>(*protos[i]);
+}
+
+TEST(Engine, StartsAllAliveProtocols) {
+  Scenario s(test::random_points(5, 3, 1), test::default_config());
+  s.network().set_alive(NodeId(4), false);
+  auto protos = probe_protocols(5, 0.0);
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  EXPECT_EQ(probe_at(protos, 0).starts, 1);
+  EXPECT_EQ(probe_at(protos, 4).starts, 0);  // dead: not started
+}
+
+TEST(Engine, SynchronousEveryAliveNodeGetsFeedbackEveryRound) {
+  Scenario s(test::random_points(6, 3, 2), test::default_config());
+  auto protos = probe_protocols(6, 0.0);
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  for (int i = 0; i < 7; ++i) engine.step();
+  for (std::size_t v = 0; v < 6; ++v) {
+    EXPECT_EQ(probe_at(protos, v).feedback.size(), 7u);
+    for (const auto& fb : probe_at(protos, v).feedback)
+      EXPECT_TRUE(fb.local_round);
+  }
+}
+
+TEST(Engine, DeadNodesGetNoFeedback) {
+  Scenario s(test::random_points(4, 3, 3), test::default_config());
+  s.network().set_alive(NodeId(2), false);
+  auto protos = probe_protocols(4, 0.0);
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  engine.step();
+  EXPECT_TRUE(probe_at(protos, 2).feedback.empty());
+  EXPECT_EQ(probe_at(protos, 0).feedback.size(), 1u);
+}
+
+TEST(Engine, DeterministicForSameSeed) {
+  for (int rep = 0; rep < 2; ++rep) {
+    // Two fully independent builds with the same seed...
+    std::vector<std::vector<bool>> transcripts;
+    for (int copy = 0; copy < 2; ++copy) {
+      Scenario s(test::random_points(20, 4, 4), test::default_config());
+      auto protos = probe_protocols(20, 0.3);
+      const CarrierSensing cs = s.sensing_local();
+      Engine engine(s.channel(), s.network(), cs, protos,
+                    EngineConfig{.seed = 99});
+      for (int i = 0; i < 30; ++i) engine.step();
+      std::vector<bool> transcript;
+      for (std::size_t v = 0; v < 20; ++v)
+        for (const auto& fb : probe_at(protos, v).feedback)
+          transcript.push_back(fb.transmitted);
+      transcripts.push_back(std::move(transcript));
+    }
+    EXPECT_EQ(transcripts[0], transcripts[1]);
+  }
+}
+
+TEST(Engine, DifferentSeedsDiverge) {
+  std::vector<int> totals;
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    Scenario s(test::random_points(20, 4, 5), test::default_config());
+    auto protos = probe_protocols(20, 0.3);
+    const CarrierSensing cs = s.sensing_local();
+    Engine engine(s.channel(), s.network(), cs, protos,
+                  EngineConfig{.seed = seed});
+    for (int i = 0; i < 30; ++i) engine.step();
+    int transmitted = 0;
+    for (std::size_t v = 0; v < 20; ++v)
+      for (const auto& fb : probe_at(protos, v).feedback)
+        transmitted += fb.transmitted ? 1 : 0;
+    totals.push_back(transmitted);
+  }
+  EXPECT_NE(totals[0], totals[1]);  // overwhelmingly likely
+}
+
+TEST(Engine, TransmissionFrequencyMatchesProbability) {
+  Scenario s(test::pair_at(50.0), test::default_config());  // isolated pair
+  auto protos = probe_protocols(2, 0.25);
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.seed = 7});
+  const int rounds = 8000;
+  for (int i = 0; i < rounds; ++i) engine.step();
+  int tx = 0;
+  for (const auto& fb : probe_at(protos, 0).feedback)
+    tx += fb.transmitted ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(tx) / rounds, 0.25, 0.02);
+}
+
+TEST(Engine, AsyncClockRatesWithinDriftBound) {
+  Scenario s(test::random_points(40, 6, 6), test::default_config());
+  auto protos = probe_protocols(40, 0.0);
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.async = true, .drift_bound = 2.0, .seed = 11});
+  const int rounds = 1000;
+  for (int i = 0; i < rounds; ++i) engine.step();
+  for (std::size_t v = 0; v < 40; ++v) {
+    int local = 0;
+    for (const auto& fb : probe_at(protos, v).feedback)
+      local += fb.local_round ? 1 : 0;
+    // Rate in [1/2, 1] of global rounds, with slack for phase effects.
+    EXPECT_GE(local, rounds / 2 - 3);
+    EXPECT_LE(local, rounds);
+    // Radios stay on: feedback delivered every global round regardless.
+    EXPECT_EQ(probe_at(protos, v).feedback.size(),
+              static_cast<std::size_t>(rounds));
+  }
+}
+
+TEST(Engine, ChurnArrivalRestartsProtocol) {
+  Scenario s(test::random_points(5, 3, 7), test::default_config());
+  s.network().set_alive(NodeId(0), false);
+  auto protos = probe_protocols(5, 0.0);
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  EXPECT_EQ(probe_at(protos, 0).starts, 0);
+
+  ChurnDynamics churn({.arrival_rate = 1.0});
+  engine.set_dynamics(&churn);
+  engine.step();
+  EXPECT_EQ(probe_at(protos, 0).starts, 1);  // the only dead node revived
+}
+
+TEST(Engine, RunUntilReportsCompletionRound) {
+  Scenario s(test::pair_at(0.5), test::default_config());
+  auto protos = probe_protocols(2, 0.0);
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  const auto result = engine.run_until(
+      [](const Engine& e) { return e.round() >= 5; }, 100);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, 5);
+}
+
+TEST(Engine, RunUntilTimesOut) {
+  Scenario s(test::pair_at(0.5), test::default_config());
+  auto protos = probe_protocols(2, 0.0);
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  const auto result =
+      engine.run_until([](const Engine&) { return false; }, 10);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(engine.round(), 10);
+}
+
+TEST(Engine, LastProbabilityReflectsDataSlot) {
+  Scenario s(test::pair_at(0.5), test::default_config());
+  auto protos = probe_protocols(2, 0.4);
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  engine.step();
+  EXPECT_DOUBLE_EQ(engine.last_probability(NodeId(0)), 0.4);
+  EXPECT_DOUBLE_EQ(engine.last_probability(NodeId(1)), 0.4);
+}
+
+TEST(Engine, MessageDeliveredBetweenNeighbors) {
+  // One certain transmitter, one listener in range: the listener's feedback
+  // must show the reception with the correct sender.
+  Scenario s(test::pair_at(0.5), test::default_config());
+  auto protos = make_protocols(2, [](NodeId id) {
+    return std::make_unique<ProbeProtocol>(id == NodeId(0) ? 1.0 : 0.0);
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  engine.step();
+  const auto& fb = probe_at(protos, 1).feedback.at(0);
+  EXPECT_TRUE(fb.received);
+  EXPECT_EQ(fb.sender, NodeId(0));
+  EXPECT_FALSE(fb.ntd);  // 0.5 >= εR/2 = 0.15
+  // The transmitter got its ACK (clear channel).
+  const auto& fb0 = probe_at(protos, 0).feedback.at(0);
+  EXPECT_TRUE(fb0.transmitted);
+  EXPECT_TRUE(fb0.ack);
+}
+
+TEST(Engine, NtdFiresForVeryCloseSender) {
+  Scenario s(test::pair_at(0.1), test::default_config());  // < εR/2 = 0.15
+  auto protos = make_protocols(2, [](NodeId id) {
+    return std::make_unique<ProbeProtocol>(id == NodeId(0) ? 1.0 : 0.0);
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  engine.step();
+  const auto& fb = probe_at(protos, 1).feedback.at(0);
+  EXPECT_TRUE(fb.received);
+  EXPECT_TRUE(fb.ntd);
+}
+
+TEST(Engine, BusySensedNearTransmitter) {
+  Scenario s({{0, 0}, {0.3, 0}}, test::default_config());
+  auto protos = make_protocols(2, [](NodeId id) {
+    return std::make_unique<ProbeProtocol>(id == NodeId(0) ? 1.0 : 0.0);
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  engine.step();
+  EXPECT_TRUE(probe_at(protos, 1).feedback.at(0).busy);
+  // The transmitter itself senses only others: idle.
+  EXPECT_FALSE(probe_at(protos, 0).feedback.at(0).busy);
+}
+
+TEST(Engine, TwoSlotRoundsDeliverBothSlots) {
+  Scenario s(test::pair_at(0.5), test::default_config());
+  auto protos = probe_protocols(2, 0.0);
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.slots_per_round = 2});
+  engine.step();
+  const auto& fbs = probe_at(protos, 0).feedback;
+  ASSERT_EQ(fbs.size(), 2u);
+  EXPECT_EQ(fbs[0].slot, Slot::Data);
+  EXPECT_EQ(fbs[1].slot, Slot::Notify);
+}
+
+}  // namespace
+}  // namespace udwn

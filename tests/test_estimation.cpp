@@ -1,0 +1,98 @@
+#include "sensing/estimation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/scenario.h"
+#include "common/rng.h"
+#include "tests/helpers.h"
+#include "topo/generators.h"
+
+namespace udwn {
+namespace {
+
+TEST(ProbeScales, GeometricSweep) {
+  const auto scales = probe_scales(4);
+  ASSERT_EQ(scales.size(), 4u);
+  EXPECT_DOUBLE_EQ(scales[0], 1.0);
+  EXPECT_DOUBLE_EQ(scales[1], 0.5);
+  EXPECT_DOUBLE_EQ(scales[3], 0.125);
+}
+
+TEST(EstimateContention, ExactExponentialInput) {
+  // Perfect e^{-αP} observations must return P exactly.
+  const double P = 2.5;
+  const auto scales = probe_scales(5);
+  std::vector<double> freqs;
+  for (double a : scales) freqs.push_back(std::exp(-a * P));
+  EXPECT_NEAR(estimate_contention(scales, freqs), P, 1e-12);
+}
+
+TEST(EstimateContention, SingleScale) {
+  const std::vector<double> scales{0.5};
+  const std::vector<double> freqs{std::exp(-0.5 * 3.0)};
+  EXPECT_NEAR(estimate_contention(scales, freqs), 3.0, 1e-12);
+}
+
+TEST(EstimateContention, FloorPreventsInfiniteEstimates) {
+  const std::vector<double> scales{1.0};
+  const std::vector<double> freqs{0.0};  // channel always busy
+  const double est = estimate_contention(scales, freqs, 1e-4);
+  EXPECT_TRUE(std::isfinite(est));
+  EXPECT_NEAR(est, -std::log(1e-4), 1e-12);
+}
+
+TEST(EstimateContention, ZeroContention) {
+  const auto scales = probe_scales(3);
+  const std::vector<double> freqs{1.0, 1.0, 1.0};  // always silent
+  EXPECT_NEAR(estimate_contention(scales, freqs), 0.0, 1e-12);
+}
+
+// End-to-end App. B scheme against the exact channel: contenders in one
+// collision domain scale their probabilities through the probe sweep; a
+// listener derives the contention from observed silence frequencies.
+class ProbingSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProbingSweep, RecoversContentionWithinFactor) {
+  const double target = GetParam();  // true total contention P
+  const std::size_t contenders = 24;
+  Rng rng(42 + static_cast<std::uint64_t>(target * 100));
+
+  // One tight collision domain + a listener at the center (node 0).
+  auto pts = uniform_disk(contenders + 1, {0, 0}, 0.2, rng);
+  pts[0] = {0, 0};
+  Scenario s(std::move(pts), test::default_config());
+  const CarrierSensing cs = s.sensing_local();
+
+  const double p_each = target / contenders;
+  const auto scales = probe_scales(4);
+  const int trials_per_scale = 600;
+
+  std::vector<double> silence;
+  for (double alpha : scales) {
+    int silent = 0;
+    for (int t = 0; t < trials_per_scale; ++t) {
+      std::vector<NodeId> txs;
+      for (std::uint32_t v = 1; v <= contenders; ++v)
+        if (rng.chance(std::min(1.0, alpha * p_each)))
+          txs.push_back(NodeId(v));
+      const auto outcome = s.channel().resolve(txs, s.network().alive_mask());
+      // The listener's probe reading: Idle iff no sensed activity.
+      silent += cs.busy(outcome.interference[0]) ? 0 : 1;
+    }
+    silence.push_back(static_cast<double>(silent) / trials_per_scale);
+  }
+
+  const double est = estimate_contention(scales, silence);
+  // App. B promises a "small approximation": within a factor 1.5 here.
+  // (The Bernoulli/Poisson gap inflates estimates slightly at high P.)
+  EXPECT_GT(est, target / 1.5) << "target " << target;
+  EXPECT_LT(est, target * 1.5) << "target " << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(ContentionLevels, ProbingSweep,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace udwn

@@ -1,0 +1,76 @@
+#include "metric/euclidean.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "metric/geometry.h"
+#include "tests/helpers.h"
+
+namespace udwn {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1, 2}, b{3, -1};
+  EXPECT_EQ((a + b), (Vec2{4, 1}));
+  EXPECT_EQ((a - b), (Vec2{-2, 3}));
+  EXPECT_EQ((a * 2.0), (Vec2{2, 4}));
+  EXPECT_EQ((2.0 * a), (Vec2{2, 4}));
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm2(), 25.0);
+}
+
+TEST(EuclideanMetric, IdentityOfIndiscernibles) {
+  EuclideanMetric m({{0, 0}, {1, 1}});
+  EXPECT_DOUBLE_EQ(m.distance(NodeId(0), NodeId(0)), 0.0);
+  EXPECT_GT(m.distance(NodeId(0), NodeId(1)), 0.0);
+}
+
+TEST(EuclideanMetric, CoLocatedDistinctPointsHaveZeroDistance) {
+  // Two distinct nodes can share a position; the metric reports 0 and the
+  // path-loss near-field clamp keeps the physics finite.
+  EuclideanMetric m({{2, 3}, {2, 3}});
+  EXPECT_DOUBLE_EQ(m.distance(NodeId(0), NodeId(1)), 0.0);
+}
+
+TEST(EuclideanMetric, Symmetry) {
+  EuclideanMetric m({{0, 0}, {3, 4}, {-1, 2}});
+  for (std::uint32_t i = 0; i < 3; ++i)
+    for (std::uint32_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(m.distance(NodeId(i), NodeId(j)),
+                       m.distance(NodeId(j), NodeId(i)));
+}
+
+TEST(EuclideanMetric, TriangleInequality) {
+  Rng rng(3);
+  EuclideanMetric m(test::random_points(20, 10.0, 3));
+  for (std::uint32_t a = 0; a < 20; ++a)
+    for (std::uint32_t b = 0; b < 20; ++b)
+      for (std::uint32_t c = 0; c < 20; ++c)
+        EXPECT_LE(m.distance(NodeId(a), NodeId(b)),
+                  m.distance(NodeId(a), NodeId(c)) +
+                      m.distance(NodeId(c), NodeId(b)) + 1e-12);
+}
+
+TEST(EuclideanMetric, KnownDistance) {
+  EuclideanMetric m({{0, 0}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m.distance(NodeId(0), NodeId(1)), 5.0);
+  EXPECT_DOUBLE_EQ(m.sym_distance(NodeId(0), NodeId(1)), 5.0);
+}
+
+TEST(EuclideanMetric, SetPositionMovesNode) {
+  EuclideanMetric m({{0, 0}, {1, 0}});
+  m.set_position(NodeId(1), {10, 0});
+  EXPECT_DOUBLE_EQ(m.distance(NodeId(0), NodeId(1)), 10.0);
+  EXPECT_EQ(m.position(NodeId(1)), (Vec2{10, 0}));
+}
+
+TEST(EuclideanMetric, AddPointExtends) {
+  EuclideanMetric m({{0, 0}});
+  const NodeId id = m.add_point({0, 2});
+  EXPECT_EQ(id, NodeId(1));
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.distance(NodeId(0), id), 2.0);
+}
+
+}  // namespace
+}  // namespace udwn

@@ -1,0 +1,82 @@
+#include "metric/graph_metric.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "topo/generators.h"
+
+namespace udwn {
+namespace {
+
+std::vector<std::vector<NodeId>> path_graph(std::size_t n) {
+  std::vector<std::vector<NodeId>> adj(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    adj[i].push_back(NodeId(static_cast<std::uint32_t>(i + 1)));
+    adj[i + 1].push_back(NodeId(static_cast<std::uint32_t>(i)));
+  }
+  return adj;
+}
+
+TEST(GraphMetric, PathDistances) {
+  GraphMetric m(path_graph(5), 1.0);
+  EXPECT_EQ(m.hops(NodeId(0), NodeId(4)), 4);
+  EXPECT_EQ(m.hops(NodeId(2), NodeId(2)), 0);
+  EXPECT_DOUBLE_EQ(m.distance(NodeId(0), NodeId(3)), 3.0);
+}
+
+TEST(GraphMetric, EdgeLengthScaling) {
+  GraphMetric m(path_graph(4), 2.5);
+  EXPECT_DOUBLE_EQ(m.distance(NodeId(0), NodeId(2)), 5.0);
+}
+
+TEST(GraphMetric, SymmetricOnUndirectedGraph) {
+  Rng rng(4);
+  GraphMetric m(random_tree_adjacency(30, 4, rng), 1.0);
+  for (std::uint32_t a = 0; a < 30; ++a)
+    for (std::uint32_t b = 0; b < 30; ++b)
+      EXPECT_EQ(m.hops(NodeId(a), NodeId(b)), m.hops(NodeId(b), NodeId(a)));
+}
+
+TEST(GraphMetric, DisconnectedIsInfinite) {
+  std::vector<std::vector<NodeId>> adj(3);
+  adj[0].push_back(NodeId(1));
+  adj[1].push_back(NodeId(0));
+  // node 2 isolated
+  GraphMetric m(adj, 1.0);
+  EXPECT_TRUE(std::isinf(m.distance(NodeId(0), NodeId(2))));
+  EXPECT_EQ(m.hops(NodeId(0), NodeId(2)), -1);
+}
+
+TEST(GraphMetric, TriangleInequalityOnTree) {
+  Rng rng(9);
+  GraphMetric m(random_tree_adjacency(25, 3, rng), 1.0);
+  for (std::uint32_t a = 0; a < 25; ++a)
+    for (std::uint32_t b = 0; b < 25; ++b)
+      for (std::uint32_t c = 0; c < 25; ++c)
+        EXPECT_LE(m.hops(NodeId(a), NodeId(b)),
+                  m.hops(NodeId(a), NodeId(c)) + m.hops(NodeId(c), NodeId(b)));
+}
+
+TEST(GraphMetric, NeighborsAccessor) {
+  GraphMetric m(path_graph(3), 1.0);
+  EXPECT_EQ(m.neighbors(NodeId(1)).size(), 2u);
+  EXPECT_EQ(m.neighbors(NodeId(0)).size(), 1u);
+}
+
+TEST(GraphMetric, TreeDistancesMatchDepthSum) {
+  // Star: center 0, leaves 1..5. Leaf-to-leaf distance is 2.
+  std::vector<std::vector<NodeId>> adj(6);
+  for (std::uint32_t leaf = 1; leaf <= 5; ++leaf) {
+    adj[0].push_back(NodeId(leaf));
+    adj[leaf].push_back(NodeId(0));
+  }
+  GraphMetric m(adj, 1.0);
+  for (std::uint32_t a = 1; a <= 5; ++a)
+    for (std::uint32_t b = 1; b <= 5; ++b)
+      EXPECT_EQ(m.hops(NodeId(a), NodeId(b)), a == b ? 0 : 2);
+}
+
+}  // namespace
+}  // namespace udwn

@@ -1,0 +1,216 @@
+// Cross-module integration tests: the paper's algorithms running on the
+// full simulation stack under every communication model, plus qualitative
+// versions of the headline claims (the quantitative sweeps live in bench/).
+#include <gtest/gtest.h>
+
+#include "analysis/recorders.h"
+#include "analysis/runner.h"
+#include "analysis/scenario.h"
+#include "baselines/decay.h"
+#include "core/broadcast.h"
+#include "core/local_broadcast.h"
+#include "core/spontaneous.h"
+#include "metric/graph_metric.h"
+#include "metric/lower_bound_metric.h"
+#include "sim/probe.h"
+#include "tests/helpers.h"
+#include "topo/generators.h"
+
+namespace udwn {
+namespace {
+
+// --- Pan-model operation (the "unified" claim) ----------------------------
+
+class PanModelLocalBcast : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(PanModelLocalBcast, SameAlgorithmCompletesUnderEveryModel) {
+  Scenario s(test::random_points(60, 4, 101), test::config_for(GetParam()));
+  const std::size_t n = s.network().size();
+  auto protos = make_protocols(n, [&](NodeId) {
+    return std::make_unique<LocalBcastProtocol>(TryAdjust::standard(n, 1.0));
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.seed = 102});
+  const auto result = track_until_all(
+      engine, [](const Protocol& p, NodeId) { return p.finished(); }, 60000);
+  EXPECT_TRUE(result.all_done) << test::model_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, PanModelLocalBcast,
+                         ::testing::ValuesIn(test::all_models()),
+                         [](const auto& info) {
+                           return test::model_name(info.param);
+                         });
+
+// --- BIG model: graph metric + graph reception rule ------------------------
+
+TEST(BigModel, LocalBcastCompletesOnGridGraph) {
+  // Edge length 0.6 with R = 1, ε = 0.3: 1-hop neighbors are within the
+  // communication radius 0.7, 2-hop nodes are beyond R. The grid graph is
+  // a genuine (1, λ=2)-bounded-independence instance.
+  auto metric =
+      std::make_unique<GraphMetric>(grid_adjacency(8, 8), 0.6);
+  ScenarioConfig cfg = test::config_for(ModelKind::Udg);
+  Scenario s(std::move(metric), cfg);
+  EXPECT_GE(s.max_degree(), 2u);
+  const std::size_t n = s.network().size();
+  auto protos = make_protocols(n, [&](NodeId) {
+    return std::make_unique<LocalBcastProtocol>(TryAdjust::standard(n, 1.0));
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.seed = 104});
+  const auto result = track_until_all(
+      engine, [](const Protocol& p, NodeId) { return p.finished(); }, 60000);
+  EXPECT_TRUE(result.all_done);
+}
+
+// --- Prop. 3.1 (qualitative): contention stabilizes from a worst start ----
+
+TEST(ContentionControl, GoodRoundsDominateAfterStabilization) {
+  // Every node starts at the maximum probability 1/2 — the adversarial
+  // initial configuration. After the O(log n) stabilization prefix, the
+  // overwhelming majority of rounds must be good.
+  Scenario s(test::random_points(100, 3, 105), test::default_config());
+  const std::size_t n = s.network().size();
+  // Uniform config with initial 1/2: worst case.
+  auto protos = make_protocols(n, [&](NodeId) {
+    return std::make_unique<LocalBcastProtocol>(TryAdjust::Config{
+        .initial = 0.5, .floor = 1e-12});
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.seed = 106});
+  // Skip the stabilization prefix (~ γ log n rounds).
+  for (int i = 0; i < 100; ++i) engine.step();
+
+  // Thresholds at observation scale; the quantitative sweep over n and
+  // threshold choices is EXP-01's job — here we assert the *direction* of
+  // Prop. 3.1: a solid majority of post-stabilization rounds is good even
+  // from the adversarial all-1/2 start.
+  GoodRoundThresholds thresholds{.eta_hat = 8.0, .interference_cap = 0.1};
+  GoodRoundRecorder recorder({NodeId(0), NodeId(17), NodeId(55)}, 2.0,
+                             thresholds);
+  engine.set_recorder(&recorder);
+  for (int i = 0; i < 300; ++i) engine.step();
+  for (NodeId probe : recorder.probes()) {
+    const auto& tally = recorder.tally(probe);
+    EXPECT_GE(static_cast<double>(tally.good) / tally.rounds, 0.6)
+        << "probe " << probe.value;
+  }
+}
+
+// --- Thm 5.3 (qualitative): NTD is necessary -------------------------------
+
+TEST(LowerBound, NoNtdBroadcastIsFarSlowerOnAdversarialMetric) {
+  const std::size_t n = 40;
+  const double radius = 1.0, eps = 0.3;
+
+  // The carrier-sense-free decay broadcast must hunt for the hidden bridge:
+  // expected Ω(n) rounds on the Thm 5.3 construction.
+  Round decay_rounds = 0;
+  {
+    Scenario s(std::make_unique<LowerBoundMetric>(n, radius, eps),
+               test::default_config());
+    auto protos = make_protocols(n, [](NodeId id) {
+      return std::make_unique<DecayBroadcastProtocol>(6, id == NodeId(0));
+    });
+    const CarrierSensing cs = s.sensing_local();
+    Engine engine(s.channel(), s.network(), cs, protos,
+                  EngineConfig{.seed = 107});
+    const auto result = track_until_all(
+        engine,
+        [](const Protocol& p, NodeId) {
+          return static_cast<const DecayBroadcastProtocol&>(p).informed();
+        },
+        200000);
+    ASSERT_TRUE(result.all_done);
+    decay_rounds = result.rounds;
+  }
+
+  // Bcast* with NTD: nodes that hear a covered-notification from a
+  // co-located node back off, breaking the symmetry of the cloud.
+  Round ntd_rounds = 0;
+  {
+    Scenario s(std::make_unique<LowerBoundMetric>(n, radius, eps),
+               test::default_config());
+    auto protos = make_protocols(n, [&](NodeId id) {
+      return std::make_unique<BcastProtocol>(TryAdjust::standard(n, 1.0),
+                                             BcastProtocol::Mode::Static,
+                                             id == NodeId(0));
+    });
+    const CarrierSensing cs = s.sensing_broadcast();
+    Engine engine(s.channel(), s.network(), cs, protos,
+                  EngineConfig{.slots_per_round = 2, .seed = 108});
+    const auto result = track_until_all(
+        engine,
+        [](const Protocol& p, NodeId) {
+          return static_cast<const BcastProtocol&>(p).informed();
+        },
+        200000);
+    ASSERT_TRUE(result.all_done);
+    ntd_rounds = result.rounds;
+  }
+
+  EXPECT_GT(decay_rounds, 2 * ntd_rounds)
+      << "decay=" << decay_rounds << " ntd=" << ntd_rounds;
+}
+
+// --- Dynamic local broadcast under node churn ------------------------------
+
+TEST(DynamicNetwork, LocalBcastProbeDeliversDespiteChurn) {
+  Scenario s(test::random_points(80, 4, 109), test::default_config());
+  const std::size_t n = s.network().size();
+  const NodeId probe(0);
+  auto protos = make_protocols(n, [&](NodeId) {
+    return std::make_unique<LocalBcastProtocol>(TryAdjust::standard(n, 1.0));
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.seed = 110});
+  ChurnDynamics churn({.arrival_rate = 0.05,
+                       .departure_rate = 0.05,
+                       .placement_extent = 4.0,
+                       .pinned = {probe}});
+  engine.set_dynamics(&churn);
+  const auto done = engine.run_until(
+      [&](const Engine& e) { return e.protocol(probe).finished(); }, 60000);
+  EXPECT_TRUE(done.has_value());
+}
+
+// --- Mobility: edge changes do not break local broadcast -------------------
+
+TEST(DynamicNetwork, LocalBcastCompletesUnderSlowMobility) {
+  Scenario s(test::random_points(60, 4, 111), test::default_config());
+  const std::size_t n = s.network().size();
+  auto protos = make_protocols(n, [&](NodeId) {
+    return std::make_unique<LocalBcastProtocol>(TryAdjust::standard(n, 1.0));
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.seed = 112});
+  WaypointMobility mobility(*s.euclidean(), {.speed = 0.002, .extent = 4.0});
+  engine.set_dynamics(&mobility);
+  const auto result = track_until_all(
+      engine, [](const Protocol& p, NodeId) { return p.finished(); }, 60000);
+  EXPECT_TRUE(result.all_done);
+}
+
+// --- Full pipeline: spontaneous broadcast beats Bcast* at larger diameter --
+
+TEST(SpontaneousVsStatic, DominatorFloodCompletesOnLongChain) {
+  Rng rng(113);
+  auto pts = cluster_chain(12, 5, 0.6, 0.05, rng);
+  Scenario s(std::move(pts), test::default_config());
+  SpontaneousBcast::Config cfg;
+  cfg.seed = 114;
+  const auto result = SpontaneousBcast::run(
+      s.channel(), s.network(), s.sensing_domset(), s.sensing_broadcast(),
+      NodeId(0), cfg);
+  EXPECT_TRUE(result.complete);
+  EXPECT_GT(result.dominators.size(), 6u);  // at least ~1 per cluster
+}
+
+}  // namespace
+}  // namespace udwn

@@ -1,0 +1,81 @@
+#include "phy/interference.h"
+
+#include <gtest/gtest.h>
+
+#include "metric/euclidean.h"
+#include "tests/helpers.h"
+
+namespace udwn {
+namespace {
+
+TEST(Interference, SingleTransmitterField) {
+  EuclideanMetric m({{0, 0}, {2, 0}, {4, 0}});
+  PathLoss pl(8.0, 3.0, 1e-3);
+  const std::vector<NodeId> txs{NodeId(0)};
+  const auto field = interference_field(m, pl, txs);
+  EXPECT_DOUBLE_EQ(field[0], 0.0);  // own signal excluded
+  EXPECT_DOUBLE_EQ(field[1], 1.0);  // 8 / 2^3
+  EXPECT_DOUBLE_EQ(field[2], 8.0 / 64.0);
+}
+
+TEST(Interference, FieldIsAdditive) {
+  EuclideanMetric m(test::random_points(20, 5, 30));
+  PathLoss pl(1.0, 3.0, 1e-3);
+  const std::vector<NodeId> a{NodeId(0)};
+  const std::vector<NodeId> b{NodeId(1)};
+  const std::vector<NodeId> both{NodeId(0), NodeId(1)};
+  const auto fa = interference_field(m, pl, a);
+  const auto fb = interference_field(m, pl, b);
+  const auto fboth = interference_field(m, pl, both);
+  for (std::size_t v = 2; v < 20; ++v)
+    EXPECT_NEAR(fboth[v], fa[v] + fb[v], 1e-12);
+}
+
+TEST(Interference, TransmitterExcludesOnlyItself) {
+  EuclideanMetric m({{0, 0}, {1, 0}});
+  PathLoss pl(1.0, 3.0, 1e-3);
+  const std::vector<NodeId> txs{NodeId(0), NodeId(1)};
+  const auto field = interference_field(m, pl, txs);
+  EXPECT_DOUBLE_EQ(field[0], 1.0);  // sees node 1
+  EXPECT_DOUBLE_EQ(field[1], 1.0);  // sees node 0
+}
+
+TEST(Interference, AtListenerMatchesField) {
+  EuclideanMetric m(test::random_points(25, 6, 31));
+  PathLoss pl(2.0, 2.5, 1e-3);
+  const std::vector<NodeId> txs{NodeId(3), NodeId(7), NodeId(11)};
+  const auto field = interference_field(m, pl, txs);
+  for (std::uint32_t v = 0; v < 25; ++v)
+    EXPECT_NEAR(interference_at(m, pl, txs, NodeId(v)), field[v], 1e-12);
+}
+
+TEST(Interference, ExclusionSubtractsSender) {
+  EuclideanMetric m(test::random_points(25, 6, 32));
+  PathLoss pl(2.0, 3.0, 1e-3);
+  const std::vector<NodeId> txs{NodeId(1), NodeId(2), NodeId(3)};
+  const NodeId listener(10);
+  const double all = interference_at(m, pl, txs, listener);
+  const double without =
+      interference_at(m, pl, txs, listener, /*excluded=*/NodeId(2));
+  const double sender_signal = pl.signal(m.distance(NodeId(2), listener));
+  EXPECT_NEAR(all - without, sender_signal, 1e-12);
+}
+
+TEST(Interference, NoTransmittersZeroField) {
+  EuclideanMetric m(test::random_points(10, 3, 33));
+  PathLoss pl(1.0, 3.0, 1e-3);
+  const auto field = interference_field(m, pl, {});
+  for (double v : field) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Interference, CoLocatedTransmitterUsesNearClamp) {
+  EuclideanMetric m({{1, 1}, {1, 1}});
+  PathLoss pl(1.0, 3.0, 0.1);
+  const std::vector<NodeId> txs{NodeId(0)};
+  const auto field = interference_field(m, pl, txs);
+  EXPECT_DOUBLE_EQ(field[1], 1.0 / 1e-3);  // (0.1)^3
+  EXPECT_TRUE(std::isfinite(field[1]));
+}
+
+}  // namespace
+}  // namespace udwn

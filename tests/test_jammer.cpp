@@ -1,0 +1,77 @@
+#include "baselines/jammer.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/runner.h"
+#include "analysis/scenario.h"
+#include "core/local_broadcast.h"
+#include "tests/helpers.h"
+#include "topo/generators.h"
+
+namespace udwn {
+namespace {
+
+TEST(Jammer, TransmitsAtConfiguredRate) {
+  JammerProtocol p(0.3);
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.3);
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Notify), 0.0);
+  JammerProtocol both(0.3, /*jam_notify=*/true);
+  EXPECT_DOUBLE_EQ(both.transmit_probability(Slot::Notify), 0.3);
+  EXPECT_FALSE(p.finished());
+}
+
+TEST(Jammer, PermanentJammerBlocksItsNeighborhood) {
+  // A q = 1 jammer inside the ACK exclusion zone denies SuccClear forever:
+  // the victim can never complete; a distant node is unaffected.
+  Scenario s({{0, 0}, {0.4, 0}, {0.5, 0}, {30, 0}, {30.5, 0}},
+             test::default_config());
+  auto protos = make_protocols(5, [&](NodeId id) -> std::unique_ptr<Protocol> {
+    if (id == NodeId(0)) return std::make_unique<JammerProtocol>(1.0);
+    return std::make_unique<LocalBcastProtocol>(TryAdjust::standard(5, 1.0));
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.seed = 81});
+  for (int i = 0; i < 3000; ++i) engine.step();
+  EXPECT_FALSE(engine.protocol(NodeId(1)).finished());  // jammed
+  EXPECT_FALSE(engine.protocol(NodeId(2)).finished());  // jammed
+  EXPECT_TRUE(engine.protocol(NodeId(3)).finished());   // out of range
+  EXPECT_TRUE(engine.protocol(NodeId(4)).finished());
+}
+
+TEST(Jammer, IntermittentJammingOnlySlowsCompletion) {
+  // With q < 1 the clear-channel opportunities shrink but never vanish:
+  // everyone still completes, just later.
+  auto run = [](double q, std::uint64_t seed) -> double {
+    Rng rng(seed);
+    auto pts = uniform_square(60, 3.0, rng);
+    pts.push_back({1.5, 1.5});  // jammer at the center
+    Scenario s(std::move(pts), test::default_config());
+    const std::size_t n = s.network().size();
+    auto protos =
+        make_protocols(n, [&](NodeId id) -> std::unique_ptr<Protocol> {
+          if (id.value == n - 1) return std::make_unique<JammerProtocol>(q);
+          return std::make_unique<LocalBcastProtocol>(
+              TryAdjust::standard(n, 1.0));
+        });
+    const CarrierSensing cs = s.sensing_local();
+    Engine engine(s.channel(), s.network(), cs, protos,
+                  EngineConfig{.seed = seed});
+    const auto result = track_until_all(
+        engine,
+        [&](const Protocol& p, NodeId id) {
+          return id.value == n - 1 || p.finished();
+        },
+        100000);
+    return result.all_done ? static_cast<double>(result.rounds) : -1;
+  };
+
+  const double clean = run(0.0, 82);
+  const double jammed = run(0.3, 82);
+  ASSERT_GT(clean, 0);
+  ASSERT_GT(jammed, 0);   // still completes
+  EXPECT_GT(jammed, clean);  // but pays for it
+}
+
+}  // namespace
+}  // namespace udwn

@@ -1,0 +1,144 @@
+#include "core/local_broadcast.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/runner.h"
+#include "analysis/scenario.h"
+#include "tests/helpers.h"
+
+namespace udwn {
+namespace {
+
+SlotFeedback data_slot(bool transmitted, bool busy, bool ack) {
+  SlotFeedback fb;
+  fb.slot = Slot::Data;
+  fb.local_round = true;
+  fb.transmitted = transmitted;
+  fb.busy = busy;
+  fb.ack = transmitted && ack;
+  return fb;
+}
+
+TEST(LocalBcastProtocol, StartsAtConfiguredInitialProbability) {
+  LocalBcastProtocol p(TryAdjust::standard(100, 1.0));
+  p.on_start();
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.005);
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Notify), 0.0);
+}
+
+TEST(LocalBcastProtocol, IdleRoundDoubles) {
+  LocalBcastProtocol p(TryAdjust::standard(100, 1.0));
+  p.on_start();
+  p.on_slot(data_slot(false, false, false));
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.01);
+}
+
+TEST(LocalBcastProtocol, BusyRoundHalvesRespectingFloor) {
+  LocalBcastProtocol p(TryAdjust::standard(100, 1.0));
+  p.on_start();
+  for (int i = 0; i < 4; ++i) p.on_slot(data_slot(false, false, false));
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.08);
+  p.on_slot(data_slot(false, true, false));
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.04);
+  for (int i = 0; i < 20; ++i) p.on_slot(data_slot(false, true, false));
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.01);
+}
+
+TEST(LocalBcastProtocol, AckStopsForever) {
+  LocalBcastProtocol p(TryAdjust::standard(100, 1.0));
+  p.on_start();
+  p.on_slot(data_slot(true, false, true));
+  EXPECT_TRUE(p.finished());
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.0);
+  EXPECT_EQ(p.rounds_to_delivery(), 1);
+  // Later feedback changes nothing.
+  p.on_slot(data_slot(false, false, false));
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.0);
+}
+
+TEST(LocalBcastProtocol, AckWithoutTransmissionIgnored) {
+  LocalBcastProtocol p(TryAdjust::standard(100, 1.0));
+  p.on_start();
+  SlotFeedback fb = data_slot(false, false, false);
+  fb.ack = true;  // spurious
+  p.on_slot(fb);
+  EXPECT_FALSE(p.finished());
+}
+
+TEST(LocalBcastProtocol, NonLocalRoundsTakeNoStep) {
+  LocalBcastProtocol p(TryAdjust::standard(100, 1.0));
+  p.on_start();
+  SlotFeedback fb = data_slot(false, false, false);
+  fb.local_round = false;
+  p.on_slot(fb);
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.005);  // unchanged
+  EXPECT_EQ(p.local_rounds(), 0);
+}
+
+TEST(LocalBcastProtocol, RestartResetsEverything) {
+  LocalBcastProtocol p(TryAdjust::standard(100, 1.0));
+  p.on_start();
+  p.on_slot(data_slot(true, false, true));
+  EXPECT_TRUE(p.finished());
+  p.on_start();
+  EXPECT_FALSE(p.finished());
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.005);
+  EXPECT_EQ(p.rounds_to_delivery(), -1);
+}
+
+// End-to-end: every node completes on a small static instance, and isolated
+// nodes complete immediately once their probability climbs (vacuous ACK).
+TEST(LocalBcastEndToEnd, SmallCliqueCompletes) {
+  Scenario s({{0, 0}, {0.3, 0}, {0, 0.3}, {0.3, 0.3}}, test::default_config());
+  auto protos = make_protocols(4, [](NodeId) {
+    return std::make_unique<LocalBcastProtocol>(TryAdjust::standard(4, 1.0));
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.seed = 3});
+  const auto result = track_until_all(
+      engine, [](const Protocol& p, NodeId) { return p.finished(); }, 5000);
+  EXPECT_TRUE(result.all_done);
+}
+
+TEST(LocalBcastEndToEnd, IsolatedNodeSelfCompletes) {
+  Scenario s(test::pair_at(100.0), test::default_config());
+  auto protos = make_protocols(2, [](NodeId) {
+    return std::make_unique<LocalBcastProtocol>(TryAdjust::standard(2, 1.0));
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.seed = 4});
+  const auto result = track_until_all(
+      engine, [](const Protocol& p, NodeId) { return p.finished(); }, 1000);
+  EXPECT_TRUE(result.all_done);
+}
+
+TEST(LocalBcastEndToEnd, UniformVariantCompletesWithoutKnowingN) {
+  Scenario s(test::random_points(30, 3, 12), test::default_config());
+  auto protos = make_protocols(30, [](NodeId) {
+    return std::make_unique<LocalBcastProtocol>(TryAdjust::uniform(0.25));
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.seed = 5});
+  const auto result = track_until_all(
+      engine, [](const Protocol& p, NodeId) { return p.finished(); }, 20000);
+  EXPECT_TRUE(result.all_done);
+}
+
+TEST(LocalBcastEndToEnd, AsyncModeCompletes) {
+  Scenario s(test::random_points(30, 3, 13), test::default_config());
+  auto protos = make_protocols(30, [](NodeId) {
+    return std::make_unique<LocalBcastProtocol>(TryAdjust::standard(30, 1.0));
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.async = true, .seed = 6});
+  const auto result = track_until_all(
+      engine, [](const Protocol& p, NodeId) { return p.finished(); }, 30000);
+  EXPECT_TRUE(result.all_done);
+}
+
+}  // namespace
+}  // namespace udwn

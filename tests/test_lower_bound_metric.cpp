@@ -1,0 +1,98 @@
+#include "metric/lower_bound_metric.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "metric/metricity.h"
+
+namespace udwn {
+namespace {
+
+constexpr double kR = 1.0;
+constexpr double kEps = 0.3;
+
+class LowerBoundMetricTest : public ::testing::Test {
+ protected:
+  LowerBoundMetric m{20, kR, kEps};
+};
+
+TEST_F(LowerBoundMetricTest, Roles) {
+  EXPECT_EQ(m.cloud_size(), 18u);
+  EXPECT_EQ(m.bridge(), NodeId(18));
+  EXPECT_EQ(m.far_node(), NodeId(19));
+  EXPECT_FALSE(m.mirror_bridge().valid());
+}
+
+TEST_F(LowerBoundMetricTest, CloudPairsAtEpsROver8) {
+  for (std::uint32_t i = 0; i < 18; ++i) {
+    for (std::uint32_t j = 0; j < 18; ++j) {
+      if (i != j) {
+        EXPECT_DOUBLE_EQ(m.distance(NodeId(i), NodeId(j)), kEps * kR / 8);
+      }
+    }
+  }
+}
+
+TEST_F(LowerBoundMetricTest, BridgeWithinCommunicationRange) {
+  // d(cloud, bridge) = μ R_B < R_B: cloud nodes can reach the bridge.
+  const double rb = (1 - kEps) * kR;
+  const double d = m.distance(NodeId(0), m.bridge());
+  EXPECT_LT(d, rb);
+  EXPECT_DOUBLE_EQ(d, kEps * (1 + kEps) / (1 - kEps) * rb);
+}
+
+TEST_F(LowerBoundMetricTest, FarNodeOutOfCloudRange) {
+  // d(cloud, far) = (μ+1) R_B > R: unreachable directly from the cloud.
+  EXPECT_GT(m.distance(NodeId(0), m.far_node()), kR);
+}
+
+TEST_F(LowerBoundMetricTest, BridgeReachesFarNode) {
+  EXPECT_DOUBLE_EQ(m.distance(m.bridge(), m.far_node()), (1 - kEps) * kR);
+}
+
+TEST_F(LowerBoundMetricTest, SymmetricAndZeroDiagonal) {
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(m.distance(NodeId(i), NodeId(i)), 0.0);
+    for (std::uint32_t j = 0; j < 20; ++j)
+      EXPECT_DOUBLE_EQ(m.distance(NodeId(i), NodeId(j)),
+                       m.distance(NodeId(j), NodeId(i)));
+  }
+}
+
+TEST_F(LowerBoundMetricTest, LinearBoundedIndependence) {
+  // Thm 5.3 space is (εR/8, 1)-bounded independent: the cloud collapses into
+  // ONE packing ball no matter how many nodes it holds, so the measured
+  // growth exponent must be far below the Euclidean λ = 2 (≈ 0 here: the
+  // max packing barely grows with the radius factor q).
+  Rng rng(7);
+  LowerBoundMetric big(200, kR, kEps);
+  const std::vector<double> qs{1, 2, 4, 8, 16};
+  const auto est = estimate_independence(big, kEps * kR / 8, qs, rng, 8);
+  EXPECT_LT(est.lambda, 1.2);
+  // Max packing size must stay tiny although 198 nodes are mutually close.
+  for (auto [q, size] : est.samples) EXPECT_LE(size, 4.0);
+}
+
+TEST(LowerBoundMetricSpontaneous, MirroredRoles) {
+  LowerBoundMetric m(20, kR, kEps, LowerBoundMetric::Variant::Spontaneous);
+  EXPECT_EQ(m.cloud_size(), 16u);
+  EXPECT_TRUE(m.mirror_bridge().valid());
+  EXPECT_TRUE(m.mirror_far_node().valid());
+  // Mirror pair mimics the main pair.
+  EXPECT_DOUBLE_EQ(m.distance(NodeId(0), m.mirror_bridge()),
+                   m.distance(NodeId(0), m.bridge()));
+  EXPECT_DOUBLE_EQ(m.distance(m.mirror_bridge(), m.mirror_far_node()),
+                   (1 - kEps) * kR);
+  // Cross pairs are out of range.
+  EXPECT_GT(m.distance(m.far_node(), m.mirror_far_node()), kR);
+  EXPECT_GT(m.distance(m.bridge(), m.mirror_far_node()), kR);
+}
+
+TEST(LowerBoundMetricValidation, MinimumSizes) {
+  EXPECT_NO_THROW(LowerBoundMetric(4, kR, kEps));
+  EXPECT_NO_THROW(LowerBoundMetric(
+      6, kR, kEps, LowerBoundMetric::Variant::Spontaneous));
+}
+
+}  // namespace
+}  // namespace udwn

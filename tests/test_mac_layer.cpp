@@ -1,0 +1,150 @@
+#include "core/mac_layer.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/runner.h"
+#include "analysis/scenario.h"
+#include "tests/helpers.h"
+#include "topo/generators.h"
+
+namespace udwn {
+namespace {
+
+TryAdjust::Config cfg_n(std::size_t n) { return TryAdjust::standard(n, 1.0); }
+
+SlotFeedback fb() {
+  SlotFeedback f;
+  f.slot = Slot::Data;
+  f.local_round = true;
+  return f;
+}
+
+TEST(MacLayer, IdleUntilBcast) {
+  MacLayerProtocol mac(cfg_n(16), nullptr, nullptr);
+  mac.on_start();
+  EXPECT_TRUE(mac.idle());
+  EXPECT_DOUBLE_EQ(mac.transmit_probability(Slot::Data), 0.0);
+  EXPECT_EQ(mac.payload(Slot::Data), 0u);
+  mac.bcast(5);
+  EXPECT_FALSE(mac.idle());
+  EXPECT_GT(mac.transmit_probability(Slot::Data), 0.0);
+  EXPECT_EQ(mac.payload(Slot::Data), 5u);
+}
+
+TEST(MacLayer, FifoOrderAndAckCallbacks) {
+  std::vector<std::uint32_t> acked;
+  MacLayerProtocol mac(
+      cfg_n(16), [&](std::uint32_t tag) { acked.push_back(tag); }, nullptr);
+  mac.on_start();
+  mac.bcast(1);
+  mac.bcast(2);
+  mac.bcast(3);
+  EXPECT_EQ(mac.pending(), 3u);
+  for (std::uint32_t expect : {1u, 2u, 3u}) {
+    EXPECT_EQ(mac.payload(Slot::Data), expect);
+    SlotFeedback f = fb();
+    f.transmitted = true;
+    f.ack = true;
+    mac.on_slot(f);
+  }
+  EXPECT_EQ(acked, (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_TRUE(mac.idle());
+  EXPECT_EQ(mac.acked_count(), 3);
+}
+
+TEST(MacLayer, DeliverCallbackAtMostOncePerSenderTag) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> delivered;
+  MacLayerProtocol mac(cfg_n(16), nullptr,
+                       [&](NodeId from, std::uint32_t tag) {
+                         delivered.emplace_back(from.value, tag);
+                       });
+  mac.on_start();
+  SlotFeedback f = fb();
+  f.received = true;
+  f.sender = NodeId(3);
+  f.payload = 9;
+  mac.on_slot(f);
+  mac.on_slot(f);  // duplicate decode of the same (sender, tag)
+  f.payload = 10;
+  mac.on_slot(f);  // same sender, new tag
+  f.sender = NodeId(4);
+  f.payload = 9;
+  mac.on_slot(f);  // new sender, same tag
+  ASSERT_EQ(delivered.size(), 3u);
+  EXPECT_EQ(delivered[0], (std::pair<std::uint32_t, std::uint32_t>{3, 9}));
+  EXPECT_EQ(delivered[1], (std::pair<std::uint32_t, std::uint32_t>{3, 10}));
+  EXPECT_EQ(delivered[2], (std::pair<std::uint32_t, std::uint32_t>{4, 9}));
+}
+
+TEST(MacLayer, BusyFeedbackAdjustsProbability) {
+  MacLayerProtocol mac(TryAdjust::Config{.initial = 0.1, .floor = 0.001},
+                       nullptr, nullptr);
+  mac.on_start();
+  mac.bcast(1);
+  SlotFeedback idle = fb();
+  mac.on_slot(idle);
+  EXPECT_DOUBLE_EQ(mac.transmit_probability(Slot::Data), 0.2);
+  SlotFeedback busy = fb();
+  busy.busy = true;
+  mac.on_slot(busy);
+  EXPECT_DOUBLE_EQ(mac.transmit_probability(Slot::Data), 0.1);
+}
+
+TEST(MacLayer, ChurnRestartClearsState) {
+  MacLayerProtocol mac(cfg_n(16), nullptr, nullptr);
+  mac.on_start();
+  mac.bcast(1);
+  mac.bcast(2);
+  mac.on_start();  // node re-entered the network
+  EXPECT_TRUE(mac.idle());
+}
+
+// End-to-end: a mesh of MAC layers, every node broadcasts one message; all
+// acks are truthful (every neighbor really decoded) and all deliveries
+// arrive.
+TEST(MacLayerEndToEnd, AcksAreTruthfulAndEveryoneHears) {
+  Rng rng(91);
+  Scenario s(uniform_square(40, 3.0, rng), test::default_config());
+  const std::size_t n = s.network().size();
+
+  std::vector<std::vector<std::uint32_t>> heard(n);
+  std::vector<int> acks(n, 0);
+  std::vector<MacLayerProtocol*> macs(n);
+  auto protos = make_protocols(n, [&](NodeId id) {
+    auto mac = std::make_unique<MacLayerProtocol>(
+        cfg_n(n), [&acks, id](std::uint32_t) { ++acks[id.value]; },
+        [&heard, id](NodeId, std::uint32_t tag) {
+          heard[id.value].push_back(tag);
+        });
+    macs[id.value] = mac.get();
+    return mac;
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.seed = 92});
+  // Every node announces its own id+1.
+  for (std::uint32_t v = 0; v < n; ++v) macs[v]->bcast(v + 1);
+
+  const auto done = engine.run_until(
+      [&](const Engine&) {
+        for (std::uint32_t v = 0; v < n; ++v)
+          if (!macs[v]->idle()) return false;
+        return true;
+      },
+      30000);
+  ASSERT_TRUE(done.has_value());
+  for (std::uint32_t v = 0; v < n; ++v) EXPECT_EQ(acks[v], 1);
+
+  // Every node must have heard each neighbor's announcement: the ACK
+  // certified it at send time and the network is static.
+  for (NodeId v : s.network().alive_nodes()) {
+    for (NodeId u : s.neighbors(v)) {
+      const auto& h = heard[v.value];
+      EXPECT_TRUE(std::find(h.begin(), h.end(), u.value + 1) != h.end())
+          << "node " << v.value << " missed " << u.value;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace udwn

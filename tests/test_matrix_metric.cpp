@@ -1,0 +1,93 @@
+#include "metric/matrix_metric.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/runner.h"
+#include "analysis/scenario.h"
+#include "common/rng.h"
+#include "core/local_broadcast.h"
+#include "metric/metricity.h"
+#include "tests/helpers.h"
+
+namespace udwn {
+namespace {
+
+TEST(MatrixMetric, ExplicitTable) {
+  //   0 -> 1: 2, 1 -> 0: 3 (asymmetric)
+  MatrixMetric m(2, {0, 2, 3, 0});
+  EXPECT_DOUBLE_EQ(m.distance(NodeId(0), NodeId(1)), 2.0);
+  EXPECT_DOUBLE_EQ(m.distance(NodeId(1), NodeId(0)), 3.0);
+  EXPECT_DOUBLE_EQ(m.distance(NodeId(0), NodeId(0)), 0.0);
+  EXPECT_DOUBLE_EQ(m.sym_distance(NodeId(0), NodeId(1)), 3.0);
+}
+
+TEST(MatrixMetric, FromPathLoss) {
+  // f(u,v) = d^ζ with ζ = 3: losses 8 and 27 give distances 2 and 3.
+  MatrixMetric m = MatrixMetric::from_path_loss(2, {0, 8, 27, 0}, 3.0);
+  EXPECT_NEAR(m.distance(NodeId(0), NodeId(1)), 2.0, 1e-12);
+  EXPECT_NEAR(m.distance(NodeId(1), NodeId(0)), 3.0, 1e-12);
+}
+
+TEST(MatrixMetric, SetDistance) {
+  MatrixMetric m(2, {0, 1, 1, 0});
+  m.set_distance(NodeId(0), NodeId(1), 5.0);
+  EXPECT_DOUBLE_EQ(m.distance(NodeId(0), NodeId(1)), 5.0);
+  EXPECT_DOUBLE_EQ(m.distance(NodeId(1), NodeId(0)), 1.0);
+}
+
+TEST(MatrixMetric, RandomIsQuasiMetric) {
+  Rng rng(1);
+  MatrixMetric m = MatrixMetric::random(30, 0.5, 3.0, 0.5, rng);
+  // Shortest-path closure => directed triangle inequality holds exactly.
+  Rng probe(2);
+  EXPECT_NEAR(relaxed_triangle_constant(m, probe), 1.0, 1e-9);
+  // Asymmetry present but bounded by construction.
+  const double asym = asymmetry_constant(m, probe);
+  EXPECT_GT(asym, 1.0);
+  EXPECT_LE(asym, 1.5 + 1e-9);
+}
+
+TEST(MatrixMetric, RandomZeroAsymmetryIsSymmetric) {
+  Rng rng(3);
+  MatrixMetric m = MatrixMetric::random(20, 0.5, 2.0, 0.0, rng);
+  Rng probe(4);
+  EXPECT_NEAR(asymmetry_constant(m, probe), 1.0, 1e-12);
+}
+
+// The paper's setting [5]: algorithms must run on arbitrary
+// bounded-independence quasi-metrics, not just geometry. LocalBcast on an
+// asymmetric random quasi-metric with the SuccClearOnly (pessimal) model.
+TEST(MatrixMetric, LocalBcastCompletesOnAsymmetricQuasiMetric) {
+  Rng rng(5);
+  const std::size_t n = 40;
+  // Distances straddle the communication radius 0.7 so the graph is
+  // non-trivial but connected.
+  auto metric =
+      std::make_unique<MatrixMetric>(MatrixMetric::random(n, 0.3, 1.4, 0.3,
+                                                          rng));
+  ScenarioConfig cfg = test::config_for(ModelKind::SuccClearOnly);
+  Scenario scenario(std::move(metric), cfg);
+  EXPECT_GE(scenario.max_degree(), 1u);
+  auto protos = make_protocols(n, [&](NodeId) {
+    return std::make_unique<LocalBcastProtocol>(TryAdjust::standard(n, 1.0));
+  });
+  const CarrierSensing cs = scenario.sensing_local();
+  Engine engine(scenario.channel(), scenario.network(), cs, protos,
+                EngineConfig{.seed = 6});
+  const auto result = track_until_all(
+      engine, [](const Protocol& p, NodeId) { return p.finished(); }, 60000);
+  EXPECT_TRUE(result.all_done);
+}
+
+// Directed neighborhoods: with asymmetric distances, u may reach v while v
+// cannot reach u — the communication graph is genuinely directed (Sec. 2).
+TEST(MatrixMetric, DirectedNeighborhoods) {
+  MatrixMetric m(2, {0, 0.5, 1.5, 0});  // 0 reaches 1; 1 cannot reach 0
+  ScenarioConfig cfg = test::config_for(ModelKind::SuccClearOnly);
+  Scenario scenario(std::make_unique<MatrixMetric>(std::move(m)), cfg);
+  EXPECT_EQ(scenario.neighbors(NodeId(0)).size(), 1u);
+  EXPECT_EQ(scenario.neighbors(NodeId(1)).size(), 0u);
+}
+
+}  // namespace
+}  // namespace udwn

@@ -1,0 +1,101 @@
+#include "metric/metricity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "metric/euclidean.h"
+#include "metric/graph_metric.h"
+#include "tests/helpers.h"
+#include "topo/generators.h"
+
+namespace udwn {
+namespace {
+
+TEST(RelaxedTriangle, EuclideanIsAGenuineMetric) {
+  Rng rng(1);
+  EuclideanMetric m(test::random_points(40, 10, 1));
+  EXPECT_NEAR(relaxed_triangle_constant(m, rng), 1.0, 1e-9);
+}
+
+TEST(RelaxedTriangle, GraphMetricIsAGenuineMetric) {
+  Rng rng(2);
+  GraphMetric m(random_tree_adjacency(40, 4, rng), 1.0);
+  EXPECT_NEAR(relaxed_triangle_constant(m, rng), 1.0, 1e-9);
+}
+
+TEST(RelaxedTriangle, DetectsViolation) {
+  // A deliberately non-metric space: shortcut edge much longer than the
+  // two-leg path.
+  class Bad final : public QuasiMetric {
+   public:
+    std::size_t size() const override { return 3; }
+    double distance(NodeId u, NodeId v) const override {
+      if (u == v) return 0;
+      // d(0,2) = 10 but d(0,1) + d(1,2) = 2.
+      if ((u.value == 0 && v.value == 2) || (u.value == 2 && v.value == 0))
+        return 10;
+      return 1;
+    }
+  } bad;
+  Rng rng(3);
+  EXPECT_NEAR(relaxed_triangle_constant(bad, rng), 5.0, 1e-9);
+}
+
+TEST(Asymmetry, SymmetricSpacesReportOne) {
+  Rng rng(4);
+  EuclideanMetric m(test::random_points(30, 5, 4));
+  EXPECT_NEAR(asymmetry_constant(m, rng), 1.0, 1e-12);
+}
+
+TEST(Asymmetry, DetectsDirectionalSpace) {
+  // Quasi-metric: uphill twice as far as downhill.
+  class Directed final : public QuasiMetric {
+   public:
+    std::size_t size() const override { return 2; }
+    double distance(NodeId u, NodeId v) const override {
+      if (u == v) return 0;
+      return u.value < v.value ? 2.0 : 1.0;
+    }
+  } dir;
+  Rng rng(5);
+  EXPECT_NEAR(asymmetry_constant(dir, rng), 2.0, 1e-12);
+}
+
+TEST(Independence, EuclideanPlaneHasQuadraticGrowth) {
+  // The Euclidean plane is (r, λ=2)-bounded independent (Sec. 2). A dense
+  // uniform deployment must show a growth exponent near 2.
+  Rng rng(6);
+  EuclideanMetric m(test::random_points(4000, 40, 6));
+  const std::vector<double> qs{2, 4, 8, 16};
+  const auto est = estimate_independence(m, 1.0, qs, rng, 10);
+  EXPECT_GT(est.lambda, 1.5);
+  EXPECT_LT(est.lambda, 2.4);
+  EXPECT_GT(est.r2, 0.9);
+}
+
+TEST(Independence, PathGraphHasLinearGrowth) {
+  // A path graph's k-neighborhood packs O(k) balls: λ ≈ 1.
+  std::vector<std::vector<NodeId>> adj(300);
+  for (std::size_t i = 0; i + 1 < 300; ++i) {
+    adj[i].push_back(NodeId(static_cast<std::uint32_t>(i + 1)));
+    adj[i + 1].push_back(NodeId(static_cast<std::uint32_t>(i)));
+  }
+  GraphMetric m(adj, 1.0);
+  Rng rng(7);
+  const std::vector<double> qs{2, 4, 8, 16, 32};
+  const auto est = estimate_independence(m, 1.0, qs, rng, 10);
+  EXPECT_GT(est.lambda, 0.7);
+  EXPECT_LT(est.lambda, 1.3);
+}
+
+TEST(Independence, SamplesAreMonotoneInRadius) {
+  Rng rng(8);
+  EuclideanMetric m(test::random_points(1000, 20, 8));
+  const std::vector<double> qs{1, 2, 4, 8};
+  const auto est = estimate_independence(m, 1.0, qs, rng, 8);
+  for (std::size_t i = 1; i < est.samples.size(); ++i)
+    EXPECT_GE(est.samples[i].second, est.samples[i - 1].second);
+}
+
+}  // namespace
+}  // namespace udwn

@@ -1,0 +1,198 @@
+// Extended model-surface tests: QUDG grey-zone adversary policies, the
+// k-hop graph interference variant, and cross-model interference
+// monotonicity (adding a transmitter never creates a decode).
+#include <gtest/gtest.h>
+
+#include "analysis/scenario.h"
+#include "metric/graph_metric.h"
+#include "phy/interference.h"
+#include "tests/helpers.h"
+#include "topo/generators.h"
+
+namespace udwn {
+namespace {
+
+struct ViewFixture {
+  ViewFixture(const QuasiMetric& metric, const PathLoss& pathloss,
+              std::vector<NodeId> txs)
+      : transmitters(std::move(txs)),
+        transmitting(metric.size(), 0),
+        interference(interference_field(metric, pathloss, transmitters)) {
+    for (NodeId u : transmitters) transmitting[u.value] = 1;
+    view.metric = &metric;
+    view.pathloss = &pathloss;
+    view.transmitters = transmitters;
+    view.transmitting = transmitting;
+    view.interference = interference;
+  }
+  std::vector<NodeId> transmitters;
+  std::vector<std::uint8_t> transmitting;
+  std::vector<double> interference;
+  SlotView view;
+};
+
+// ---- QUDG grey-zone policies ------------------------------------------------
+
+TEST(QudgPolicies, FriendlyGreyPairCommunicates) {
+  PathLoss pl(1.0, 3.0, 1e-3);
+  EuclideanMetric m({{0, 0}, {1.2, 0}});  // grey distance
+  ViewFixture f(m, pl, {NodeId(0)});
+
+  QudgReception pessimal(1.0, 1.5, QudgReception::GreyPolicy::Pessimal);
+  QudgReception friendly(1.0, 1.5, QudgReception::GreyPolicy::Friendly);
+  EXPECT_FALSE(pessimal.receives(NodeId(1), NodeId(0), f.view));
+  EXPECT_TRUE(friendly.receives(NodeId(1), NodeId(0), f.view));
+}
+
+TEST(QudgPolicies, FriendlyGreyInterfererStillBlocks) {
+  PathLoss pl(1.0, 3.0, 1e-3);
+  // Interferer at grey distance 1.2 from the receiver.
+  EuclideanMetric m({{0, 0}, {0.8, 0}, {2.0, 0}});
+  ViewFixture f(m, pl, {NodeId(0), NodeId(2)});
+  QudgReception friendly(1.0, 1.5, QudgReception::GreyPolicy::Friendly);
+  EXPECT_FALSE(friendly.receives(NodeId(1), NodeId(0), f.view));
+}
+
+TEST(QudgPolicies, RandomStaticIsDeterministicAndSymmetric) {
+  QudgReception a(1.0, 1.5, QudgReception::GreyPolicy::RandomStatic, 42);
+  QudgReception b(1.0, 1.5, QudgReception::GreyPolicy::RandomStatic, 42);
+  for (std::uint32_t i = 0; i < 50; ++i)
+    for (std::uint32_t j = i + 1; j < 50; ++j) {
+      EXPECT_EQ(a.grey_edge(NodeId(i), NodeId(j)),
+                b.grey_edge(NodeId(i), NodeId(j)));
+      EXPECT_EQ(a.grey_edge(NodeId(i), NodeId(j)),
+                a.grey_edge(NodeId(j), NodeId(i)));
+    }
+}
+
+TEST(QudgPolicies, RandomStaticSeedsDiffer) {
+  QudgReception a(1.0, 1.5, QudgReception::GreyPolicy::RandomStatic, 1);
+  QudgReception b(1.0, 1.5, QudgReception::GreyPolicy::RandomStatic, 2);
+  int differ = 0;
+  for (std::uint32_t i = 0; i < 40; ++i)
+    for (std::uint32_t j = i + 1; j < 40; ++j)
+      differ += a.grey_edge(NodeId(i), NodeId(j)) !=
+                        b.grey_edge(NodeId(i), NodeId(j))
+                    ? 1
+                    : 0;
+  EXPECT_GT(differ, 200);  // ~half of 780 pairs
+}
+
+TEST(QudgPolicies, RandomStaticRoughlyBalanced) {
+  QudgReception m(1.0, 1.5, QudgReception::GreyPolicy::RandomStatic, 7);
+  int edges = 0, pairs = 0;
+  for (std::uint32_t i = 0; i < 60; ++i)
+    for (std::uint32_t j = i + 1; j < 60; ++j) {
+      ++pairs;
+      edges += m.grey_edge(NodeId(i), NodeId(j)) ? 1 : 0;
+    }
+  EXPECT_NEAR(static_cast<double>(edges) / pairs, 0.5, 0.06);
+}
+
+TEST(QudgPolicies, AllPoliciesHonorSuccClear) {
+  // Def. 1 compliance must hold for every adversary realization.
+  PathLoss pl(1.0, 3.0, 1e-3);
+  Rng rng(8);
+  for (auto policy : {QudgReception::GreyPolicy::Pessimal,
+                      QudgReception::GreyPolicy::Friendly,
+                      QudgReception::GreyPolicy::RandomStatic}) {
+    QudgReception model(1.0, 1.4, policy, 11);
+    EuclideanMetric m(test::random_points(50, 5, 9));
+    for (int trial = 0; trial < 60; ++trial) {
+      std::vector<NodeId> txs;
+      for (std::uint32_t v = 0; v < 50; ++v)
+        if (rng.chance(0.08)) txs.push_back(NodeId(v));
+      ViewFixture f(m, pl, txs);
+      for (NodeId u : txs) {
+        if (!model.clear_channel(u, f.view, 0.3)) continue;
+        for (std::uint32_t v = 0; v < 50; ++v) {
+          const NodeId r(v);
+          if (r == u || f.transmitting[v]) continue;
+          if (m.distance(u, r) <= 0.7) {
+            EXPECT_TRUE(model.receives(r, u, f.view))
+                << "policy " << static_cast<int>(policy);
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---- k-hop graph interference variant ---------------------------------------
+
+TEST(KHopGraphModel, InterferenceReachesKHops) {
+  // Path graph, edge length 0.6 (1-hop communication at R=1), interference
+  // radius 2 edges (k = 2 hops): App. B's "k-hop variants".
+  std::vector<std::vector<NodeId>> adj(5);
+  for (std::size_t i = 0; i + 1 < 5; ++i) {
+    adj[i].push_back(NodeId(static_cast<std::uint32_t>(i + 1)));
+    adj[i + 1].push_back(NodeId(static_cast<std::uint32_t>(i)));
+  }
+  GraphMetric metric(adj, 0.6);
+  PathLoss pl(1.0, 3.0, 1e-3);
+  ProtocolReception model(/*comm=*/1.0, /*interference=*/1.2);  // 2 hops
+
+  // 0 -> 1 with a 2-hop interferer at node 3 (distance 1.2 from node 1).
+  ViewFixture f(metric, pl, {NodeId(0), NodeId(3)});
+  EXPECT_FALSE(model.receives(NodeId(1), NodeId(0), f.view));
+
+  // Interferer at node 4: 3 hops = 1.8 > 1.2 from node 1 — ignored.
+  ViewFixture g(metric, pl, {NodeId(0), NodeId(4)});
+  EXPECT_TRUE(g.view.metric->distance(NodeId(4), NodeId(1)) > 1.2);
+  EXPECT_TRUE(model.receives(NodeId(1), NodeId(0), g.view));
+}
+
+// ---- interference monotonicity ----------------------------------------------
+
+// Adding a transmitter can remove decodes but never create them — true for
+// every model in the unified framework (interference is monotone).
+class InterferenceMonotonicity : public ::testing::TestWithParam<ModelKind> {
+};
+
+TEST_P(InterferenceMonotonicity, ExtraTransmitterNeverHelps) {
+  Rng rng(10);
+  Scenario s(test::random_points(40, 4, 11), test::config_for(GetParam()));
+  const auto& model = s.model();
+  const auto& metric = s.metric();
+  const auto& pl = s.pathloss();
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<NodeId> txs;
+    for (std::uint32_t v = 0; v < 40; ++v)
+      if (rng.chance(0.08)) txs.push_back(NodeId(v));
+    if (txs.empty()) continue;
+    // Pick an extra transmitter not already present.
+    NodeId extra;
+    do {
+      extra = NodeId(static_cast<std::uint32_t>(rng.below(40)));
+    } while (std::find(txs.begin(), txs.end(), extra) != txs.end());
+
+    ViewFixture before(metric, pl, txs);
+    auto more = txs;
+    more.push_back(extra);
+    ViewFixture after(metric, pl, more);
+
+    for (NodeId u : txs) {
+      for (std::uint32_t v = 0; v < 40; ++v) {
+        const NodeId r(v);
+        if (after.transmitting[v] || r == u) continue;
+        if (model.receives(r, u, after.view)) {
+          EXPECT_TRUE(model.receives(r, u, before.view))
+              << test::model_name(GetParam()) << " receiver " << v;
+        }
+      }
+      // Clear channel is monotone too.
+      if (model.clear_channel(u, after.view, 0.3)) {
+        EXPECT_TRUE(model.clear_channel(u, before.view, 0.3));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, InterferenceMonotonicity,
+                         ::testing::ValuesIn(test::all_models()),
+                         [](const auto& info) {
+                           return test::model_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace udwn

@@ -1,0 +1,141 @@
+#include "core/multi_message.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/runner.h"
+#include "analysis/scenario.h"
+#include "tests/helpers.h"
+#include "topo/generators.h"
+
+namespace udwn {
+namespace {
+
+TryAdjust::Config cfg_n(std::size_t n) { return TryAdjust::standard(n, 1.0); }
+
+SlotFeedback fb(Slot slot) {
+  SlotFeedback f;
+  f.slot = slot;
+  f.local_round = true;
+  return f;
+}
+
+TEST(MultiMessage, SourceHoldsAllFromStart) {
+  MultiMessageBcastProtocol p(cfg_n(16), 3, /*source=*/true);
+  p.on_start();
+  EXPECT_EQ(p.received_mask(), 0b111u);
+  EXPECT_TRUE(p.has_all());
+  EXPECT_EQ(p.completed_round(), 0);
+  EXPECT_FALSE(p.finished());  // coverage not yet discharged
+  // Disseminates the lowest pending message first.
+  EXPECT_EQ(p.payload(Slot::Data), 1u);
+  EXPECT_GT(p.transmit_probability(Slot::Data), 0.0);
+}
+
+TEST(MultiMessage, NonSourceStartsSilent) {
+  MultiMessageBcastProtocol p(cfg_n(16), 3, false);
+  p.on_start();
+  EXPECT_EQ(p.received_mask(), 0u);
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.0);
+  EXPECT_EQ(p.payload(Slot::Data), 0u);
+}
+
+TEST(MultiMessage, ReceivingAccumulatesMask) {
+  MultiMessageBcastProtocol p(cfg_n(16), 3, false);
+  p.on_start();
+  SlotFeedback f = fb(Slot::Data);
+  f.received = true;
+  f.sender = NodeId(1);
+  f.payload = 2;
+  p.on_slot(f);
+  p.on_slot(fb(Slot::Notify));
+  EXPECT_EQ(p.received_mask(), 0b010u);
+  EXPECT_FALSE(p.has_all());
+  // Now contends for message 2.
+  EXPECT_EQ(p.payload(Slot::Data), 2u);
+}
+
+TEST(MultiMessage, AckDischargesAndAdvancesPipeline) {
+  MultiMessageBcastProtocol p(cfg_n(16), 2, true);
+  p.on_start();
+  SlotFeedback f = fb(Slot::Data);
+  f.transmitted = true;
+  f.ack = true;
+  p.on_slot(f);
+  // Rule 1: notify retransmission of message 1.
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Notify), 1.0);
+  EXPECT_EQ(p.payload(Slot::Notify), 1u);
+  p.on_slot(fb(Slot::Notify));
+  // Pipeline advanced to message 2.
+  EXPECT_EQ(p.payload(Slot::Data), 2u);
+  EXPECT_FALSE(p.finished());
+  // Discharge message 2 as well -> finished.
+  SlotFeedback f2 = fb(Slot::Data);
+  f2.transmitted = true;
+  f2.ack = true;
+  p.on_slot(f2);
+  p.on_slot(fb(Slot::Notify));
+  EXPECT_TRUE(p.finished());
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.0);
+}
+
+TEST(MultiMessage, NtdDischargesSpecificMessage) {
+  MultiMessageBcastProtocol p(cfg_n(16), 2, false);
+  p.on_start();
+  // Receive message 1 normally, then message 1 again from a co-located
+  // node: discharged without ever transmitting.
+  SlotFeedback f = fb(Slot::Data);
+  f.received = true;
+  f.sender = NodeId(1);
+  f.payload = 1;
+  p.on_slot(f);
+  p.on_slot(fb(Slot::Notify));
+  EXPECT_EQ(p.payload(Slot::Data), 1u);
+  SlotFeedback g = fb(Slot::Data);
+  g.received = true;
+  g.sender = NodeId(2);
+  g.payload = 1;
+  g.ntd = true;
+  p.on_slot(g);
+  p.on_slot(fb(Slot::Notify));
+  // Message 1 handled; nothing else received yet.
+  EXPECT_EQ(p.payload(Slot::Data), 0u);
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.0);
+}
+
+TEST(MultiMessage, OutOfRangeTagsIgnored) {
+  MultiMessageBcastProtocol p(cfg_n(16), 2, false);
+  p.on_start();
+  SlotFeedback f = fb(Slot::Data);
+  f.received = true;
+  f.sender = NodeId(1);
+  f.payload = 7;  // not a valid message for k = 2
+  p.on_slot(f);
+  EXPECT_EQ(p.received_mask(), 0u);
+}
+
+// End-to-end: all k messages reach every node on a chain, and pipelining
+// beats k independent sequential broadcasts.
+TEST(MultiMessageEndToEnd, AllMessagesReachEveryone) {
+  Rng rng(71);
+  auto pts = cluster_chain(8, 5, 0.6, 0.05, rng);
+  Scenario scenario(std::move(pts), test::default_config());
+  const std::size_t n = scenario.network().size();
+  const int k = 4;
+  auto protos = make_protocols(n, [&](NodeId id) {
+    return std::make_unique<MultiMessageBcastProtocol>(cfg_n(n), k,
+                                                       id == NodeId(0));
+  });
+  const CarrierSensing cs = scenario.sensing_broadcast();
+  Engine engine(scenario.channel(), scenario.network(), cs, protos,
+                EngineConfig{.slots_per_round = 2, .seed = 72});
+  const auto result = track_until_all(
+      engine,
+      [](const Protocol& p, NodeId) {
+        return static_cast<const MultiMessageBcastProtocol&>(p).has_all();
+      },
+      60000);
+  EXPECT_TRUE(result.all_done);
+}
+
+}  // namespace
+}  // namespace udwn

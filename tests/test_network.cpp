@@ -1,0 +1,64 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "metric/euclidean.h"
+#include "tests/helpers.h"
+
+namespace udwn {
+namespace {
+
+TEST(Network, StartsFullyAlive) {
+  EuclideanMetric m(test::random_points(10, 3, 1));
+  Network net(m);
+  EXPECT_EQ(net.size(), 10u);
+  EXPECT_EQ(net.alive_count(), 10u);
+  for (std::uint32_t v = 0; v < 10; ++v) EXPECT_TRUE(net.alive(NodeId(v)));
+}
+
+TEST(Network, KillAndRevive) {
+  EuclideanMetric m(test::random_points(5, 3, 2));
+  Network net(m);
+  net.set_alive(NodeId(2), false);
+  EXPECT_FALSE(net.alive(NodeId(2)));
+  EXPECT_EQ(net.alive_count(), 4u);
+  net.set_alive(NodeId(2), true);
+  EXPECT_TRUE(net.alive(NodeId(2)));
+  EXPECT_EQ(net.alive_count(), 5u);
+}
+
+TEST(Network, SetAliveIsIdempotent) {
+  EuclideanMetric m(test::random_points(3, 3, 3));
+  Network net(m);
+  net.set_alive(NodeId(0), false);
+  net.set_alive(NodeId(0), false);
+  EXPECT_EQ(net.alive_count(), 2u);
+  net.set_alive(NodeId(0), true);
+  net.set_alive(NodeId(0), true);
+  EXPECT_EQ(net.alive_count(), 3u);
+}
+
+TEST(Network, AliveNodesListsExactlyAlive) {
+  EuclideanMetric m(test::random_points(6, 3, 4));
+  Network net(m);
+  net.set_alive(NodeId(1), false);
+  net.set_alive(NodeId(4), false);
+  const auto alive = net.alive_nodes();
+  ASSERT_EQ(alive.size(), 4u);
+  for (NodeId v : alive) {
+    EXPECT_NE(v, NodeId(1));
+    EXPECT_NE(v, NodeId(4));
+  }
+}
+
+TEST(Network, AliveMaskMatches) {
+  EuclideanMetric m(test::random_points(4, 3, 5));
+  Network net(m);
+  net.set_alive(NodeId(3), false);
+  const auto mask = net.alive_mask();
+  EXPECT_EQ(mask[0], 1);
+  EXPECT_EQ(mask[3], 0);
+}
+
+}  // namespace
+}  // namespace udwn

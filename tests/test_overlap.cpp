@@ -1,0 +1,248 @@
+// Tests of the overlapped App. G variant (dominating-set election and
+// dominator flood running simultaneously) and the engine's payload channel
+// that makes it possible.
+#include <gtest/gtest.h>
+
+#include "analysis/runner.h"
+#include "analysis/scenario.h"
+#include "core/spontaneous.h"
+#include "metric/packing.h"
+#include "tests/helpers.h"
+#include "topo/generators.h"
+
+namespace udwn {
+namespace {
+
+// ---- payload channel -------------------------------------------------------
+
+class TaggedTransmitter final : public Protocol {
+ public:
+  explicit TaggedTransmitter(std::uint32_t tag) : tag_(tag) {}
+  double transmit_probability(Slot slot) override {
+    return slot == Slot::Data ? 1.0 : 0.0;
+  }
+  std::uint32_t payload(Slot) const override { return tag_; }
+  void on_slot(const SlotFeedback&) override {}
+
+ private:
+  std::uint32_t tag_;
+};
+
+class PayloadSink final : public Protocol {
+ public:
+  double transmit_probability(Slot) override { return 0; }
+  void on_slot(const SlotFeedback& fb) override {
+    if (fb.received) last_payload = fb.payload;
+  }
+  std::uint32_t last_payload = 0xdead;
+};
+
+TEST(PayloadChannel, DecodedPayloadReachesReceiver) {
+  Scenario s(test::pair_at(0.5), test::default_config());
+  auto protos = make_protocols(2, [](NodeId id) -> std::unique_ptr<Protocol> {
+    if (id == NodeId(0)) return std::make_unique<TaggedTransmitter>(7);
+    return std::make_unique<PayloadSink>();
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  engine.step();
+  EXPECT_EQ(static_cast<PayloadSink&>(*protos[1]).last_payload, 7u);
+}
+
+TEST(PayloadChannel, NoReceptionLeavesPayloadUntouched) {
+  Scenario s(test::pair_at(50.0), test::default_config());
+  auto protos = make_protocols(2, [](NodeId id) -> std::unique_ptr<Protocol> {
+    if (id == NodeId(0)) return std::make_unique<TaggedTransmitter>(7);
+    return std::make_unique<PayloadSink>();
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  engine.step();
+  EXPECT_EQ(static_cast<PayloadSink&>(*protos[1]).last_payload, 0xdeadu);
+}
+
+// ---- overlapped protocol state machine -------------------------------------
+
+TEST(OverlappedProtocol, SourceStartsInformedOthersNot) {
+  OverlappedSpontaneousProtocol src(TryAdjust::uniform(0.25), 0.25, true);
+  OverlappedSpontaneousProtocol other(TryAdjust::uniform(0.25), 0.25, false);
+  src.on_start();
+  other.on_start();
+  EXPECT_TRUE(src.informed());
+  EXPECT_FALSE(other.informed());
+  EXPECT_EQ(src.payload(Slot::Data), 1u);
+  EXPECT_EQ(other.payload(Slot::Data), 0u);
+}
+
+TEST(OverlappedProtocol, PayloadOneInformsAcrossSlots) {
+  OverlappedSpontaneousProtocol p(TryAdjust::uniform(0.25), 0.25, false);
+  p.on_start();
+  SlotFeedback fb;
+  fb.slot = Slot::Notify;
+  fb.local_round = true;
+  fb.received = true;
+  fb.sender = NodeId(3);
+  fb.payload = 1;
+  p.on_slot(fb);
+  EXPECT_TRUE(p.informed());
+}
+
+TEST(OverlappedProtocol, DominatorFloodsOnlyWhenInformed) {
+  OverlappedSpontaneousProtocol p(TryAdjust::uniform(0.25), 0.25, false);
+  p.on_start();
+  // Become a dominator: ACK in data slot, then the notify retransmission.
+  SlotFeedback data;
+  data.slot = Slot::Data;
+  data.local_round = true;
+  data.transmitted = true;
+  data.ack = true;
+  p.on_slot(data);
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Notify), 1.0);
+  SlotFeedback notify;
+  notify.slot = Slot::Notify;
+  notify.local_round = true;
+  p.on_slot(notify);
+  EXPECT_EQ(p.stage1_verdict(), BcastProtocol::StopReason::Ack);
+  // Uninformed dominator stays silent and unfinished.
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.0);
+  EXPECT_FALSE(p.finished());
+  // Receiving the payload arms the flood.
+  SlotFeedback msg;
+  msg.slot = Slot::Data;
+  msg.local_round = true;
+  msg.received = true;
+  msg.sender = NodeId(1);
+  msg.payload = 1;
+  p.on_slot(msg);
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.25);
+  // Flood ACK completes the node.
+  SlotFeedback flood;
+  flood.slot = Slot::Data;
+  flood.local_round = true;
+  flood.transmitted = true;
+  flood.ack = true;
+  p.on_slot(flood);
+  EXPECT_TRUE(p.finished());
+}
+
+TEST(OverlappedProtocol, NtdStopsAsDominated) {
+  OverlappedSpontaneousProtocol p(TryAdjust::uniform(0.25), 0.25, false);
+  p.on_start();
+  SlotFeedback data;
+  data.slot = Slot::Data;
+  data.local_round = true;
+  data.received = true;
+  data.sender = NodeId(2);
+  p.on_slot(data);
+  SlotFeedback notify;
+  notify.slot = Slot::Notify;
+  notify.local_round = true;
+  notify.received = true;
+  notify.sender = NodeId(2);
+  notify.ntd = true;
+  p.on_slot(notify);
+  EXPECT_EQ(p.stage1_verdict(), BcastProtocol::StopReason::Ntd);
+  // Dominated but uninformed: still owes a flood once the payload arrives.
+  EXPECT_FALSE(p.finished());
+  // Payload arrives from a co-located node (NTD): informed AND the flood
+  // obligation is handed off in one step — now finished.
+  SlotFeedback msg;
+  msg.slot = Slot::Data;
+  msg.local_round = true;
+  msg.received = true;
+  msg.sender = NodeId(2);
+  msg.payload = 1;
+  msg.ntd = true;
+  p.on_slot(msg);
+  EXPECT_TRUE(p.informed());
+  EXPECT_TRUE(p.finished());
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.0);
+}
+
+// ---- end-to-end -------------------------------------------------------------
+
+struct OverlapRun {
+  Round rounds = 0;
+  bool complete = false;
+  std::vector<NodeId> dominators;
+};
+
+OverlapRun run_overlapped(Scenario& scenario, double p0,
+                          std::uint64_t seed) {
+  // p0 must be small relative to the dominator count inside one
+  // ACK-exclusion zone (the paper's "if the constant p0 is small enough"),
+  // otherwise the flood never quiets and starves late elections.
+  const std::size_t n = scenario.network().size();
+  auto protos = make_protocols(n, [&](NodeId id) {
+    return std::make_unique<OverlappedSpontaneousProtocol>(
+        TryAdjust::uniform(0.25), p0, id == NodeId(0));
+  });
+  const CarrierSensing cs = scenario.sensing_domset();
+  Engine engine(scenario.channel(), scenario.network(), cs, protos,
+                EngineConfig{.slots_per_round = 2, .seed = seed});
+  const auto result = track_until_all(
+      engine,
+      [](const Protocol& p, NodeId) {
+        const auto& o = static_cast<const OverlappedSpontaneousProtocol&>(p);
+        return o.informed() &&
+               o.stage1_verdict() != BcastProtocol::StopReason::None;
+      },
+      40000);
+  OverlapRun run;
+  run.rounds = result.rounds;
+  run.complete = result.all_done;
+  for (NodeId v : scenario.network().alive_nodes())
+    if (static_cast<const OverlappedSpontaneousProtocol&>(engine.protocol(v))
+            .stage1_verdict() == BcastProtocol::StopReason::Ack)
+      run.dominators.push_back(v);
+  return run;
+}
+
+TEST(OverlappedEndToEnd, InformsEveryoneOnChain) {
+  Rng rng(61);
+  auto pts = cluster_chain(10, 6, 0.6, 0.05, rng);
+  Scenario scenario(std::move(pts), test::default_config());
+  const OverlapRun run = run_overlapped(scenario, 0.05, 62);
+  EXPECT_TRUE(run.complete);
+}
+
+TEST(OverlappedEndToEnd, DominatorsStillCoverAndPack) {
+  Rng rng(63);
+  Scenario scenario(uniform_square(120, 3.0, rng), test::default_config());
+  // Dense field: ~90 dominators share one exclusion zone.
+  const OverlapRun run = run_overlapped(scenario, 0.02, 64);
+  ASSERT_TRUE(run.complete);
+  const double eps = scenario.config().epsilon;
+  const double radius = scenario.model().max_range();
+  EXPECT_TRUE(is_cover(scenario.metric(), run.dominators,
+                       scenario.network().alive_nodes(),
+                       eps * radius / 4 + 1e-9));
+  EXPECT_TRUE(is_packing(scenario.metric(), run.dominators,
+                         eps * radius / 8));
+}
+
+TEST(OverlappedEndToEnd, NoSlowerThanSequential) {
+  // The overlap removes the global stage-1 barrier; on a long chain it
+  // should never lose badly to the sequential composition.
+  Rng rng(65);
+  auto pts = cluster_chain(16, 6, 0.6, 0.05, rng);
+  Scenario scenario(std::move(pts), test::default_config());
+  const OverlapRun overlapped = run_overlapped(scenario, 0.05, 66);
+  ASSERT_TRUE(overlapped.complete);
+
+  Rng rng2(65);
+  auto pts2 = cluster_chain(16, 6, 0.6, 0.05, rng2);
+  Scenario scenario2(std::move(pts2), test::default_config());
+  SpontaneousBcast::Config cfg;
+  cfg.seed = 66;
+  cfg.p0 = 0.05;  // same flood probability for a fair comparison
+  const auto sequential = SpontaneousBcast::run(
+      scenario2.channel(), scenario2.network(), scenario2.sensing_domset(),
+      scenario2.sensing_broadcast(), NodeId(0), cfg);
+  ASSERT_TRUE(sequential.complete);
+  const auto seq_rounds = sequential.stage1_rounds + sequential.stage2_rounds;
+  EXPECT_LT(overlapped.rounds, 2 * seq_rounds);
+}
+
+}  // namespace
+}  // namespace udwn

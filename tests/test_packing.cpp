@@ -1,0 +1,111 @@
+#include "metric/packing.h"
+
+#include <gtest/gtest.h>
+
+#include "metric/euclidean.h"
+#include "tests/helpers.h"
+
+namespace udwn {
+namespace {
+
+std::vector<NodeId> ids(std::size_t n) {
+  std::vector<NodeId> out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = NodeId(static_cast<std::uint32_t>(i));
+  return out;
+}
+
+TEST(Packing, GreedyPackingIsPacking) {
+  EuclideanMetric m(test::random_points(100, 10, 1));
+  const auto all = ids(100);
+  const auto packing = greedy_packing(m, all, 1.0);
+  EXPECT_TRUE(is_packing(m, packing, 1.0));
+}
+
+TEST(Packing, GreedyPackingIsMaximalHenceDoubleRadiusCover) {
+  // Classic fact used throughout Sec. 2: a maximal r-packing is a 2r-cover.
+  EuclideanMetric m(test::random_points(120, 8, 2));
+  const auto all = ids(120);
+  const auto packing = greedy_packing(m, all, 0.7);
+  EXPECT_TRUE(is_cover(m, packing, all, 2 * 0.7 + 1e-12));
+}
+
+TEST(Packing, GreedyCoverCovers) {
+  EuclideanMetric m(test::random_points(150, 12, 3));
+  const auto all = ids(150);
+  const auto centers = greedy_cover(m, all, 1.5);
+  EXPECT_TRUE(is_cover(m, centers, all, 1.5));
+}
+
+TEST(Packing, GreedyCoverIsHalfRadiusPacking) {
+  EuclideanMetric m(test::random_points(150, 12, 4));
+  const auto all = ids(150);
+  const auto centers = greedy_cover(m, all, 2.0);
+  EXPECT_TRUE(is_packing(m, centers, 1.0));
+}
+
+TEST(Packing, ZeroRadiusPackingTakesEverything) {
+  EuclideanMetric m(test::random_points(30, 5, 5));
+  const auto all = ids(30);
+  EXPECT_EQ(greedy_packing(m, all, 0.0).size(), 30u);
+}
+
+TEST(Packing, HugeRadiusPackingTakesOne) {
+  EuclideanMetric m(test::random_points(30, 5, 6));
+  const auto all = ids(30);
+  EXPECT_EQ(greedy_packing(m, all, 100.0).size(), 1u);
+}
+
+TEST(Packing, EmptyCandidates) {
+  EuclideanMetric m({{0, 0}});
+  EXPECT_TRUE(greedy_packing(m, {}, 1.0).empty());
+  EXPECT_TRUE(greedy_cover(m, {}, 1.0).empty());
+  EXPECT_TRUE(is_cover(m, {}, {}, 1.0));
+  EXPECT_TRUE(is_packing(m, {}, 1.0));
+}
+
+TEST(Packing, CoverFailsWhenCenterMissing) {
+  EuclideanMetric m({{0, 0}, {10, 0}});
+  const std::vector<NodeId> centers{NodeId(0)};
+  const auto all = ids(2);
+  EXPECT_FALSE(is_cover(m, centers, all, 1.0));
+}
+
+TEST(Balls, InBallStrictInequality) {
+  EuclideanMetric m({{0, 0}, {1, 0}, {2, 0}});
+  const auto all = ids(3);
+  const auto members = in_ball(m, NodeId(0), 1.0, all);
+  // d(1,0)=1 is NOT < 1; only node 0 itself qualifies.
+  ASSERT_EQ(members.size(), 1u);
+  EXPECT_EQ(members[0], NodeId(0));
+}
+
+TEST(Balls, BallUsesSymmetrizedDistance) {
+  EuclideanMetric m({{0, 0}, {0.5, 0}, {3, 0}});
+  const auto all = ids(3);
+  const auto members = ball(m, NodeId(0), 1.0, all);
+  ASSERT_EQ(members.size(), 2u);
+}
+
+// Property sweep: for random instances and radii, the greedy packing of the
+// full point set is always a valid packing and its maximality gives a
+// 2r-cover.
+class PackingProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(PackingProperty, PackingAndCoverInvariants) {
+  const double r = GetParam();
+  for (std::uint64_t seed = 10; seed < 16; ++seed) {
+    EuclideanMetric m(test::random_points(80, 6, seed));
+    const auto all = ids(80);
+    const auto packing = greedy_packing(m, all, r);
+    EXPECT_TRUE(is_packing(m, packing, r));
+    EXPECT_TRUE(is_cover(m, packing, all, 2 * r + 1e-12));
+    EXPECT_GE(packing.size(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, PackingProperty,
+                         ::testing::Values(0.1, 0.25, 0.5, 1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace udwn

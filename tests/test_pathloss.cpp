@@ -1,0 +1,60 @@
+#include "phy/pathloss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace udwn {
+namespace {
+
+TEST(PathLoss, InverseCubeLaw) {
+  PathLoss pl(8.0, 3.0, 1e-3);
+  EXPECT_DOUBLE_EQ(pl.signal(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(pl.signal(1.0), 8.0);
+}
+
+TEST(PathLoss, MonotoneDecreasing) {
+  PathLoss pl(1.0, 2.5, 1e-3);
+  double prev = pl.signal(0.01);
+  for (double d = 0.02; d < 10; d += 0.13) {
+    const double s = pl.signal(d);
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(PathLoss, NearFieldClamp) {
+  PathLoss pl(1.0, 3.0, 0.1);
+  // Below the clamp everything reads like distance 0.1 — finite.
+  EXPECT_DOUBLE_EQ(pl.signal(0.0), pl.signal(0.1));
+  EXPECT_DOUBLE_EQ(pl.signal(0.05), 1.0 / std::pow(0.1, 3.0));
+  EXPECT_TRUE(std::isfinite(pl.signal(0.0)));
+}
+
+TEST(PathLoss, RangeForSignalIsInverse) {
+  PathLoss pl(2.0, 3.0, 1e-3);
+  for (double d : {0.5, 1.0, 2.0, 7.0}) {
+    const double s = pl.signal(d);
+    EXPECT_NEAR(pl.range_for_signal(s), d, 1e-12);
+  }
+}
+
+TEST(PathLoss, Accessors) {
+  PathLoss pl(4.0, 2.0, 0.01);
+  EXPECT_DOUBLE_EQ(pl.power(), 4.0);
+  EXPECT_DOUBLE_EQ(pl.zeta(), 2.0);
+  EXPECT_DOUBLE_EQ(pl.near_limit(), 0.01);
+}
+
+TEST(PathLoss, ZetaControlsDecayRate) {
+  PathLoss shallow(1.0, 2.0, 1e-6);
+  PathLoss steep(1.0, 4.0, 1e-6);
+  // Beyond distance 1, steeper exponent decays faster.
+  EXPECT_LT(steep.signal(2.0), shallow.signal(2.0));
+  // Inside distance 1, steeper exponent is stronger.
+  EXPECT_GT(steep.signal(0.5), shallow.signal(0.5));
+  EXPECT_DOUBLE_EQ(steep.signal(1.0), shallow.signal(1.0));
+}
+
+}  // namespace
+}  // namespace udwn

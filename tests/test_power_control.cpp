@@ -1,0 +1,107 @@
+// App. B's power-control implementation of NTD ("Implementing primitives by
+// other means"): the Notify slot runs at reduced power, so plain reception
+// in that slot certifies proximity — no RSS-based NTD primitive needed.
+#include <gtest/gtest.h>
+
+#include "analysis/runner.h"
+#include "analysis/scenario.h"
+#include "core/broadcast.h"
+#include "tests/helpers.h"
+#include "topo/generators.h"
+
+namespace udwn {
+namespace {
+
+class AlwaysTransmit final : public Protocol {
+ public:
+  double transmit_probability(Slot) override { return 1.0; }
+  void on_slot(const SlotFeedback&) override {}
+};
+
+class Listener final : public Protocol {
+ public:
+  double transmit_probability(Slot) override { return 0; }
+  void on_slot(const SlotFeedback& fb) override {
+    if (fb.slot == Slot::Notify) notify_received = fb.received;
+    if (fb.slot == Slot::Data) data_received = fb.received;
+  }
+  bool data_received = false;
+  bool notify_received = false;
+};
+
+TEST(PowerControl, ScaleForRangeFactorIsFactorToTheZeta) {
+  Scenario s(test::pair_at(0.5), test::default_config());  // ζ = 3
+  EXPECT_NEAR(s.channel().power_scale_for_range_factor(0.5), 0.125, 1e-12);
+  EXPECT_NEAR(s.channel().power_scale_for_range_factor(1.0), 1.0, 1e-12);
+}
+
+TEST(PowerControl, ScaledSlotShrinksReceptionRange) {
+  // Listener at 0.5: decodes at full power, not at εR/2-range power.
+  Scenario s(test::pair_at(0.5), test::default_config());
+  const std::vector<NodeId> txs{NodeId(0)};
+  const auto full = s.channel().resolve(txs, s.network().alive_mask());
+  EXPECT_EQ(full.decoded_from[1], NodeId(0));
+  const double scale = s.channel().power_scale_for_range_factor(0.15);
+  const auto low = s.channel().resolve(txs, s.network().alive_mask(), scale);
+  EXPECT_FALSE(low.decoded_from[1].valid());
+
+  // A listener within the shrunken range still decodes.
+  Scenario close(test::pair_at(0.1), test::default_config());
+  const auto low2 =
+      close.channel().resolve(txs, close.network().alive_mask(), scale);
+  EXPECT_EQ(low2.decoded_from[1], NodeId(0));
+}
+
+TEST(PowerControl, EngineAppliesScaleOnlyToNotifySlot) {
+  Scenario s(test::pair_at(0.5), test::default_config());
+  auto protos = make_protocols(2, [](NodeId id) -> std::unique_ptr<Protocol> {
+    if (id == NodeId(0)) return std::make_unique<AlwaysTransmit>();
+    return std::make_unique<Listener>();
+  });
+  const CarrierSensing cs = s.sensing_broadcast();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{
+                    .slots_per_round = 2,
+                    .notify_power_scale =
+                        s.channel().power_scale_for_range_factor(0.15),
+                    .seed = 1});
+  engine.step();
+  const auto& listener = static_cast<Listener&>(*protos[1]);
+  EXPECT_TRUE(listener.data_received);     // full power: 0.5 in range
+  EXPECT_FALSE(listener.notify_received);  // low power: 0.5 out of range
+}
+
+// End-to-end: Bcast* with the power-control NTD replacement completes and
+// produces the same dominating structure class, with NO use of the RSS NTD
+// primitive.
+TEST(PowerControl, BcastStarCompletesWithLowPowerNotify) {
+  Rng rng(66);
+  auto pts = cluster_chain(8, 6, 0.6, 0.05, rng);
+  Scenario s(std::move(pts), test::default_config());
+  const std::size_t n = s.network().size();
+  auto protos = make_protocols(n, [&](NodeId id) {
+    return std::make_unique<BcastProtocol>(
+        TryAdjust::standard(n, 1.0), BcastProtocol::Mode::Static,
+        id == NodeId(0), /*spontaneous=*/false,
+        BcastProtocol::NtdMode::LowPowerReception);
+  });
+  // Sensing without a usable NTD: radius derived but the protocol never
+  // consults feedback.ntd in LowPowerReception mode.
+  const CarrierSensing cs = s.sensing_broadcast();
+  Engine engine(
+      s.channel(), s.network(), cs, protos,
+      EngineConfig{.slots_per_round = 2,
+                   .notify_power_scale =
+                       s.channel().power_scale_for_range_factor(0.15),
+                   .seed = 67});
+  const auto result = track_until_all(
+      engine,
+      [](const Protocol& p, NodeId) {
+        return static_cast<const BcastProtocol&>(p).informed();
+      },
+      60000);
+  EXPECT_TRUE(result.all_done);
+}
+
+}  // namespace
+}  // namespace udwn

@@ -1,0 +1,110 @@
+#include "sim/probe.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/runner.h"
+#include "analysis/scenario.h"
+#include "tests/helpers.h"
+
+namespace udwn {
+namespace {
+
+/// Fixed-probability protocol for exercising the probes.
+class FixedP final : public Protocol {
+ public:
+  explicit FixedP(double p) : p_(p) {}
+  double transmit_probability(Slot slot) override {
+    return slot == Slot::Data ? p_ : 0;
+  }
+  void on_slot(const SlotFeedback&) override {}
+
+ private:
+  double p_;
+};
+
+TEST(Probe, ContentionSumsNearbyProbabilities) {
+  // Probe node 0 at origin; node 1 within R/2 = 0.5 (close + vicinity),
+  // node 2 inside the vicinity ρR = 2 but outside R/2, node 3 far outside.
+  Scenario s({{0, 0}, {0.4, 0}, {1.5, 0}, {30, 0}}, test::default_config());
+  auto protos = make_protocols(4, [](NodeId) {
+    return std::make_unique<FixedP>(0.25);
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  engine.step();
+
+  const VicinityStats stats = probe_vicinity(engine, NodeId(0), 2.0);
+  // Close contention: nodes 0 and 1.
+  EXPECT_NEAR(stats.close_contention, 0.5, 1e-12);
+  // Vicinity contention: nodes 0, 1, 2.
+  EXPECT_NEAR(stats.vicinity_contention, 0.75, 1e-12);
+  // Expected interference: only node 3 (p * P/d^ζ).
+  EXPECT_NEAR(stats.expected_interference, 0.25 / (30.0 * 30 * 30), 1e-15);
+}
+
+TEST(Probe, DeadNodesExcluded) {
+  Scenario s({{0, 0}, {0.4, 0}}, test::default_config());
+  s.network().set_alive(NodeId(1), false);
+  auto protos = make_protocols(2, [](NodeId) {
+    return std::make_unique<FixedP>(0.5);
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  engine.step();
+  const VicinityStats stats = probe_vicinity(engine, NodeId(0), 2.0);
+  EXPECT_NEAR(stats.close_contention, 0.5, 1e-12);  // only node 0 itself
+}
+
+TEST(Probe, GoodRoundClassification) {
+  Scenario s({{0, 0}, {0.4, 0}}, test::default_config());
+  auto protos = make_protocols(2, [](NodeId) {
+    return std::make_unique<FixedP>(0.5);
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  engine.step();
+  // Contention is 1.0: good under η̂ = 2, bad under η̂ = 0.5.
+  EXPECT_TRUE(is_good_round(engine, NodeId(0), 2.0,
+                            {.eta_hat = 2.0, .interference_cap = 1.0}));
+  EXPECT_FALSE(is_good_round(engine, NodeId(0), 2.0,
+                             {.eta_hat = 0.5, .interference_cap = 1.0}));
+}
+
+TEST(GoodRoundRecorder, TalliesRoundsAndThresholds) {
+  Scenario s({{0, 0}, {0.4, 0}, {1.5, 0}}, test::default_config());
+  auto protos = make_protocols(3, [](NodeId) {
+    return std::make_unique<FixedP>(0.3);
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  GoodRoundRecorder recorder({NodeId(0)}, 2.0,
+                             {.eta_hat = 8.0, .interference_cap = 1.0});
+  engine.set_recorder(&recorder);
+  for (int i = 0; i < 10; ++i) engine.step();
+  const auto& tally = recorder.tally(NodeId(0));
+  EXPECT_EQ(tally.rounds, 10);
+  EXPECT_EQ(tally.good, 10);  // 0.9 total contention, ~0 interference
+  EXPECT_NEAR(tally.max_vicinity_contention, 0.9, 1e-12);
+  EXPECT_NEAR(tally.sum_vicinity_contention, 9.0, 1e-9);
+}
+
+TEST(GoodRoundRecorder, HighContentionCountsAsBad) {
+  Scenario s({{0, 0}, {0.1, 0}, {0.2, 0}}, test::default_config());
+  auto protos = make_protocols(3, [](NodeId) {
+    return std::make_unique<FixedP>(0.5);
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  GoodRoundRecorder recorder({NodeId(0)}, 2.0,
+                             {.eta_hat = 1.0, .interference_cap = 1.0});
+  engine.set_recorder(&recorder);
+  for (int i = 0; i < 5; ++i) engine.step();
+  const auto& tally = recorder.tally(NodeId(0));
+  EXPECT_EQ(tally.rounds, 5);
+  EXPECT_EQ(tally.good, 0);  // contention 1.5 >= η̂ = 1
+  EXPECT_EQ(tally.bounded_contention, 0);
+  EXPECT_EQ(tally.low_interference, 5);
+}
+
+}  // namespace
+}  // namespace udwn

@@ -1,0 +1,245 @@
+#include "phy/reception.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/scenario.h"
+#include "phy/interference.h"
+#include "tests/helpers.h"
+
+namespace udwn {
+namespace {
+
+/// Owns the buffers a SlotView points into.
+struct ViewFixture {
+  ViewFixture(const QuasiMetric& metric, const PathLoss& pathloss,
+              std::vector<NodeId> txs)
+      : transmitters(std::move(txs)),
+        transmitting(metric.size(), 0),
+        interference(interference_field(metric, pathloss, transmitters)) {
+    for (NodeId u : transmitters) transmitting[u.value] = 1;
+    view.metric = &metric;
+    view.pathloss = &pathloss;
+    view.transmitters = transmitters;
+    view.transmitting = transmitting;
+    view.interference = interference;
+  }
+  std::vector<NodeId> transmitters;
+  std::vector<std::uint8_t> transmitting;
+  std::vector<double> interference;
+  SlotView view;
+};
+
+// ------------------------------------------------------------------ SINR --
+
+class SinrTest : public ::testing::Test {
+ protected:
+  PathLoss pl{1.0, 3.0, 1e-3};
+  // noise so that R = 1: N = P / (β R^ζ) with β = 2.
+  SinrReception model{pl, 2.0, 0.5};
+};
+
+TEST_F(SinrTest, MaxRangeMatchesDerivation) {
+  EXPECT_NEAR(model.max_range(), 1.0, 1e-12);
+}
+
+TEST_F(SinrTest, LoneTransmitterInRangeDecodes) {
+  EuclideanMetric m({{0, 0}, {0.9, 0}});
+  ViewFixture f(m, pl, {NodeId(0)});
+  EXPECT_TRUE(model.receives(NodeId(1), NodeId(0), f.view));
+}
+
+TEST_F(SinrTest, LoneTransmitterOutOfRangeFails) {
+  EuclideanMetric m({{0, 0}, {1.1, 0}});
+  ViewFixture f(m, pl, {NodeId(0)});
+  EXPECT_FALSE(model.receives(NodeId(1), NodeId(0), f.view));
+}
+
+TEST_F(SinrTest, NearbyInterfererBlocks) {
+  // Receiver halfway between two equal-power transmitters: SINR < 1 < β.
+  EuclideanMetric m({{0, 0}, {0.5, 0}, {1.0, 0}});
+  ViewFixture f(m, pl, {NodeId(0), NodeId(2)});
+  EXPECT_FALSE(model.receives(NodeId(1), NodeId(0), f.view));
+  EXPECT_FALSE(model.receives(NodeId(1), NodeId(2), f.view));
+}
+
+TEST_F(SinrTest, FarInterfererDoesNotBlockCloseLink) {
+  EuclideanMetric m({{0, 0}, {0.1, 0}, {50, 0}});
+  ViewFixture f(m, pl, {NodeId(0), NodeId(2)});
+  EXPECT_TRUE(model.receives(NodeId(1), NodeId(0), f.view));
+}
+
+TEST_F(SinrTest, CumulativeInterferenceBlocksEvenWhenEachIsFar) {
+  // Many transmitters, each individually harmless, jointly push the SINR at
+  // the receiver below β — the distinguishing feature of fading models vs
+  // graph models.
+  std::vector<Vec2> pts{{0, 0}, {0.95, 0}};
+  const int ring = 40;
+  for (int i = 0; i < ring; ++i) {
+    const double phi = 2 * 3.14159265358979 * i / ring;
+    pts.push_back({0.95 + 3 * std::cos(phi), 3 * std::sin(phi)});
+  }
+  EuclideanMetric m(pts);
+  std::vector<NodeId> txs{NodeId(0)};
+  for (int i = 0; i < ring; ++i)
+    txs.push_back(NodeId(static_cast<std::uint32_t>(2 + i)));
+  ViewFixture f(m, pl, txs);
+  EXPECT_FALSE(model.receives(NodeId(1), NodeId(0), f.view));
+
+  // The same geometry with only the intended sender decodes fine.
+  ViewFixture lone(m, pl, {NodeId(0)});
+  EXPECT_TRUE(model.receives(NodeId(1), NodeId(0), lone.view));
+}
+
+TEST_F(SinrTest, SuccClearParamsFollowAppendixB) {
+  const double eps = 0.3;
+  const SuccClearParams sc = model.succ_clear(eps);
+  EXPECT_DOUBLE_EQ(sc.rho_c, 0.0);
+  const double expected =
+      std::min(2.0, std::pow(0.7, -3.0) - 1) * 0.5 / 8.0;
+  EXPECT_DOUBLE_EQ(sc.i_c, expected);
+}
+
+// ------------------------------------------------------------------- UDG --
+
+TEST(UdgTest, OnlyTransmittingNeighborDecodes) {
+  UdgReception model(1.0);
+  PathLoss pl(1.0, 3.0, 1e-3);
+  EuclideanMetric m({{0, 0}, {0.8, 0}, {1.5, 0}});
+  ViewFixture f(m, pl, {NodeId(0), NodeId(2)});
+  // Node 1 hears both 0 (d=0.8) and 2 (d=0.7): collision.
+  EXPECT_FALSE(model.receives(NodeId(1), NodeId(0), f.view));
+}
+
+TEST(UdgTest, OutOfRangeInterfererIgnored) {
+  UdgReception model(1.0);
+  PathLoss pl(1.0, 3.0, 1e-3);
+  EuclideanMetric m({{0, 0}, {0.8, 0}, {2.5, 0}});
+  ViewFixture f(m, pl, {NodeId(0), NodeId(2)});
+  // Node 2 is 1.7 away from node 1: no edge, no interference in UDG.
+  EXPECT_TRUE(model.receives(NodeId(1), NodeId(0), f.view));
+}
+
+TEST(UdgTest, SuccClearGuardZoneIsTwoR) {
+  UdgReception model(1.0);
+  const SuccClearParams sc = model.succ_clear(0.3);
+  EXPECT_DOUBLE_EQ(sc.rho_c, 2.0);
+  EXPECT_TRUE(std::isinf(sc.i_c));
+}
+
+// ------------------------------------------------------------------ QUDG --
+
+TEST(QudgTest, GreyZoneInterferesButDoesNotCommunicate) {
+  QudgReception model(1.0, 1.5);
+  PathLoss pl(1.0, 3.0, 1e-3);
+  // Sender at 1.2 from receiver: grey zone -> no communication.
+  EuclideanMetric grey({{0, 0}, {1.2, 0}});
+  ViewFixture f1(grey, pl, {NodeId(0)});
+  EXPECT_FALSE(model.receives(NodeId(1), NodeId(0), f1.view));
+
+  // Interferer at 1.2 from receiver: grey zone -> still blocks.
+  EuclideanMetric mixed({{0, 0}, {0.8, 0}, {2.0, 0}});
+  ViewFixture f2(mixed, pl, {NodeId(0), NodeId(2)});
+  EXPECT_FALSE(model.receives(NodeId(1), NodeId(0), f2.view));
+
+  // Interferer beyond outer radius: ignored.
+  EuclideanMetric far({{0, 0}, {0.8, 0}, {2.4, 0}});
+  ViewFixture f3(far, pl, {NodeId(0), NodeId(2)});
+  EXPECT_TRUE(model.receives(NodeId(1), NodeId(0), f3.view));
+}
+
+// -------------------------------------------------------------- Protocol --
+
+TEST(ProtocolTest, InterferenceRadiusExceedsCommRadius) {
+  ProtocolReception model(1.0, 2.0);
+  PathLoss pl(1.0, 3.0, 1e-3);
+  // Interferer at distance 1.8 from the receiver: inside R' = 2.
+  EuclideanMetric m({{0, 0}, {0.9, 0}, {2.7, 0}});
+  ViewFixture f(m, pl, {NodeId(0), NodeId(2)});
+  EXPECT_FALSE(model.receives(NodeId(1), NodeId(0), f.view));
+
+  // Move the interferer outside R'.
+  EuclideanMetric m2({{0, 0}, {0.9, 0}, {3.0, 0}});
+  ViewFixture f2(m2, pl, {NodeId(0), NodeId(2)});
+  EXPECT_TRUE(model.receives(NodeId(1), NodeId(0), f2.view));
+}
+
+TEST(ProtocolTest, SuccClearRho) {
+  ProtocolReception model(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(model.succ_clear(0.3).rho_c, 3.0);
+}
+
+// --------------------------------------------------------- SuccClearOnly --
+
+TEST(SuccClearOnlyTest, SucceedsExactlyOnClearChannel) {
+  const SuccClearParams params{.rho_c = 2.0, .i_c = 0.125};
+  SuccClearOnlyReception model(1.0, 0.3, params);
+  PathLoss pl(1.0, 3.0, 1e-3);
+
+  // Clear: lone transmitter, neighbor within (1-ε)R = 0.7.
+  EuclideanMetric m({{0, 0}, {0.6, 0}});
+  ViewFixture f(m, pl, {NodeId(0)});
+  EXPECT_TRUE(model.receives(NodeId(1), NodeId(0), f.view));
+
+  // A second transmitter inside the ρ_c R guard zone kills it (pessimal).
+  EuclideanMetric m2({{0, 0}, {0.6, 0}, {1.9, 0}});
+  ViewFixture f2(m2, pl, {NodeId(0), NodeId(2)});
+  EXPECT_FALSE(model.receives(NodeId(1), NodeId(0), f2.view));
+
+  // Non-neighbor never receives even on a clear channel.
+  EuclideanMetric m3({{0, 0}, {0.8, 0}});
+  ViewFixture f3(m3, pl, {NodeId(0)});
+  EXPECT_FALSE(model.receives(NodeId(1), NodeId(0), f3.view));
+}
+
+// --------------------------------------------- SuccClear compliance sweep --
+
+// Def. 1 compliance — the property that makes the unified model work: for
+// EVERY model, whenever clear_channel(u) holds, ALL neighbors of u decode
+// u's transmission. Randomized over deployments and transmitter sets.
+class SuccClearCompliance : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(SuccClearCompliance, ClearChannelImpliesMassDelivery) {
+  const ScenarioConfig cfg = test::config_for(GetParam());
+  Rng rng(777);
+  int clear_events = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Scenario scenario(test::random_points(60, 6, seed), cfg);
+    const auto& model = scenario.model();
+    const auto& metric = scenario.metric();
+    const auto& pl = scenario.pathloss();
+    for (int trial = 0; trial < 40; ++trial) {
+      // Random transmitter set of random size.
+      std::vector<NodeId> txs;
+      const std::size_t k = 1 + rng.below(6);
+      for (std::size_t i = 0; i < k; ++i) {
+        const NodeId cand(static_cast<std::uint32_t>(rng.below(60)));
+        if (std::find(txs.begin(), txs.end(), cand) == txs.end())
+          txs.push_back(cand);
+      }
+      ViewFixture f(metric, pl, txs);
+      for (NodeId u : txs) {
+        if (!model.clear_channel(u, f.view, cfg.epsilon)) continue;
+        ++clear_events;
+        for (NodeId v : scenario.neighbors(u)) {
+          if (f.transmitting[v.value]) continue;  // half-duplex, engine rule
+          EXPECT_TRUE(model.receives(v, u, f.view))
+              << test::model_name(GetParam()) << " seed=" << seed
+              << " sender=" << u.value << " receiver=" << v.value;
+        }
+      }
+    }
+  }
+  // The sweep must actually have exercised the property.
+  EXPECT_GT(clear_events, 20) << test::model_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, SuccClearCompliance,
+                         ::testing::ValuesIn(test::all_models()),
+                         [](const auto& info) {
+                           return test::model_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace udwn

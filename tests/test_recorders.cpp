@@ -1,0 +1,108 @@
+#include "analysis/recorders.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/runner.h"
+#include "analysis/scenario.h"
+#include "tests/helpers.h"
+
+namespace udwn {
+namespace {
+
+class AlwaysTransmit final : public Protocol {
+ public:
+  double transmit_probability(Slot slot) override {
+    return slot == Slot::Data ? 1.0 : 0.0;
+  }
+  void on_slot(const SlotFeedback&) override {}
+};
+
+class Silent final : public Protocol {
+ public:
+  double transmit_probability(Slot) override { return 0; }
+  void on_slot(const SlotFeedback&) override {}
+};
+
+TEST(DeliveryRecorder, RecordsFirstMassDelivery) {
+  Scenario s(test::pair_at(0.5), test::default_config());
+  auto protos = make_protocols(2, [](NodeId id) -> std::unique_ptr<Protocol> {
+    if (id == NodeId(0)) return std::make_unique<AlwaysTransmit>();
+    return std::make_unique<Silent>();
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  DeliveryRecorder recorder(2);
+  engine.set_recorder(&recorder);
+  for (int i = 0; i < 5; ++i) engine.step();
+  EXPECT_EQ(recorder.first_mass_delivery()[0], 0);
+  EXPECT_EQ(recorder.first_mass_delivery()[1], -1);
+  EXPECT_EQ(recorder.total_mass_deliveries(), 5);
+  EXPECT_EQ(recorder.total_transmissions(), 5);
+  EXPECT_EQ(recorder.clear_transmissions(), 5);
+}
+
+TEST(DeliveryRecorder, CollisionsAreNotDeliveries) {
+  Scenario s({{0, 0}, {0.3, 0}, {0.6, 0}}, test::default_config());
+  auto protos = make_protocols(3, [](NodeId id) -> std::unique_ptr<Protocol> {
+    if (id.value <= 1) return std::make_unique<AlwaysTransmit>();
+    return std::make_unique<Silent>();
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  DeliveryRecorder recorder(3);
+  engine.set_recorder(&recorder);
+  for (int i = 0; i < 5; ++i) engine.step();
+  // Nodes 0 and 1 are mutual neighbors transmitting every round: neither can
+  // ever mass-deliver (half-duplex neighbors).
+  EXPECT_EQ(recorder.total_mass_deliveries(), 0);
+  EXPECT_EQ(recorder.total_transmissions(), 10);
+  EXPECT_EQ(recorder.clear_transmissions(), 0);
+}
+
+TEST(InformedRecorder, SourceStartsInformed) {
+  InformedRecorder rec(3, {NodeId(1)});
+  EXPECT_EQ(rec.informed_round()[1], 0);
+  EXPECT_EQ(rec.informed_round()[0], -1);
+  EXPECT_EQ(rec.informed_count(), 1u);
+}
+
+TEST(InformedRecorder, PropagationTracksDecodesFromInformedSendersOnly) {
+  // Chain 0 - 1 - 2; only node 0 (the source) transmits. Node 1 becomes
+  // informed; node 2 hears only node 1 who never transmits, so it stays
+  // uninformed.
+  Scenario s({{0, 0}, {0.5, 0}, {1.0, 0}}, test::default_config());
+  auto protos = make_protocols(3, [](NodeId id) -> std::unique_ptr<Protocol> {
+    if (id == NodeId(0)) return std::make_unique<AlwaysTransmit>();
+    return std::make_unique<Silent>();
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  InformedRecorder recorder(3, {NodeId(0)});
+  engine.set_recorder(&recorder);
+  for (int i = 0; i < 5; ++i) engine.step();
+  EXPECT_EQ(recorder.informed_round()[1], 1);
+  EXPECT_EQ(recorder.informed_round()[2], -1);
+  EXPECT_FALSE(recorder.all_informed(s.network()));
+  EXPECT_EQ(recorder.informed_count(), 2u);
+}
+
+TEST(InformedRecorder, UninformedSenderDoesNotSpread) {
+  // Node 1 transmits but was never informed: its decodes must not mark
+  // listeners informed.
+  Scenario s({{0, 0}, {0.5, 0}}, test::default_config());
+  auto protos = make_protocols(2, [](NodeId id) -> std::unique_ptr<Protocol> {
+    if (id == NodeId(1)) return std::make_unique<AlwaysTransmit>();
+    return std::make_unique<Silent>();
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  InformedRecorder recorder(2, {NodeId(0)});
+  engine.set_recorder(&recorder);
+  for (int i = 0; i < 3; ++i) engine.step();
+  // Node 0 decodes node 1 every round, but node 1 has nothing to say.
+  EXPECT_EQ(recorder.informed_round()[1], -1);
+  EXPECT_TRUE(recorder.informed_round()[0] == 0);
+}
+
+}  // namespace
+}  // namespace udwn

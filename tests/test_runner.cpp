@@ -1,0 +1,102 @@
+#include "analysis/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/scenario.h"
+#include "tests/helpers.h"
+
+namespace udwn {
+namespace {
+
+/// Finishes after a fixed number of local rounds.
+class FinishAfter final : public Protocol {
+ public:
+  explicit FinishAfter(int rounds) : target_(rounds) {}
+  void on_start() override { count_ = 0; }
+  double transmit_probability(Slot) override { return 0; }
+  void on_slot(const SlotFeedback& fb) override {
+    if (fb.slot == Slot::Data && fb.local_round) ++count_;
+  }
+  bool finished() const override { return count_ >= target_; }
+
+ private:
+  int target_;
+  int count_ = 0;
+};
+
+TEST(Runner, MakeProtocolsCreatesOnePerNode) {
+  const auto protos = make_protocols(5, [](NodeId) {
+    return std::make_unique<FinishAfter>(1);
+  });
+  EXPECT_EQ(protos.size(), 5u);
+}
+
+TEST(Runner, TrackRecordsPerNodeCompletionRounds) {
+  Scenario s(test::random_points(3, 2, 60), test::default_config());
+  auto protos = make_protocols(3, [](NodeId id) {
+    return std::make_unique<FinishAfter>(static_cast<int>(id.value) + 1);
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  const auto result = track_until_all(
+      engine, [](const Protocol& p, NodeId) { return p.finished(); }, 100);
+  EXPECT_TRUE(result.all_done);
+  EXPECT_EQ(result.completion[0], 1);
+  EXPECT_EQ(result.completion[1], 2);
+  EXPECT_EQ(result.completion[2], 3);
+  EXPECT_EQ(result.rounds, 3);
+}
+
+TEST(Runner, TimeoutLeavesUnfinishedAtMinusOne) {
+  Scenario s(test::random_points(2, 2, 61), test::default_config());
+  auto protos = make_protocols(2, [](NodeId id) {
+    return std::make_unique<FinishAfter>(id.value == 0 ? 2 : 1000);
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  const auto result = track_until_all(
+      engine, [](const Protocol& p, NodeId) { return p.finished(); }, 10);
+  EXPECT_FALSE(result.all_done);
+  EXPECT_EQ(result.completion[0], 2);
+  EXPECT_EQ(result.completion[1], -1);
+  EXPECT_EQ(result.rounds, 10);
+}
+
+TEST(Runner, DeadNodesAreIgnored) {
+  Scenario s(test::random_points(3, 2, 62), test::default_config());
+  s.network().set_alive(NodeId(2), false);
+  auto protos = make_protocols(3, [](NodeId) {
+    return std::make_unique<FinishAfter>(2);
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  const auto result = track_until_all(
+      engine, [](const Protocol& p, NodeId) { return p.finished(); }, 100);
+  EXPECT_TRUE(result.all_done);
+  EXPECT_EQ(result.completion[2], -1);  // never participated
+}
+
+TEST(Runner, FiniteCompletionsFiltersUnfinished) {
+  TrackResult r;
+  r.completion = {3, -1, 7, -1};
+  const auto xs = finite_completions(r);
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_DOUBLE_EQ(xs[0], 3.0);
+  EXPECT_DOUBLE_EQ(xs[1], 7.0);
+}
+
+TEST(Runner, ZeroBudgetEvaluatesInitialState) {
+  Scenario s(test::random_points(2, 2, 63), test::default_config());
+  auto protos = make_protocols(2, [](NodeId) {
+    return std::make_unique<FinishAfter>(0);  // finished from the start
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  const auto result = track_until_all(
+      engine, [](const Protocol& p, NodeId) { return p.finished(); }, 0);
+  EXPECT_TRUE(result.all_done);
+  EXPECT_EQ(result.rounds, 0);
+}
+
+}  // namespace
+}  // namespace udwn

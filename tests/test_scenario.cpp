@@ -1,0 +1,89 @@
+#include "analysis/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metric/lower_bound_metric.h"
+#include "tests/helpers.h"
+
+namespace udwn {
+namespace {
+
+TEST(Scenario, SinrNoiseDerivationYieldsConfiguredRadius) {
+  ScenarioConfig cfg;
+  cfg.radius = 2.0;
+  Scenario s(test::pair_at(1.0), cfg);
+  EXPECT_NEAR(s.model().max_range(), 2.0, 1e-9);
+  EXPECT_NEAR(s.comm_radius(), 1.4, 1e-9);
+}
+
+TEST(Scenario, EachModelKindConstructs) {
+  for (ModelKind kind : test::all_models()) {
+    Scenario s(test::pair_at(0.5), test::config_for(kind));
+    EXPECT_NEAR(s.model().max_range(), 1.0, 1e-9) << test::model_name(kind);
+  }
+}
+
+TEST(Scenario, EuclideanAccessor) {
+  Scenario s(test::pair_at(0.5), test::default_config());
+  EXPECT_NE(s.euclidean(), nullptr);
+
+  Scenario s2(std::make_unique<LowerBoundMetric>(10, 1.0, 0.3),
+              test::default_config());
+  EXPECT_EQ(s2.euclidean(), nullptr);
+}
+
+TEST(Scenario, MaxDegreeCountsNeighbors) {
+  // Chain 0 - 1 - 2 with spacing 0.5: middle node has degree 2.
+  Scenario s({{0, 0}, {0.5, 0}, {1.0, 0}}, test::default_config());
+  EXPECT_EQ(s.max_degree(), 2u);
+  EXPECT_EQ(s.neighbors(NodeId(1)).size(), 2u);
+  EXPECT_EQ(s.neighbors(NodeId(0)).size(), 1u);
+}
+
+TEST(Scenario, HopDistancesBfs) {
+  Scenario s({{0, 0}, {0.5, 0}, {1.0, 0}, {1.5, 0}, {10, 0}},
+             test::default_config());
+  const auto d = s.hop_distances(NodeId(0));
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], 2);
+  EXPECT_EQ(d[3], 3);
+  EXPECT_EQ(d[4], -1);  // unreachable
+}
+
+TEST(Scenario, HopDistancesSkipDeadNodes) {
+  Scenario s({{0, 0}, {0.5, 0}, {1.0, 0}}, test::default_config());
+  s.network().set_alive(NodeId(1), false);
+  const auto d = s.hop_distances(NodeId(0));
+  EXPECT_EQ(d[2], -1);  // relay died
+}
+
+TEST(Scenario, SensingBundlesDifferInNtdRadius) {
+  Scenario s(test::pair_at(0.5), test::default_config());
+  const auto local = s.sensing_local();
+  const auto bcast = s.sensing_broadcast();
+  const auto domset = s.sensing_domset();
+  EXPECT_NEAR(local.config().ntd_radius, 0.15, 1e-12);   // εR/2
+  EXPECT_NEAR(bcast.config().ntd_radius, 0.15, 1e-12);   // εR/2
+  EXPECT_NEAR(domset.config().ntd_radius, 0.075, 1e-12); // εR/4
+  // Broadcast ACK runs at precision ε/2: stricter (smaller) threshold than
+  // the local bundle's ε ACK for the SINR model.
+  EXPECT_LT(bcast.config().ack_threshold, local.config().ack_threshold);
+}
+
+TEST(Scenario, QudgAndProtocolFactorsApplied) {
+  ScenarioConfig cfg = test::config_for(ModelKind::Qudg);
+  cfg.qudg_outer = 1.7;
+  Scenario s(test::pair_at(0.5), cfg);
+  EXPECT_NEAR(s.model().succ_clear(0.3).rho_c, 2.7, 1e-12);
+
+  ScenarioConfig cfg2 = test::config_for(ModelKind::Protocol);
+  cfg2.protocol_interference = 3.0;
+  Scenario s2(test::pair_at(0.5), cfg2);
+  EXPECT_NEAR(s2.model().succ_clear(0.3).rho_c, 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace udwn

@@ -1,0 +1,194 @@
+#include "sensing/primitives.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/scenario.h"
+#include "common/rng.h"
+#include "metric/euclidean.h"
+#include "phy/interference.h"
+#include "tests/helpers.h"
+
+namespace udwn {
+namespace {
+
+PathLoss make_pl() { return PathLoss(1.0, 3.0, 1e-3); }
+
+TEST(CarrierSensing, SinrThresholdDerivation) {
+  const PathLoss pl = make_pl();
+  const double noise = 1.0 / (1.5 * 1.0);  // beta=1.5, R=1
+  SinrReception model(pl, 1.5, noise);
+  const CarrierSensing cs = CarrierSensing::for_model(model, pl, 0.3);
+  // ACK: ρ_c = 0 so threshold = I_c.
+  EXPECT_NEAR(cs.config().ack_threshold, model.succ_clear(0.3).i_c, 1e-12);
+  // CD: min{ P/((1-ε)R)^ζ, T_ack } — here the ACK clamp binds.
+  EXPECT_NEAR(cs.config().cd_threshold, cs.config().ack_threshold, 1e-12);
+  // NTD radius εR/2.
+  EXPECT_NEAR(cs.config().ntd_radius, 0.15, 1e-12);
+  // Noise carried through.
+  EXPECT_NEAR(cs.config().noise, noise, 1e-12);
+}
+
+TEST(CarrierSensing, UdgThresholdUsesGuardZone) {
+  const PathLoss pl = make_pl();
+  UdgReception model(1.0);
+  const CarrierSensing cs = CarrierSensing::for_model(model, pl, 0.3);
+  // I_c = inf, so ACK threshold = P/(ρ_c R)^ζ = 1/8, which also clamps CD.
+  EXPECT_NEAR(cs.config().ack_threshold, 1.0 / 8.0, 1e-12);
+  EXPECT_NEAR(cs.config().cd_threshold, 1.0 / 8.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cs.config().noise, 0.0);
+}
+
+TEST(CarrierSensing, BusyThreshold) {
+  SensingConfig cfg{.precision = 0.3,
+                    .cd_threshold = 1.0,
+                    .ack_threshold = 0.1,
+                    .ntd_radius = 0.15,
+                    .noise = 0.0};
+  CarrierSensing cs(cfg);
+  EXPECT_FALSE(cs.busy(0.99));
+  EXPECT_TRUE(cs.busy(1.0));
+  EXPECT_TRUE(cs.busy(5.0));
+}
+
+TEST(CarrierSensing, NoiseFloorDoesNotShiftBusyReading) {
+  // Sensing measures the excess over the known noise floor, so the same
+  // interference reads the same regardless of N.
+  SensingConfig quiet{.precision = 0.3,
+                      .cd_threshold = 1.0,
+                      .ack_threshold = 0.1,
+                      .ntd_radius = 0.15,
+                      .noise = 0.0};
+  SensingConfig loud = quiet;
+  loud.noise = 5.0;
+  EXPECT_EQ(CarrierSensing(quiet).busy(0.9), CarrierSensing(loud).busy(0.9));
+  EXPECT_EQ(CarrierSensing(quiet).busy(1.1), CarrierSensing(loud).busy(1.1));
+}
+
+TEST(CarrierSensing, AckThreshold) {
+  SensingConfig cfg{.precision = 0.3,
+                    .cd_threshold = 1.0,
+                    .ack_threshold = 0.1,
+                    .ntd_radius = 0.15,
+                    .noise = 0.0};
+  CarrierSensing cs(cfg);
+  EXPECT_TRUE(cs.ack(0.0));
+  EXPECT_TRUE(cs.ack(0.1));
+  EXPECT_FALSE(cs.ack(0.11));
+}
+
+TEST(CarrierSensing, NtdRadius) {
+  SensingConfig cfg{.precision = 0.3,
+                    .cd_threshold = 1.0,
+                    .ack_threshold = 0.1,
+                    .ntd_radius = 0.15,
+                    .noise = 0.0};
+  CarrierSensing cs(cfg);
+  EXPECT_TRUE(cs.ntd(0.1));
+  EXPECT_FALSE(cs.ntd(0.15));  // strict
+  EXPECT_FALSE(cs.ntd(0.2));
+}
+
+TEST(CarrierSensing, WithPrecisionsUsesMixedEpsilons) {
+  const PathLoss pl = make_pl();
+  UdgReception model(1.0);
+  const CarrierSensing cs =
+      CarrierSensing::with_precisions(model, pl, 0.3, 0.15, 0.075);
+  // CD clamped to the ε/2-precision ACK threshold (1/(2.3)^3 < 1/0.7^3).
+  EXPECT_NEAR(cs.config().cd_threshold, cs.config().ack_threshold, 1e-12);
+  EXPECT_NEAR(cs.config().ntd_radius, 0.075, 1e-12);
+}
+
+// App. B soundness: ACK (threshold reading at the transmitter) must never
+// report success when some neighbor failed to decode — across models and
+// random instances. This is the correctness half of the ACK definition.
+class AckSoundness : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(AckSoundness, AckImpliesMassDelivery) {
+  Rng rng(4242);
+  int acks = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Scenario s(test::random_points(50, 5, seed), test::config_for(GetParam()));
+    const CarrierSensing cs = s.sensing_local();
+    for (int trial = 0; trial < 40; ++trial) {
+      std::vector<NodeId> txs;
+      for (std::uint32_t v = 0; v < 50; ++v)
+        if (rng.chance(0.08)) txs.push_back(NodeId(v));
+      if (txs.empty()) continue;
+      const auto outcome = s.channel().resolve(txs, s.network().alive_mask());
+      for (NodeId u : txs) {
+        if (cs.ack(outcome.interference[u.value])) {
+          ++acks;
+          EXPECT_TRUE(outcome.mass_delivered[u.value])
+              << test::model_name(GetParam()) << " seed=" << seed;
+        }
+      }
+    }
+  }
+  EXPECT_GT(acks, 30) << test::model_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, AckSoundness,
+                         ::testing::ValuesIn(test::all_models()),
+                         [](const auto& info) {
+                           return test::model_name(info.param);
+                         });
+
+// Prop. B.3-style statistical check: with contention φ in B(v, R/2), all
+// ball members detect Busy with probability >= 1 - (1+2φ)e^{-φ}.
+TEST(CarrierSensingStats, BusyDetectionProbabilityDominatesBound) {
+  // 40 nodes in a tight cluster (diameter << R/2), each transmitting with
+  // probability p = φ/40.
+  const double phi = 4.0;
+  const std::size_t n = 40;
+  Rng rng(9);
+  auto pts = uniform_disk(n, {0, 0}, 0.05, rng);
+  Scenario s(std::move(pts), test::default_config());
+  const CarrierSensing cs = s.sensing_local();
+  const double p = phi / static_cast<double>(n);
+
+  int trials = 4000, all_busy = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<NodeId> txs;
+    for (std::uint32_t v = 0; v < n; ++v)
+      if (rng.chance(p)) txs.push_back(NodeId(v));
+    const auto outcome = s.channel().resolve(txs, s.network().alive_mask());
+    bool all = true;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      // A transmitter senses others' interference only; Prop. B.3 argues
+      // via >= 2 transmitters, which covers everyone in the ball.
+      if (!cs.busy(outcome.interference[v])) all = false;
+    }
+    all_busy += all ? 1 : 0;
+  }
+  const double measured = static_cast<double>(all_busy) / trials;
+  const double bound = 1 - (1 + 2 * phi) * std::exp(-phi);
+  EXPECT_GE(measured, bound - 0.03);  // 3σ-ish statistical slack
+}
+
+// Prop. B.4-style check: with vicinity contention < η and negligible outside
+// interference, Idle is detected with probability >= 4^{-η}.
+TEST(CarrierSensingStats, IdleDetectionProbabilityDominatesBound) {
+  const double eta = 1.0;
+  const std::size_t n = 20;
+  Rng rng(10);
+  auto pts = uniform_disk(n, {0, 0}, 0.4, rng);
+  Scenario s(std::move(pts), test::default_config());
+  const CarrierSensing cs = s.sensing_local();
+  const double p = eta / static_cast<double>(n);
+
+  int trials = 4000, idle = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<NodeId> txs;
+    for (std::uint32_t v = 1; v < n; ++v)  // node 0 is the listener
+      if (rng.chance(p)) txs.push_back(NodeId(v));
+    const auto outcome = s.channel().resolve(txs, s.network().alive_mask());
+    idle += cs.busy(outcome.interference[0]) ? 0 : 1;
+  }
+  const double measured = static_cast<double>(idle) / trials;
+  EXPECT_GE(measured, std::pow(4.0, -eta) - 0.03);
+}
+
+}  // namespace
+}  // namespace udwn

@@ -1,0 +1,92 @@
+#include "phy/spatial_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "tests/helpers.h"
+
+namespace udwn {
+namespace {
+
+std::vector<NodeId> brute_force_within(const std::vector<Vec2>& pts, Vec2 q,
+                                       double r) {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    if (distance(pts[i], q) <= r)
+      out.push_back(NodeId(static_cast<std::uint32_t>(i)));
+  return out;
+}
+
+void expect_same_set(std::vector<NodeId> a, std::vector<NodeId> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(SpatialGrid, MatchesBruteForce) {
+  const auto pts = test::random_points(300, 10, 17);
+  SpatialGrid grid(pts, 1.0);
+  Rng rng(18);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec2 q{rng.uniform(0, 10), rng.uniform(0, 10)};
+    const double r = rng.uniform(0.1, 3.0);
+    expect_same_set(grid.within(q, r), brute_force_within(pts, q, r));
+  }
+}
+
+TEST(SpatialGrid, QueryOutsideDomain) {
+  const auto pts = test::random_points(50, 5, 19);
+  SpatialGrid grid(pts, 1.0);
+  EXPECT_TRUE(grid.within({100, 100}, 1.0).empty());
+  expect_same_set(grid.within({-50, -50}, 200.0),
+                  brute_force_within(pts, {-50, -50}, 200.0));
+}
+
+TEST(SpatialGrid, NegativeCoordinates) {
+  std::vector<Vec2> pts{{-1.5, -2.5}, {-0.1, -0.1}, {2, 3}};
+  SpatialGrid grid(pts, 1.0);
+  expect_same_set(grid.within({-1, -1}, 2.0),
+                  brute_force_within(pts, {-1, -1}, 2.0));
+}
+
+TEST(SpatialGrid, BoundaryInclusive) {
+  std::vector<Vec2> pts{{0, 0}, {1, 0}};
+  SpatialGrid grid(pts, 0.5);
+  const auto hits = grid.within({0, 0}, 1.0);
+  EXPECT_EQ(hits.size(), 2u);  // distance exactly 1.0 is included
+}
+
+TEST(SpatialGrid, EmptyPointSet) {
+  SpatialGrid grid(std::vector<Vec2>{}, 1.0);
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_TRUE(grid.within({0, 0}, 5.0).empty());
+}
+
+TEST(SpatialGrid, ForEachVisitsEachOnce) {
+  const auto pts = test::random_points(100, 4, 20);
+  SpatialGrid grid(pts, 0.7);
+  std::vector<int> visits(100, 0);
+  grid.for_each_within({2, 2}, 3.0, [&](NodeId id) { ++visits[id.value]; });
+  for (std::size_t i = 0; i < 100; ++i) {
+    const int expected = distance(pts[i], {2, 2}) <= 3.0 ? 1 : 0;
+    EXPECT_EQ(visits[i], expected) << "point " << i;
+  }
+}
+
+// Cell size should not change results, only performance.
+class GridCellSize : public ::testing::TestWithParam<double> {};
+
+TEST_P(GridCellSize, ResultsIndependentOfCellSize) {
+  const auto pts = test::random_points(200, 8, 21);
+  SpatialGrid grid(pts, GetParam());
+  expect_same_set(grid.within({4, 4}, 2.5),
+                  brute_force_within(pts, {4, 4}, 2.5));
+}
+
+INSTANTIATE_TEST_SUITE_P(CellSizes, GridCellSize,
+                         ::testing::Values(0.1, 0.5, 1.0, 3.0, 10.0));
+
+}  // namespace
+}  // namespace udwn

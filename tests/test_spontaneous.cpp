@@ -1,0 +1,120 @@
+#include "core/spontaneous.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/scenario.h"
+#include "metric/packing.h"
+#include "tests/helpers.h"
+#include "topo/generators.h"
+
+namespace udwn {
+namespace {
+
+TEST(DominatorFloodProtocol, ListenerNeverTransmits) {
+  DominatorFloodProtocol p(/*dominator=*/false, /*source=*/false, 0.1);
+  p.on_start();
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.0);
+  SlotFeedback fb;
+  fb.slot = Slot::Data;
+  fb.received = true;
+  fb.sender = NodeId(1);
+  p.on_slot(fb);
+  EXPECT_TRUE(p.informed());
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.0);  // still silent
+}
+
+TEST(DominatorFloodProtocol, DominatorTransmitsOnceInformed) {
+  DominatorFloodProtocol p(/*dominator=*/true, /*source=*/false, 0.1);
+  p.on_start();
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.0);  // not informed
+  SlotFeedback fb;
+  fb.slot = Slot::Data;
+  fb.local_round = true;
+  fb.received = true;
+  fb.sender = NodeId(1);
+  p.on_slot(fb);
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.1);
+}
+
+TEST(DominatorFloodProtocol, AckFinishesDominator) {
+  DominatorFloodProtocol p(/*dominator=*/true, /*source=*/true, 0.1);
+  p.on_start();
+  SlotFeedback fb;
+  fb.slot = Slot::Data;
+  fb.local_round = true;
+  fb.transmitted = true;
+  fb.ack = true;
+  p.on_slot(fb);
+  EXPECT_TRUE(p.finished());
+  EXPECT_DOUBLE_EQ(p.transmit_probability(Slot::Data), 0.0);
+}
+
+class SpontaneousEndToEnd : public ::testing::Test {
+ protected:
+  SpontaneousBcastResult run_on(std::vector<Vec2> pts, std::uint64_t seed) {
+    scenario = std::make_unique<Scenario>(std::move(pts),
+                                          test::default_config());
+    SpontaneousBcast::Config cfg;
+    cfg.seed = seed;
+    cfg.stage1_max_rounds = 20000;
+    cfg.stage2_max_rounds = 20000;
+    return SpontaneousBcast::run(scenario->channel(), scenario->network(),
+                                 scenario->sensing_domset(),
+                                 scenario->sensing_broadcast(), NodeId(0),
+                                 cfg);
+  }
+  std::unique_ptr<Scenario> scenario;
+};
+
+TEST_F(SpontaneousEndToEnd, InformsEveryoneOnConnectedInstance) {
+  Rng rng(31);
+  const auto result = run_on(cluster_chain(6, 6, 0.6, 0.05, rng), 1);
+  EXPECT_TRUE(result.complete);
+  for (NodeId v : scenario->network().alive_nodes())
+    EXPECT_GE(result.informed_round[v.value], 0);
+}
+
+TEST_F(SpontaneousEndToEnd, DominatingSetCoversAndPacks) {
+  Rng rng(32);
+  const auto result = run_on(uniform_square(120, 3.0, rng), 2);
+  ASSERT_FALSE(result.dominators.empty());
+
+  const auto& metric = scenario->metric();
+  const double eps = scenario->config().epsilon;
+  const double radius = scenario->model().max_range();
+  const auto alive = scenario->network().alive_nodes();
+
+  // App. G: the stop-by-NTD rule yields an (εR/4)-dominating set...
+  EXPECT_TRUE(is_cover(metric, result.dominators, alive,
+                       eps * radius / 4 + 1e-9));
+  // ...whose members form an (εR/8)-packing (pairwise >= εR/4).
+  EXPECT_TRUE(is_packing(metric, result.dominators, eps * radius / 8));
+}
+
+TEST_F(SpontaneousEndToEnd, DominatorDensityIsBounded) {
+  // Constant density: each node is dominated by O(1) dominators. With the
+  // εR/8-packing property the count within εR/4 is geometrically bounded;
+  // check a generous constant.
+  Rng rng(33);
+  const auto result = run_on(uniform_square(150, 3.0, rng), 3);
+  const auto& metric = scenario->metric();
+  const double eps = scenario->config().epsilon;
+  const double radius = scenario->model().max_range();
+  for (NodeId v : scenario->network().alive_nodes()) {
+    int dominating = 0;
+    for (NodeId d : result.dominators)
+      if (metric.sym_distance(v, d) < eps * radius / 4) ++dominating;
+    EXPECT_GE(dominating, 1);
+    EXPECT_LE(dominating, 8);
+  }
+}
+
+TEST_F(SpontaneousEndToEnd, StageOneIsFastRelativeToBudget) {
+  Rng rng(34);
+  const auto result = run_on(uniform_square(100, 3.0, rng), 4);
+  // O(log n) claim: must finish far below the budget on 100 nodes.
+  EXPECT_LT(result.stage1_rounds, 2000);
+}
+
+}  // namespace
+}  // namespace udwn

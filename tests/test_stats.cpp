@@ -1,0 +1,190 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace udwn {
+namespace {
+
+TEST(Accumulator, Empty) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(4.5);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 4.5);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.5);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance of the classic example: 32/7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, NegativeValues) {
+  Accumulator acc;
+  acc.add(-3);
+  acc.add(3);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), -3.0);
+}
+
+TEST(Accumulator, NumericalStabilityLargeOffset) {
+  Accumulator acc;
+  for (int i = 0; i < 1000; ++i) acc.add(1e9 + (i % 2));
+  EXPECT_NEAR(acc.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(acc.variance(), 0.25025, 1e-3);
+}
+
+TEST(Summary, EmptySample) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Summary, KnownQuartiles) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Summary, UnsortedInput) {
+  const std::vector<double> v{9, 1, 5, 3, 7};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.95), 7.0);
+}
+
+TEST(LineFit, PerfectLine) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{3, 5, 7, 9};  // y = 1 + 2x
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LineFit, FlatData) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{4, 4, 4};
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+}
+
+TEST(LineFit, NoisyLineRecoversSlope) {
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0, 100);
+    xs.push_back(x);
+    ys.push_back(2 + 0.7 * x + rng.uniform(-1, 1));
+  }
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.7, 0.01);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(PowerLawFit, RecoversExponent) {
+  std::vector<double> xs, ys;
+  for (double x : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    xs.push_back(x);
+    ys.push_back(3 * x * x);  // y = 3 x^2
+  }
+  const LineFit fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-10);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-10);
+}
+
+TEST(BootstrapCI, ContainsTrueMeanOfTightSample) {
+  Rng rng(31);
+  std::vector<double> sample(200);
+  for (auto& x : sample) x = 10.0 + rng.uniform(-1, 1);
+  const auto ci = bootstrap_mean_ci(sample, rng);
+  EXPECT_NEAR(ci.mean, 10.0, 0.2);
+  EXPECT_LT(ci.lower, ci.mean);
+  EXPECT_GT(ci.upper, ci.mean);
+  EXPECT_LT(ci.upper - ci.lower, 0.5);  // tight sample, tight interval
+}
+
+TEST(BootstrapCI, SingleValueDegenerates) {
+  Rng rng(32);
+  const std::vector<double> sample{4.0};
+  const auto ci = bootstrap_mean_ci(sample, rng);
+  EXPECT_DOUBLE_EQ(ci.lower, 4.0);
+  EXPECT_DOUBLE_EQ(ci.mean, 4.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 4.0);
+}
+
+TEST(BootstrapCI, WiderLevelGivesWiderInterval) {
+  Rng rng1(33), rng2(33);
+  std::vector<double> sample(50);
+  Rng gen(34);
+  for (auto& x : sample) x = gen.uniform(0, 100);
+  const auto narrow = bootstrap_mean_ci(sample, rng1, 0.5);
+  const auto wide = bootstrap_mean_ci(sample, rng2, 0.99);
+  EXPECT_LT(narrow.upper - narrow.lower, wide.upper - wide.lower);
+}
+
+TEST(BootstrapCI, CoverageIsApproximatelyNominal) {
+  // Repeatedly sample from a known distribution; the 90% CI should contain
+  // the true mean in roughly 90% of repetitions.
+  Rng rng(35);
+  int contains = 0;
+  const int reps = 200;
+  for (int r = 0; r < reps; ++r) {
+    std::vector<double> sample(40);
+    for (auto& x : sample) x = rng.uniform(0, 2);  // true mean 1.0
+    const auto ci = bootstrap_mean_ci(sample, rng, 0.9, 400);
+    contains += (ci.lower <= 1.0 && 1.0 <= ci.upper) ? 1 : 0;
+  }
+  EXPECT_GT(contains, reps * 0.8);
+  EXPECT_LT(contains, reps * 0.99);
+}
+
+TEST(PowerLawFit, LinearGrowthHasExponentOne) {
+  std::vector<double> xs, ys;
+  for (double x : {1.0, 3.0, 9.0, 27.0}) {
+    xs.push_back(x);
+    ys.push_back(5 * x);
+  }
+  const LineFit fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.slope, 1.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace udwn

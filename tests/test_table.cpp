@@ -1,0 +1,68 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace udwn {
+namespace {
+
+TEST(Table, AlignedOutputContainsAllCells) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(std::int64_t{42});
+  t.row().add("beta").add(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+}
+
+TEST(Table, CsvBasic) {
+  Table t({"a", "b"});
+  t.row().add("x").add(std::int64_t{1});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,1\n");
+}
+
+TEST(Table, CsvQuotesCommasAndQuotes) {
+  Table t({"a"});
+  t.row().add("hello, world");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a\n\"hello, world\"\n");
+
+  Table t2({"a"});
+  t2.row().add("say \"hi\"");
+  std::ostringstream os2;
+  t2.print_csv(os2);
+  EXPECT_EQ(os2.str(), "a\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row().add("1");
+  t.row().add("2");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, SizeTOverload) {
+  Table t({"n"});
+  t.row().add(std::size_t{7});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "n\n7\n");
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace udwn

@@ -1,0 +1,102 @@
+#include "analysis/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/runner.h"
+#include "analysis/scenario.h"
+#include "core/local_broadcast.h"
+#include "tests/helpers.h"
+
+namespace udwn {
+namespace {
+
+class AlwaysTransmit final : public Protocol {
+ public:
+  double transmit_probability(Slot slot) override {
+    return slot == Slot::Data ? 1.0 : 0.0;
+  }
+  void on_slot(const SlotFeedback&) override {}
+};
+
+class Silent final : public Protocol {
+ public:
+  double transmit_probability(Slot) override { return 0; }
+  void on_slot(const SlotFeedback&) override {}
+};
+
+TEST(TimeSeries, RecordsEveryRoundByDefault) {
+  Scenario s(test::pair_at(0.5), test::default_config());
+  auto protos = make_protocols(2, [](NodeId id) -> std::unique_ptr<Protocol> {
+    if (id == NodeId(0)) return std::make_unique<AlwaysTransmit>();
+    return std::make_unique<Silent>();  // pure listener: deliveries certain
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  TimeSeriesRecorder recorder;
+  engine.set_recorder(&recorder);
+  for (int i = 0; i < 10; ++i) engine.step();
+  ASSERT_EQ(recorder.rows().size(), 10u);
+  const auto& row = recorder.rows().front();
+  EXPECT_EQ(row.alive, 2u);
+  EXPECT_EQ(row.transmitters, 1u);   // node 0 always transmits
+  EXPECT_EQ(row.deliveries, 1u);     // lone transmitter mass-delivers...
+  EXPECT_EQ(row.clear, 1u);          // ...on a clear channel
+  // Cumulative counter is monotone.
+  std::size_t prev = 0;
+  for (const auto& r : recorder.rows()) {
+    EXPECT_GE(r.cumulative_deliveries, prev);
+    prev = r.cumulative_deliveries;
+  }
+}
+
+TEST(TimeSeries, StrideSubsamplesButKeepsCumulativeExact) {
+  Scenario s(test::pair_at(0.5), test::default_config());
+  auto protos = make_protocols(2, [](NodeId) -> std::unique_ptr<Protocol> {
+    return std::make_unique<AlwaysTransmit>();
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  TimeSeriesRecorder recorder(/*stride=*/4);
+  engine.set_recorder(&recorder);
+  for (int i = 0; i < 12; ++i) engine.step();
+  ASSERT_EQ(recorder.rows().size(), 3u);  // rounds 0, 4, 8
+  EXPECT_EQ(recorder.rows()[1].round, 4);
+}
+
+TEST(TimeSeries, MeanProbabilityReflectsProtocols) {
+  Scenario s(test::pair_at(50.0), test::default_config());
+  auto protos = make_protocols(2, [](NodeId id) -> std::unique_ptr<Protocol> {
+    if (id == NodeId(0)) return std::make_unique<AlwaysTransmit>();
+    return std::make_unique<LocalBcastProtocol>(
+        TryAdjust::Config{.initial = 0.5, .floor = 0.5});
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  TimeSeriesRecorder recorder;
+  engine.set_recorder(&recorder);
+  engine.step();
+  EXPECT_NEAR(recorder.rows()[0].mean_probability, 0.75, 1e-12);
+}
+
+TEST(TimeSeries, CsvOutputParses) {
+  Scenario s(test::pair_at(0.5), test::default_config());
+  auto protos = make_protocols(2, [](NodeId) -> std::unique_ptr<Protocol> {
+    return std::make_unique<AlwaysTransmit>();
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos, EngineConfig{});
+  TimeSeriesRecorder recorder;
+  engine.set_recorder(&recorder);
+  for (int i = 0; i < 3; ++i) engine.step();
+  std::ostringstream os;
+  recorder.write_csv(os);
+  const std::string text = os.str();
+  // Header + 3 rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  EXPECT_NE(text.find("round,alive,transmitters"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace udwn

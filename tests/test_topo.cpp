@@ -1,0 +1,115 @@
+#include "topo/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace udwn {
+namespace {
+
+TEST(Topo, UniformSquareBounds) {
+  Rng rng(1);
+  const auto pts = uniform_square(500, 7.0, rng);
+  ASSERT_EQ(pts.size(), 500u);
+  for (const Vec2& p : pts) {
+    EXPECT_GE(p.x, 0);
+    EXPECT_LT(p.x, 7.0);
+    EXPECT_GE(p.y, 0);
+    EXPECT_LT(p.y, 7.0);
+  }
+}
+
+TEST(Topo, LatticeSpacing) {
+  const auto pts = lattice(3, 4, 2.0);
+  ASSERT_EQ(pts.size(), 12u);
+  EXPECT_EQ(pts[0], (Vec2{0, 0}));
+  EXPECT_EQ(pts[1], (Vec2{2, 0}));
+  EXPECT_EQ(pts[4], (Vec2{0, 2}));
+  EXPECT_EQ(pts[11], (Vec2{6, 4}));
+}
+
+TEST(Topo, UniformDiskRadius) {
+  Rng rng(2);
+  const auto pts = uniform_disk(300, {5, 5}, 2.0, rng);
+  for (const Vec2& p : pts) EXPECT_LE(distance(p, {5, 5}), 2.0 + 1e-12);
+}
+
+TEST(Topo, UniformDiskRoughlyAreaUniform) {
+  // Half the points should land within radius r/sqrt(2).
+  Rng rng(3);
+  const auto pts = uniform_disk(4000, {0, 0}, 1.0, rng);
+  int inner = 0;
+  for (const Vec2& p : pts)
+    inner += distance(p, {0, 0}) <= 1.0 / std::numbers::sqrt2 ? 1 : 0;
+  EXPECT_NEAR(inner, 2000, 150);
+}
+
+TEST(Topo, ClusterChainStructure) {
+  Rng rng(4);
+  const auto pts = cluster_chain(4, 10, 3.0, 0.2, rng);
+  ASSERT_EQ(pts.size(), 40u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    const Vec2 center{static_cast<double>(c) * 3.0, 0};
+    for (std::size_t i = 0; i < 10; ++i)
+      EXPECT_LE(distance(pts[c * 10 + i], center), 0.2 + 1e-12);
+  }
+}
+
+TEST(Topo, AnnulusBounds) {
+  Rng rng(5);
+  const auto pts = uniform_annulus(300, {0, 0}, 1.0, 2.0, rng);
+  for (const Vec2& p : pts) {
+    const double d = distance(p, {0, 0});
+    EXPECT_GE(d, 1.0 - 1e-12);
+    EXPECT_LE(d, 2.0 + 1e-12);
+  }
+}
+
+TEST(Topo, UnitBallAdjacencyMatchesDistances) {
+  const std::vector<Vec2> pts{{0, 0}, {1, 0}, {2.5, 0}};
+  const auto adj = unit_ball_adjacency(pts, 1.2);
+  EXPECT_EQ(adj[0].size(), 1u);
+  EXPECT_EQ(adj[0][0], NodeId(1));
+  EXPECT_EQ(adj[1].size(), 1u);  // 1.5 > 1.2 to node 2
+  EXPECT_TRUE(adj[2].empty());
+}
+
+TEST(Topo, RandomTreeIsConnectedWithBoundedDegree) {
+  Rng rng(6);
+  const std::size_t n = 200, maxdeg = 4;
+  const auto adj = random_tree_adjacency(n, maxdeg, rng);
+  // Degree bound.
+  std::size_t edges = 0;
+  for (const auto& nbrs : adj) {
+    EXPECT_LE(nbrs.size(), maxdeg);
+    edges += nbrs.size();
+  }
+  EXPECT_EQ(edges, 2 * (n - 1));  // tree
+  // Connectivity via union-find-free BFS.
+  std::vector<bool> seen(n, false);
+  std::vector<std::size_t> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const auto u = stack.back();
+    stack.pop_back();
+    for (NodeId w : adj[u]) {
+      if (!seen[w.value]) {
+        seen[w.value] = true;
+        ++visited;
+        stack.push_back(w.value);
+      }
+    }
+  }
+  EXPECT_EQ(visited, n);
+}
+
+TEST(Topo, GeneratorsAreDeterministicPerSeed) {
+  Rng a(77), b(77);
+  EXPECT_EQ(uniform_square(50, 5, a), uniform_square(50, 5, b));
+}
+
+}  // namespace
+}  // namespace udwn

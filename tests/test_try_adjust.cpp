@@ -1,0 +1,94 @@
+#include "core/try_adjust.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace udwn {
+namespace {
+
+TEST(TryAdjust, StandardConfigMatchesPaper) {
+  const auto cfg = TryAdjust::standard(100, 1.0);
+  EXPECT_DOUBLE_EQ(cfg.initial, 0.005);  // (1/2) n^{-β}
+  EXPECT_DOUBLE_EQ(cfg.floor, 0.01);     // n^{-β}
+}
+
+TEST(TryAdjust, StandardConfigHigherBeta) {
+  const auto cfg = TryAdjust::standard(10, 2.0);
+  EXPECT_DOUBLE_EQ(cfg.floor, 0.01);
+  EXPECT_DOUBLE_EQ(cfg.initial, 0.005);
+}
+
+TEST(TryAdjust, IdleDoublesUpToHalf) {
+  TryAdjust ta({.initial = 0.01, .floor = 0.001});
+  ta.update(false);
+  EXPECT_DOUBLE_EQ(ta.probability(), 0.02);
+  for (int i = 0; i < 20; ++i) ta.update(false);
+  EXPECT_DOUBLE_EQ(ta.probability(), 0.5);  // capped
+}
+
+TEST(TryAdjust, BusyHalvesDownToFloor) {
+  TryAdjust ta({.initial = 0.5, .floor = 0.01});
+  ta.update(true);
+  EXPECT_DOUBLE_EQ(ta.probability(), 0.25);
+  for (int i = 0; i < 20; ++i) ta.update(true);
+  EXPECT_DOUBLE_EQ(ta.probability(), 0.01);  // floored
+}
+
+TEST(TryAdjust, FirstBusyFromPaperInitialRisesToFloor) {
+  // The paper's initial value (1/2)n^{-β} sits below the floor n^{-β};
+  // max{p/2, n^{-β}} lifts it to the floor on the first Busy round.
+  TryAdjust ta(TryAdjust::standard(100, 1.0));
+  ta.update(true);
+  EXPECT_DOUBLE_EQ(ta.probability(), 0.01);
+}
+
+TEST(TryAdjust, ResetRestoresInitial) {
+  TryAdjust ta({.initial = 0.02, .floor = 0.001});
+  for (int i = 0; i < 5; ++i) ta.update(false);
+  EXPECT_GT(ta.probability(), 0.02);
+  ta.reset();
+  EXPECT_DOUBLE_EQ(ta.probability(), 0.02);
+}
+
+TEST(TryAdjust, LogarithmicRecoveryFromFloor) {
+  // From n^{-β} the probability reaches 1/2 in ⌈β log2 n⌉ + 1 idle rounds —
+  // the O(log n) doubling count the Thm 4.1 proof relies on.
+  const std::size_t n = 1024;
+  TryAdjust ta(TryAdjust::standard(n, 1.0));
+  int steps = 0;
+  while (ta.probability() < 0.5) {
+    ta.update(false);
+    ++steps;
+  }
+  EXPECT_LE(steps, 12);  // log2(1024) + slack
+  EXPECT_GE(steps, 10);
+}
+
+TEST(TryAdjust, UniformConfigIsSizeOblivious) {
+  const auto cfg = TryAdjust::uniform(0.25);
+  EXPECT_DOUBLE_EQ(cfg.initial, 0.25);
+  EXPECT_GT(cfg.floor, 0.0);
+  EXPECT_LE(cfg.floor, 1e-12);
+}
+
+TEST(TryAdjust, ProbabilityNeverExceedsHalf) {
+  TryAdjust ta({.initial = 0.5, .floor = 1e-6});
+  for (int i = 0; i < 100; ++i) {
+    ta.update(i % 3 == 0);
+    EXPECT_LE(ta.probability(), 0.5);
+    EXPECT_GT(ta.probability(), 0.0);
+  }
+}
+
+TEST(TryAdjust, AlternatingFeedbackIsStable) {
+  TryAdjust ta({.initial = 0.1, .floor = 1e-6});
+  for (int i = 0; i < 50; ++i) {
+    ta.update(true);
+    ta.update(false);
+  }
+  EXPECT_DOUBLE_EQ(ta.probability(), 0.1);  // halve+double = identity
+}
+
+}  // namespace
+}  // namespace udwn
