@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp01_good_rounds.dir/exp01_good_rounds.cpp.o"
+  "CMakeFiles/exp01_good_rounds.dir/exp01_good_rounds.cpp.o.d"
+  "exp01_good_rounds"
+  "exp01_good_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp01_good_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

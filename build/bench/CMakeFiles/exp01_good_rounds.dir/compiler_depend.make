@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp01_good_rounds.
+# This may be replaced when dependencies are built.

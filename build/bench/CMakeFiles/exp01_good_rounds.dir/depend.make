@@ -1,0 +1,2 @@
+# Empty dependencies file for exp01_good_rounds.
+# This may be replaced when dependencies are built.

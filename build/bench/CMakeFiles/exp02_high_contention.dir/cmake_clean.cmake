@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp02_high_contention.dir/exp02_high_contention.cpp.o"
+  "CMakeFiles/exp02_high_contention.dir/exp02_high_contention.cpp.o.d"
+  "exp02_high_contention"
+  "exp02_high_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp02_high_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

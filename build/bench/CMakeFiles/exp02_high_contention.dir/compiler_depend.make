@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp02_high_contention.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp03_idle_detect.dir/exp03_idle_detect.cpp.o"
+  "CMakeFiles/exp03_idle_detect.dir/exp03_idle_detect.cpp.o.d"
+  "exp03_idle_detect"
+  "exp03_idle_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp03_idle_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp04_local_bcast_static.
+# This may be replaced when dependencies are built.

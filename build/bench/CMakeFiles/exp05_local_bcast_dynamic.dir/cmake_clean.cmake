@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp05_local_bcast_dynamic.dir/exp05_local_bcast_dynamic.cpp.o"
+  "CMakeFiles/exp05_local_bcast_dynamic.dir/exp05_local_bcast_dynamic.cpp.o.d"
+  "exp05_local_bcast_dynamic"
+  "exp05_local_bcast_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp05_local_bcast_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp06_bcast_static.dir/exp06_bcast_static.cpp.o"
+  "CMakeFiles/exp06_bcast_static.dir/exp06_bcast_static.cpp.o.d"
+  "exp06_bcast_static"
+  "exp06_bcast_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp06_bcast_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

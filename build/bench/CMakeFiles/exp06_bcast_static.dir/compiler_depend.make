@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp06_bcast_static.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp07_spontaneous.dir/exp07_spontaneous.cpp.o"
+  "CMakeFiles/exp07_spontaneous.dir/exp07_spontaneous.cpp.o.d"
+  "exp07_spontaneous"
+  "exp07_spontaneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp07_spontaneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

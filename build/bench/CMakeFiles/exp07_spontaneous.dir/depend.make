@@ -1,0 +1,2 @@
+# Empty dependencies file for exp07_spontaneous.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp08_lower_bound.dir/exp08_lower_bound.cpp.o"
+  "CMakeFiles/exp08_lower_bound.dir/exp08_lower_bound.cpp.o.d"
+  "exp08_lower_bound"
+  "exp08_lower_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp08_lower_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

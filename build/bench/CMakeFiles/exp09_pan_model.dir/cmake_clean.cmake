@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp09_pan_model.dir/exp09_pan_model.cpp.o"
+  "CMakeFiles/exp09_pan_model.dir/exp09_pan_model.cpp.o.d"
+  "exp09_pan_model"
+  "exp09_pan_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp09_pan_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp09_pan_model.
+# This may be replaced when dependencies are built.

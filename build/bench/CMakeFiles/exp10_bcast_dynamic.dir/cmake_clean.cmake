@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp10_bcast_dynamic.dir/exp10_bcast_dynamic.cpp.o"
+  "CMakeFiles/exp10_bcast_dynamic.dir/exp10_bcast_dynamic.cpp.o.d"
+  "exp10_bcast_dynamic"
+  "exp10_bcast_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp10_bcast_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

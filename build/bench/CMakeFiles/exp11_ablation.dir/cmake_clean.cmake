@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp11_ablation.dir/exp11_ablation.cpp.o"
+  "CMakeFiles/exp11_ablation.dir/exp11_ablation.cpp.o.d"
+  "exp11_ablation"
+  "exp11_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp11_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp12_primitives.dir/exp12_primitives.cpp.o"
+  "CMakeFiles/exp12_primitives.dir/exp12_primitives.cpp.o.d"
+  "exp12_primitives"
+  "exp12_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp12_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp12_primitives.
+# This may be replaced when dependencies are built.

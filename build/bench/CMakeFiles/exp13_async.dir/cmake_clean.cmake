@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp13_async.dir/exp13_async.cpp.o"
+  "CMakeFiles/exp13_async.dir/exp13_async.cpp.o.d"
+  "exp13_async"
+  "exp13_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp13_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp14_overlap.dir/exp14_overlap.cpp.o"
+  "CMakeFiles/exp14_overlap.dir/exp14_overlap.cpp.o.d"
+  "exp14_overlap"
+  "exp14_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp14_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

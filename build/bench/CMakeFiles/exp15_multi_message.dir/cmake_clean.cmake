@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp15_multi_message.dir/exp15_multi_message.cpp.o"
+  "CMakeFiles/exp15_multi_message.dir/exp15_multi_message.cpp.o.d"
+  "exp15_multi_message"
+  "exp15_multi_message.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp15_multi_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

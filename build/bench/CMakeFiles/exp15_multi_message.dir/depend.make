@@ -1,0 +1,2 @@
+# Empty dependencies file for exp15_multi_message.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp16_jamming.dir/exp16_jamming.cpp.o"
+  "CMakeFiles/exp16_jamming.dir/exp16_jamming.cpp.o.d"
+  "exp16_jamming"
+  "exp16_jamming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp16_jamming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

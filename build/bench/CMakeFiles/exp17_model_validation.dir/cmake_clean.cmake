@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp17_model_validation.dir/exp17_model_validation.cpp.o"
+  "CMakeFiles/exp17_model_validation.dir/exp17_model_validation.cpp.o.d"
+  "exp17_model_validation"
+  "exp17_model_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp17_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neighbor_discovery.dir/neighbor_discovery.cpp.o"
+  "CMakeFiles/neighbor_discovery.dir/neighbor_discovery.cpp.o.d"
+  "neighbor_discovery"
+  "neighbor_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neighbor_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

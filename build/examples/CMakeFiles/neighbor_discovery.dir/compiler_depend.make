@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for neighbor_discovery.
+# This may be replaced when dependencies are built.

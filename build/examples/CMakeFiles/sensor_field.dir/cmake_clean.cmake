@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_field.dir/sensor_field.cpp.o"
+  "CMakeFiles/sensor_field.dir/sensor_field.cpp.o.d"
+  "sensor_field"
+  "sensor_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

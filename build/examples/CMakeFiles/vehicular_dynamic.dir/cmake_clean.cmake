@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vehicular_dynamic.dir/vehicular_dynamic.cpp.o"
+  "CMakeFiles/vehicular_dynamic.dir/vehicular_dynamic.cpp.o.d"
+  "vehicular_dynamic"
+  "vehicular_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vehicular_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udwn_analysis.dir/recorders.cpp.o"
+  "CMakeFiles/udwn_analysis.dir/recorders.cpp.o.d"
+  "CMakeFiles/udwn_analysis.dir/runner.cpp.o"
+  "CMakeFiles/udwn_analysis.dir/runner.cpp.o.d"
+  "CMakeFiles/udwn_analysis.dir/scenario.cpp.o"
+  "CMakeFiles/udwn_analysis.dir/scenario.cpp.o.d"
+  "CMakeFiles/udwn_analysis.dir/timeseries.cpp.o"
+  "CMakeFiles/udwn_analysis.dir/timeseries.cpp.o.d"
+  "libudwn_analysis.a"
+  "libudwn_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udwn_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

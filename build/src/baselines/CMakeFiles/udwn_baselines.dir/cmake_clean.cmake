@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udwn_baselines.dir/aloha.cpp.o"
+  "CMakeFiles/udwn_baselines.dir/aloha.cpp.o.d"
+  "CMakeFiles/udwn_baselines.dir/decay.cpp.o"
+  "CMakeFiles/udwn_baselines.dir/decay.cpp.o.d"
+  "CMakeFiles/udwn_baselines.dir/jammer.cpp.o"
+  "CMakeFiles/udwn_baselines.dir/jammer.cpp.o.d"
+  "libudwn_baselines.a"
+  "libudwn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udwn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

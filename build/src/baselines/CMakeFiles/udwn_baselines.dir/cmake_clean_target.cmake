@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libudwn_baselines.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udwn_common.dir/rng.cpp.o"
+  "CMakeFiles/udwn_common.dir/rng.cpp.o.d"
+  "CMakeFiles/udwn_common.dir/stats.cpp.o"
+  "CMakeFiles/udwn_common.dir/stats.cpp.o.d"
+  "CMakeFiles/udwn_common.dir/table.cpp.o"
+  "CMakeFiles/udwn_common.dir/table.cpp.o.d"
+  "libudwn_common.a"
+  "libudwn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udwn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/broadcast.cpp" "src/core/CMakeFiles/udwn_core.dir/broadcast.cpp.o" "gcc" "src/core/CMakeFiles/udwn_core.dir/broadcast.cpp.o.d"
+  "/root/repo/src/core/local_broadcast.cpp" "src/core/CMakeFiles/udwn_core.dir/local_broadcast.cpp.o" "gcc" "src/core/CMakeFiles/udwn_core.dir/local_broadcast.cpp.o.d"
+  "/root/repo/src/core/mac_layer.cpp" "src/core/CMakeFiles/udwn_core.dir/mac_layer.cpp.o" "gcc" "src/core/CMakeFiles/udwn_core.dir/mac_layer.cpp.o.d"
+  "/root/repo/src/core/multi_message.cpp" "src/core/CMakeFiles/udwn_core.dir/multi_message.cpp.o" "gcc" "src/core/CMakeFiles/udwn_core.dir/multi_message.cpp.o.d"
+  "/root/repo/src/core/spontaneous.cpp" "src/core/CMakeFiles/udwn_core.dir/spontaneous.cpp.o" "gcc" "src/core/CMakeFiles/udwn_core.dir/spontaneous.cpp.o.d"
+  "/root/repo/src/core/try_adjust.cpp" "src/core/CMakeFiles/udwn_core.dir/try_adjust.cpp.o" "gcc" "src/core/CMakeFiles/udwn_core.dir/try_adjust.cpp.o.d"
+  "/root/repo/src/core/try_adjust_protocol.cpp" "src/core/CMakeFiles/udwn_core.dir/try_adjust_protocol.cpp.o" "gcc" "src/core/CMakeFiles/udwn_core.dir/try_adjust_protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/udwn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/udwn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/udwn_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/udwn_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/metric/CMakeFiles/udwn_metric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udwn_core.dir/broadcast.cpp.o"
+  "CMakeFiles/udwn_core.dir/broadcast.cpp.o.d"
+  "CMakeFiles/udwn_core.dir/local_broadcast.cpp.o"
+  "CMakeFiles/udwn_core.dir/local_broadcast.cpp.o.d"
+  "CMakeFiles/udwn_core.dir/mac_layer.cpp.o"
+  "CMakeFiles/udwn_core.dir/mac_layer.cpp.o.d"
+  "CMakeFiles/udwn_core.dir/multi_message.cpp.o"
+  "CMakeFiles/udwn_core.dir/multi_message.cpp.o.d"
+  "CMakeFiles/udwn_core.dir/spontaneous.cpp.o"
+  "CMakeFiles/udwn_core.dir/spontaneous.cpp.o.d"
+  "CMakeFiles/udwn_core.dir/try_adjust.cpp.o"
+  "CMakeFiles/udwn_core.dir/try_adjust.cpp.o.d"
+  "CMakeFiles/udwn_core.dir/try_adjust_protocol.cpp.o"
+  "CMakeFiles/udwn_core.dir/try_adjust_protocol.cpp.o.d"
+  "libudwn_core.a"
+  "libudwn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udwn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

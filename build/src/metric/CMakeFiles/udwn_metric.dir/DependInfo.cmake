@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metric/euclidean.cpp" "src/metric/CMakeFiles/udwn_metric.dir/euclidean.cpp.o" "gcc" "src/metric/CMakeFiles/udwn_metric.dir/euclidean.cpp.o.d"
+  "/root/repo/src/metric/graph_metric.cpp" "src/metric/CMakeFiles/udwn_metric.dir/graph_metric.cpp.o" "gcc" "src/metric/CMakeFiles/udwn_metric.dir/graph_metric.cpp.o.d"
+  "/root/repo/src/metric/lower_bound_metric.cpp" "src/metric/CMakeFiles/udwn_metric.dir/lower_bound_metric.cpp.o" "gcc" "src/metric/CMakeFiles/udwn_metric.dir/lower_bound_metric.cpp.o.d"
+  "/root/repo/src/metric/matrix_metric.cpp" "src/metric/CMakeFiles/udwn_metric.dir/matrix_metric.cpp.o" "gcc" "src/metric/CMakeFiles/udwn_metric.dir/matrix_metric.cpp.o.d"
+  "/root/repo/src/metric/metricity.cpp" "src/metric/CMakeFiles/udwn_metric.dir/metricity.cpp.o" "gcc" "src/metric/CMakeFiles/udwn_metric.dir/metricity.cpp.o.d"
+  "/root/repo/src/metric/packing.cpp" "src/metric/CMakeFiles/udwn_metric.dir/packing.cpp.o" "gcc" "src/metric/CMakeFiles/udwn_metric.dir/packing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/udwn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udwn_metric.dir/euclidean.cpp.o"
+  "CMakeFiles/udwn_metric.dir/euclidean.cpp.o.d"
+  "CMakeFiles/udwn_metric.dir/graph_metric.cpp.o"
+  "CMakeFiles/udwn_metric.dir/graph_metric.cpp.o.d"
+  "CMakeFiles/udwn_metric.dir/lower_bound_metric.cpp.o"
+  "CMakeFiles/udwn_metric.dir/lower_bound_metric.cpp.o.d"
+  "CMakeFiles/udwn_metric.dir/matrix_metric.cpp.o"
+  "CMakeFiles/udwn_metric.dir/matrix_metric.cpp.o.d"
+  "CMakeFiles/udwn_metric.dir/metricity.cpp.o"
+  "CMakeFiles/udwn_metric.dir/metricity.cpp.o.d"
+  "CMakeFiles/udwn_metric.dir/packing.cpp.o"
+  "CMakeFiles/udwn_metric.dir/packing.cpp.o.d"
+  "libudwn_metric.a"
+  "libudwn_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udwn_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

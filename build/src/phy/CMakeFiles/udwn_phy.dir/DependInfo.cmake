@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/channel.cpp" "src/phy/CMakeFiles/udwn_phy.dir/channel.cpp.o" "gcc" "src/phy/CMakeFiles/udwn_phy.dir/channel.cpp.o.d"
+  "/root/repo/src/phy/interference.cpp" "src/phy/CMakeFiles/udwn_phy.dir/interference.cpp.o" "gcc" "src/phy/CMakeFiles/udwn_phy.dir/interference.cpp.o.d"
+  "/root/repo/src/phy/pathloss.cpp" "src/phy/CMakeFiles/udwn_phy.dir/pathloss.cpp.o" "gcc" "src/phy/CMakeFiles/udwn_phy.dir/pathloss.cpp.o.d"
+  "/root/repo/src/phy/reception.cpp" "src/phy/CMakeFiles/udwn_phy.dir/reception.cpp.o" "gcc" "src/phy/CMakeFiles/udwn_phy.dir/reception.cpp.o.d"
+  "/root/repo/src/phy/spatial_grid.cpp" "src/phy/CMakeFiles/udwn_phy.dir/spatial_grid.cpp.o" "gcc" "src/phy/CMakeFiles/udwn_phy.dir/spatial_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/udwn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metric/CMakeFiles/udwn_metric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

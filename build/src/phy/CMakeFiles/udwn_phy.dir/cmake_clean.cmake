@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udwn_phy.dir/channel.cpp.o"
+  "CMakeFiles/udwn_phy.dir/channel.cpp.o.d"
+  "CMakeFiles/udwn_phy.dir/interference.cpp.o"
+  "CMakeFiles/udwn_phy.dir/interference.cpp.o.d"
+  "CMakeFiles/udwn_phy.dir/pathloss.cpp.o"
+  "CMakeFiles/udwn_phy.dir/pathloss.cpp.o.d"
+  "CMakeFiles/udwn_phy.dir/reception.cpp.o"
+  "CMakeFiles/udwn_phy.dir/reception.cpp.o.d"
+  "CMakeFiles/udwn_phy.dir/spatial_grid.cpp.o"
+  "CMakeFiles/udwn_phy.dir/spatial_grid.cpp.o.d"
+  "libudwn_phy.a"
+  "libudwn_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udwn_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for udwn_phy.
+# This may be replaced when dependencies are built.

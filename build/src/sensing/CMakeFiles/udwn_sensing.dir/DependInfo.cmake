@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensing/estimation.cpp" "src/sensing/CMakeFiles/udwn_sensing.dir/estimation.cpp.o" "gcc" "src/sensing/CMakeFiles/udwn_sensing.dir/estimation.cpp.o.d"
+  "/root/repo/src/sensing/primitives.cpp" "src/sensing/CMakeFiles/udwn_sensing.dir/primitives.cpp.o" "gcc" "src/sensing/CMakeFiles/udwn_sensing.dir/primitives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/udwn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metric/CMakeFiles/udwn_metric.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/udwn_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udwn_sensing.dir/estimation.cpp.o"
+  "CMakeFiles/udwn_sensing.dir/estimation.cpp.o.d"
+  "CMakeFiles/udwn_sensing.dir/primitives.cpp.o"
+  "CMakeFiles/udwn_sensing.dir/primitives.cpp.o.d"
+  "libudwn_sensing.a"
+  "libudwn_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udwn_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dynamics.cpp" "src/sim/CMakeFiles/udwn_sim.dir/dynamics.cpp.o" "gcc" "src/sim/CMakeFiles/udwn_sim.dir/dynamics.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/udwn_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/udwn_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/udwn_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/udwn_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/probe.cpp" "src/sim/CMakeFiles/udwn_sim.dir/probe.cpp.o" "gcc" "src/sim/CMakeFiles/udwn_sim.dir/probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/udwn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metric/CMakeFiles/udwn_metric.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/udwn_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/udwn_sensing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

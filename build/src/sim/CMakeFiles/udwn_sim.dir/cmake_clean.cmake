@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udwn_sim.dir/dynamics.cpp.o"
+  "CMakeFiles/udwn_sim.dir/dynamics.cpp.o.d"
+  "CMakeFiles/udwn_sim.dir/engine.cpp.o"
+  "CMakeFiles/udwn_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/udwn_sim.dir/network.cpp.o"
+  "CMakeFiles/udwn_sim.dir/network.cpp.o.d"
+  "CMakeFiles/udwn_sim.dir/probe.cpp.o"
+  "CMakeFiles/udwn_sim.dir/probe.cpp.o.d"
+  "libudwn_sim.a"
+  "libudwn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udwn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udwn_topo.dir/generators.cpp.o"
+  "CMakeFiles/udwn_topo.dir/generators.cpp.o.d"
+  "libudwn_topo.a"
+  "libudwn_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udwn_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_broadcast.dir/test_broadcast.cpp.o"
+  "CMakeFiles/test_broadcast.dir/test_broadcast.cpp.o.d"
+  "test_broadcast"
+  "test_broadcast.pdb"
+  "test_broadcast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

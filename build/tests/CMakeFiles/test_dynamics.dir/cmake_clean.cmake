@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamics.dir/test_dynamics.cpp.o"
+  "CMakeFiles/test_dynamics.dir/test_dynamics.cpp.o.d"
+  "test_dynamics"
+  "test_dynamics.pdb"
+  "test_dynamics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_euclidean.dir/test_euclidean.cpp.o"
+  "CMakeFiles/test_euclidean.dir/test_euclidean.cpp.o.d"
+  "test_euclidean"
+  "test_euclidean.pdb"
+  "test_euclidean[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_euclidean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_metric.dir/test_graph_metric.cpp.o"
+  "CMakeFiles/test_graph_metric.dir/test_graph_metric.cpp.o.d"
+  "test_graph_metric"
+  "test_graph_metric.pdb"
+  "test_graph_metric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

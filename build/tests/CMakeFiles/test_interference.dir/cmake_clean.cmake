@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interference.dir/test_interference.cpp.o"
+  "CMakeFiles/test_interference.dir/test_interference.cpp.o.d"
+  "test_interference"
+  "test_interference.pdb"
+  "test_interference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

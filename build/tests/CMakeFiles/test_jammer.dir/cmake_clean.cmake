@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jammer.dir/test_jammer.cpp.o"
+  "CMakeFiles/test_jammer.dir/test_jammer.cpp.o.d"
+  "test_jammer"
+  "test_jammer.pdb"
+  "test_jammer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jammer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

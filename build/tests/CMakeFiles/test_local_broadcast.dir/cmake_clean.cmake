@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_broadcast.dir/test_local_broadcast.cpp.o"
+  "CMakeFiles/test_local_broadcast.dir/test_local_broadcast.cpp.o.d"
+  "test_local_broadcast"
+  "test_local_broadcast.pdb"
+  "test_local_broadcast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

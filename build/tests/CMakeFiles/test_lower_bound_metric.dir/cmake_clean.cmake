@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lower_bound_metric.dir/test_lower_bound_metric.cpp.o"
+  "CMakeFiles/test_lower_bound_metric.dir/test_lower_bound_metric.cpp.o.d"
+  "test_lower_bound_metric"
+  "test_lower_bound_metric.pdb"
+  "test_lower_bound_metric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lower_bound_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

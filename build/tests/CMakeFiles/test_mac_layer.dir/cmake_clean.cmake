@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mac_layer.dir/test_mac_layer.cpp.o"
+  "CMakeFiles/test_mac_layer.dir/test_mac_layer.cpp.o.d"
+  "test_mac_layer"
+  "test_mac_layer.pdb"
+  "test_mac_layer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mac_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

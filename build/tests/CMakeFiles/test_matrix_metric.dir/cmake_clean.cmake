@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_metric.dir/test_matrix_metric.cpp.o"
+  "CMakeFiles/test_matrix_metric.dir/test_matrix_metric.cpp.o.d"
+  "test_matrix_metric"
+  "test_matrix_metric.pdb"
+  "test_matrix_metric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

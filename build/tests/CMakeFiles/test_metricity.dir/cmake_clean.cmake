@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metricity.dir/test_metricity.cpp.o"
+  "CMakeFiles/test_metricity.dir/test_metricity.cpp.o.d"
+  "test_metricity"
+  "test_metricity.pdb"
+  "test_metricity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metricity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_models_extended.dir/test_models_extended.cpp.o"
+  "CMakeFiles/test_models_extended.dir/test_models_extended.cpp.o.d"
+  "test_models_extended"
+  "test_models_extended.pdb"
+  "test_models_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_models_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_message.dir/test_multi_message.cpp.o"
+  "CMakeFiles/test_multi_message.dir/test_multi_message.cpp.o.d"
+  "test_multi_message"
+  "test_multi_message.pdb"
+  "test_multi_message[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_pathloss.cpp" "tests/CMakeFiles/test_pathloss.dir/test_pathloss.cpp.o" "gcc" "tests/CMakeFiles/test_pathloss.dir/test_pathloss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/udwn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/udwn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/udwn_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/udwn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/udwn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/udwn_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/udwn_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/metric/CMakeFiles/udwn_metric.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/udwn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

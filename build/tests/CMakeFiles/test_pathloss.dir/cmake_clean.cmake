@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pathloss.dir/test_pathloss.cpp.o"
+  "CMakeFiles/test_pathloss.dir/test_pathloss.cpp.o.d"
+  "test_pathloss"
+  "test_pathloss.pdb"
+  "test_pathloss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pathloss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_control.dir/test_power_control.cpp.o"
+  "CMakeFiles/test_power_control.dir/test_power_control.cpp.o.d"
+  "test_power_control"
+  "test_power_control.pdb"
+  "test_power_control[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_probe.dir/test_probe.cpp.o"
+  "CMakeFiles/test_probe.dir/test_probe.cpp.o.d"
+  "test_probe"
+  "test_probe.pdb"
+  "test_probe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reception.dir/test_reception.cpp.o"
+  "CMakeFiles/test_reception.dir/test_reception.cpp.o.d"
+  "test_reception"
+  "test_reception.pdb"
+  "test_reception[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

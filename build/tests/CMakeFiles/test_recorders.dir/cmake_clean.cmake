@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recorders.dir/test_recorders.cpp.o"
+  "CMakeFiles/test_recorders.dir/test_recorders.cpp.o.d"
+  "test_recorders"
+  "test_recorders.pdb"
+  "test_recorders[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recorders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spatial_grid.dir/test_spatial_grid.cpp.o"
+  "CMakeFiles/test_spatial_grid.dir/test_spatial_grid.cpp.o.d"
+  "test_spatial_grid"
+  "test_spatial_grid.pdb"
+  "test_spatial_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spatial_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

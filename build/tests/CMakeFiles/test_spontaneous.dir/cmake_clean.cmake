@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spontaneous.dir/test_spontaneous.cpp.o"
+  "CMakeFiles/test_spontaneous.dir/test_spontaneous.cpp.o.d"
+  "test_spontaneous"
+  "test_spontaneous.pdb"
+  "test_spontaneous[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spontaneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strong_optimality.dir/test_strong_optimality.cpp.o"
+  "CMakeFiles/test_strong_optimality.dir/test_strong_optimality.cpp.o.d"
+  "test_strong_optimality"
+  "test_strong_optimality.pdb"
+  "test_strong_optimality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strong_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

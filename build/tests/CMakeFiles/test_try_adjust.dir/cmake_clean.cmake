@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_try_adjust.dir/test_try_adjust.cpp.o"
+  "CMakeFiles/test_try_adjust.dir/test_try_adjust.cpp.o.d"
+  "test_try_adjust"
+  "test_try_adjust.pdb"
+  "test_try_adjust[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_try_adjust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_try_adjust.
+# This may be replaced when dependencies are built.
