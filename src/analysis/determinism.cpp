@@ -1,0 +1,113 @@
+#include "analysis/determinism.h"
+
+#include <bit>
+
+#include "common/contract.h"
+#include "sim/network.h"
+
+namespace udwn {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv_step(std::uint64_t hash, std::uint64_t x) {
+  // Fold the value in one byte at a time (classic FNV-1a over the 8 bytes).
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (x >> (8 * i)) & 0xffu;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+void TraceHashRecorder::mix_u64(std::uint64_t x) { hash_ = fnv_step(hash_, x); }
+
+void TraceHashRecorder::mix_double(double x) {
+  // Bit-exact: -0.0 vs 0.0 and NaN payload differences count as divergence,
+  // which is precisely what "bit-for-bit deterministic" means.
+  mix_u64(std::bit_cast<std::uint64_t>(x));
+}
+
+void TraceHashRecorder::on_slot(Round round, Slot slot,
+                                const SlotOutcome& outcome,
+                                const Engine& engine) {
+  mix_u64(static_cast<std::uint64_t>(round));
+  mix_u64(static_cast<std::uint64_t>(slot));
+
+  mix_u64(outcome.transmitters.size());
+  for (NodeId u : outcome.transmitters) mix_u64(u.value);
+  for (double i : outcome.interference) mix_double(i);
+  for (NodeId s : outcome.decoded_from) mix_u64(s.value);
+  for (std::uint8_t m : outcome.mass_delivered) mix_u64(m);
+  for (std::uint8_t c : outcome.clear) mix_u64(c);
+
+  const std::size_t n = engine.network().size();
+  for (std::size_t v = 0; v < n; ++v) {
+    const NodeId id(static_cast<std::uint32_t>(v));
+    mix_u64(engine.network().alive(id) ? 1 : 0);
+    mix_u64(engine.clock_fired(id) ? 1 : 0);
+    mix_double(engine.last_probability(id));
+  }
+}
+
+void TraceHashRecorder::on_round_end(Round round, const Engine& /*engine*/) {
+  UDWN_EXPECT(round >= 1);
+  round_hashes_.push_back(hash_);
+}
+
+std::string to_string(const DeterminismReport& report) {
+  if (report.deterministic) {
+    return "deterministic: " + std::to_string(report.rounds_a) +
+           " rounds, trace hash " + std::to_string(report.final_hash_a) +
+           " on both runs";
+  }
+  return "NONDETERMINISTIC: first divergent round " +
+         std::to_string(report.first_divergence) + " (run A: " +
+         std::to_string(report.rounds_a) + " rounds, hash " +
+         std::to_string(report.final_hash_a) + "; run B: " +
+         std::to_string(report.rounds_b) + " rounds, hash " +
+         std::to_string(report.final_hash_b) + ")";
+}
+
+DeterminismReport DeterminismAuditor::audit(const ScenarioRun& run) {
+  TraceHashRecorder a;
+  run(a);
+  TraceHashRecorder b;
+  run(b);
+  return compare(a, b);
+}
+
+DeterminismReport DeterminismAuditor::compare(const TraceHashRecorder& a,
+                                              const TraceHashRecorder& b) {
+  const auto& ha = a.round_hashes();
+  const auto& hb = b.round_hashes();
+
+  DeterminismReport report;
+  report.rounds_a = ha.size();
+  report.rounds_b = hb.size();
+  report.final_hash_a = a.final_hash();
+  report.final_hash_b = b.final_hash();
+
+  const std::size_t common = ha.size() < hb.size() ? ha.size() : hb.size();
+  for (std::size_t i = 0; i < common; ++i) {
+    if (ha[i] != hb[i]) {
+      report.first_divergence = static_cast<Round>(i) + 1;
+      return report;
+    }
+  }
+  if (ha.size() != hb.size()) {
+    // One trace is a strict prefix: the first missing round diverges.
+    report.first_divergence = static_cast<Round>(common) + 1;
+    return report;
+  }
+  report.deterministic = a.final_hash() == b.final_hash();
+  if (!report.deterministic) {
+    // Same per-round chain but different final hash can only happen when
+    // slots ran after the last round boundary; call the tail divergent.
+    report.first_divergence = static_cast<Round>(common) + 1;
+  }
+  return report;
+}
+
+}  // namespace udwn

@@ -1,0 +1,102 @@
+#include "common/contract.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace udwn {
+namespace {
+
+std::atomic<ContractHandler> g_handler{&abort_contract_handler};
+std::atomic<std::FILE*> g_sink{nullptr};  // nullptr = stderr
+std::atomic<std::uint64_t> g_counts[3]{};
+
+std::FILE* sink() noexcept {
+  std::FILE* s = g_sink.load(std::memory_order_relaxed);
+  return s != nullptr ? s : stderr;
+}
+
+}  // namespace
+
+const char* contract_kind_name(ContractKind kind) noexcept {
+  switch (kind) {
+    case ContractKind::Precondition:
+      return "precondition";
+    case ContractKind::Invariant:
+      return "invariant";
+    case ContractKind::Assertion:
+      return "assertion";
+  }
+  return "contract";
+}
+
+std::string format_contract_violation(const ContractViolationInfo& info) {
+  std::string out = contract_kind_name(info.kind);
+  out += " violated: (";
+  out += info.expr;
+  out += ") in ";
+  out += info.location.function_name();
+  out += " at ";
+  out += info.location.file_name();
+  out += ':';
+  out += std::to_string(info.location.line());
+  return out;
+}
+
+ContractViolation::ContractViolation(const ContractViolationInfo& info)
+    : std::logic_error(format_contract_violation(info)), info_(info) {}
+
+void abort_contract_handler(const ContractViolationInfo& info) {
+  const std::string message = format_contract_violation(info);
+  std::FILE* out = sink();
+  std::fprintf(out, "%s\n", message.c_str());
+  std::fflush(out);
+  std::abort();
+}
+
+void throw_contract_handler(const ContractViolationInfo& info) {
+  throw ContractViolation(info);
+}
+
+ContractHandler set_contract_handler(ContractHandler handler) noexcept {
+  if (handler == nullptr) handler = &abort_contract_handler;
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+ContractHandler contract_handler() noexcept {
+  return g_handler.load(std::memory_order_acquire);
+}
+
+std::FILE* set_contract_sink(std::FILE* new_sink) noexcept {
+  std::FILE* previous = g_sink.exchange(new_sink, std::memory_order_acq_rel);
+  return previous != nullptr ? previous : stderr;
+}
+
+std::uint64_t contract_violation_count() noexcept {
+  std::uint64_t total = 0;
+  for (const auto& c : g_counts) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t contract_violation_count(ContractKind kind) noexcept {
+  return g_counts[static_cast<std::size_t>(kind)].load(
+      std::memory_order_relaxed);
+}
+
+void reset_contract_violation_counts() noexcept {
+  for (auto& c : g_counts) c.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void contract_fail(ContractKind kind, const char* expr,
+                   std::source_location location) {
+  g_counts[static_cast<std::size_t>(kind)].fetch_add(
+      1, std::memory_order_relaxed);
+  const ContractViolationInfo info{kind, expr, location};
+  contract_handler()(info);
+  // Handlers must not return; a contract violation can never be ignored.
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace udwn

@@ -1,33 +1,144 @@
-// Contract-checking macros in the spirit of the Core Guidelines' Expects/Ensures.
+// Contract-checking subsystem in the spirit of the Core Guidelines'
+// Expects/Ensures.
 //
 // UDWN_EXPECT checks a precondition, UDWN_ENSURE a postcondition/invariant.
-// Violations abort with a source location; they are kept in release builds
-// because simulation correctness depends on them and their cost is negligible
-// next to interference computation.
+// Both are kept in release builds because simulation correctness depends on
+// them and their cost is negligible next to interference computation.
+// UDWN_ASSERT is a third, debug-only tier for internal sanity checks that
+// are too hot (or too paranoid) for release; it compiles to nothing under
+// NDEBUG unless UDWN_ENABLE_ASSERTS is defined.
+//
+// What happens on violation is pluggable: the default handler prints one
+// diagnostic line through a single sink and aborts; tests install the
+// throwing handler (ContractViolation) to make violations observable
+// without death tests. Every violation increments per-kind counters before
+// dispatch, so even custom handlers can be audited.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
-#include <cstdlib>
+#include <source_location>
+#include <stdexcept>
+#include <string>
 
-namespace udwn::detail {
+namespace udwn {
 
-[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
-                                       const char* file, int line) {
-  std::fprintf(stderr, "%s violated: (%s) at %s:%d\n", kind, expr, file, line);
-  std::abort();
-}
+enum class ContractKind : std::uint8_t {
+  Precondition = 0,  // UDWN_EXPECT
+  Invariant = 1,     // UDWN_ENSURE
+  Assertion = 2,     // UDWN_ASSERT
+};
 
-}  // namespace udwn::detail
+/// Stable name for diagnostics ("precondition", "invariant", "assertion").
+const char* contract_kind_name(ContractKind kind) noexcept;
 
-#define UDWN_EXPECT(cond)                                                    \
-  do {                                                                       \
-    if (!(cond))                                                             \
-      ::udwn::detail::contract_fail("precondition", #cond, __FILE__,         \
-                                    __LINE__);                               \
+/// Everything a handler learns about a violation. `expr` points at the
+/// stringized condition (static storage); `location` carries file, line and
+/// the enclosing function name.
+struct ContractViolationInfo {
+  ContractKind kind = ContractKind::Precondition;
+  const char* expr = "";
+  std::source_location location;
+};
+
+/// One-line human-readable rendering of a violation, shared by the abort
+/// handler's diagnostic and ContractViolation::what().
+std::string format_contract_violation(const ContractViolationInfo& info);
+
+/// Thrown by the throwing handler (and available to custom handlers).
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const ContractViolationInfo& info);
+
+  [[nodiscard]] ContractKind kind() const noexcept { return info_.kind; }
+  [[nodiscard]] const char* expression() const noexcept { return info_.expr; }
+  [[nodiscard]] const std::source_location& where() const noexcept {
+    return info_.location;
+  }
+
+ private:
+  ContractViolationInfo info_;
+};
+
+/// Violation handler. Handlers must not return; if one does, the subsystem
+/// aborts as a backstop (a contract violation can never be ignored).
+using ContractHandler = void (*)(const ContractViolationInfo&);
+
+/// Default: print through the diagnostic sink, then std::abort().
+[[noreturn]] void abort_contract_handler(const ContractViolationInfo& info);
+/// Alternative: throw ContractViolation (unit tests, embedding hosts).
+[[noreturn]] void throw_contract_handler(const ContractViolationInfo& info);
+
+/// Install a handler; returns the previous one. Thread-safe.
+ContractHandler set_contract_handler(ContractHandler handler) noexcept;
+[[nodiscard]] ContractHandler contract_handler() noexcept;
+
+/// Redirect the abort handler's diagnostic line (default: stderr, flushed
+/// after every write so the message survives the abort). nullptr restores
+/// stderr. Returns the previous sink. Intended for tests and log capture.
+std::FILE* set_contract_sink(std::FILE* sink) noexcept;
+
+/// RAII: install `handler` for a scope, restore the previous on exit.
+class ScopedContractHandler {
+ public:
+  explicit ScopedContractHandler(ContractHandler handler) noexcept
+      : previous_(set_contract_handler(handler)) {}
+  ~ScopedContractHandler() { set_contract_handler(previous_); }
+
+  ScopedContractHandler(const ScopedContractHandler&) = delete;
+  ScopedContractHandler& operator=(const ScopedContractHandler&) = delete;
+
+ private:
+  ContractHandler previous_;
+};
+
+/// Violations observed so far (incremented before handler dispatch, so the
+/// counts are accurate under the throwing handler too). Thread-safe.
+[[nodiscard]] std::uint64_t contract_violation_count() noexcept;
+[[nodiscard]] std::uint64_t contract_violation_count(
+    ContractKind kind) noexcept;
+void reset_contract_violation_counts() noexcept;
+
+namespace detail {
+
+/// Single funnel every macro feeds: counts the violation, dispatches to the
+/// installed handler, aborts if the handler returns.
+[[noreturn]] void contract_fail(ContractKind kind, const char* expr,
+                                std::source_location location);
+
+}  // namespace detail
+}  // namespace udwn
+
+#define UDWN_EXPECT(cond)                                           \
+  do {                                                              \
+    if (!(cond))                                                    \
+      ::udwn::detail::contract_fail(                                \
+          ::udwn::ContractKind::Precondition, #cond,                \
+          std::source_location::current());                         \
   } while (false)
 
-#define UDWN_ENSURE(cond)                                                    \
-  do {                                                                       \
-    if (!(cond))                                                             \
-      ::udwn::detail::contract_fail("invariant", #cond, __FILE__, __LINE__); \
+#define UDWN_ENSURE(cond)                                           \
+  do {                                                              \
+    if (!(cond))                                                    \
+      ::udwn::detail::contract_fail(::udwn::ContractKind::Invariant, \
+                                    #cond,                          \
+                                    std::source_location::current()); \
   } while (false)
+
+// Debug-only tier. The disabled form still "uses" the condition inside
+// sizeof so variables referenced only by assertions don't warn, without
+// evaluating anything at runtime.
+#if !defined(NDEBUG) || defined(UDWN_ENABLE_ASSERTS)
+#define UDWN_ASSERT(cond)                                           \
+  do {                                                              \
+    if (!(cond))                                                    \
+      ::udwn::detail::contract_fail(::udwn::ContractKind::Assertion, \
+                                    #cond,                          \
+                                    std::source_location::current()); \
+  } while (false)
+#else
+#define UDWN_ASSERT(cond)              \
+  do {                                 \
+    (void)sizeof(static_cast<bool>(cond)); \
+  } while (false)
+#endif

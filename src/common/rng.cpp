@@ -59,8 +59,12 @@ std::uint64_t Rng::below(std::uint64_t n) {
 
 std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
   UDWN_EXPECT(lo <= hi);
-  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-  return lo + static_cast<std::int64_t>(below(span));
+  // All arithmetic in uint64: `hi - lo` overflows int64 for extreme spans
+  // (UB), and the full-range span wraps to 0 (drawn via a raw next()).
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  const std::uint64_t offset = span == 0 ? next() : below(span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + offset);
 }
 
 bool Rng::chance(double p) {

@@ -50,7 +50,10 @@ SlotOutcome Channel::resolve(std::span<const NodeId> transmitters,
   // keep their full-power meaning.
   const PathLoss scaled(pathloss_->power() * power_scale, pathloss_->zeta(),
                         pathloss_->near_limit());
-  const PathLoss& pl = power_scale == 1.0 ? *pathloss_ : scaled;
+  const bool unscaled =
+      power_scale == 1.0;  // udwn-lint: allow(float-eq): exact sentinel —
+                           // callers pass literal 1.0 for "no power control"
+  const PathLoss& pl = unscaled ? *pathloss_ : scaled;
 
   SlotOutcome out;
   out.transmitters.assign(transmitters.begin(), transmitters.end());
@@ -101,8 +104,9 @@ SlotOutcome Channel::resolve(std::span<const NodeId> transmitters,
         break;
       }
     }
-    out.mass_delivered[u.value] = all ? 1 : 0;
-    out.clear[u.value] = model_->clear_channel(u, view, epsilon_) ? 1 : 0;
+    out.mass_delivered[u.value] = static_cast<std::uint8_t>(all);
+    out.clear[u.value] =
+        static_cast<std::uint8_t>(model_->clear_channel(u, view, epsilon_));
   }
 
   return out;

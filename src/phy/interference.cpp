@@ -1,5 +1,7 @@
 #include "phy/interference.h"
 
+#include "common/contract.h"
+
 namespace udwn {
 
 std::vector<double> interference_field(const QuasiMetric& metric,
@@ -7,6 +9,7 @@ std::vector<double> interference_field(const QuasiMetric& metric,
                                        std::span<const NodeId> transmitters) {
   std::vector<double> field(metric.size(), 0.0);
   for (NodeId u : transmitters) {
+    UDWN_ASSERT(u.value < field.size());
     for (std::size_t v = 0; v < field.size(); ++v) {
       if (u.value == v) continue;
       field[v] +=

@@ -78,7 +78,8 @@ void Engine::step() {
     }
     const double before = clock_progress_[v];
     clock_progress_[v] += clock_rate_[v];
-    fired_[v] = std::floor(clock_progress_[v]) > std::floor(before) ? 1 : 0;
+    fired_[v] = static_cast<std::uint8_t>(std::floor(clock_progress_[v]) >
+                                          std::floor(before));
   }
 
   for (int s = 0; s < config_.slots_per_round; ++s)
@@ -133,6 +134,7 @@ void Engine::run_slot(Slot slot) {
     fb.busy = sensing_->busy(outcome.interference[v]);
     fb.ack = transmitted && sensing_->ack(outcome.interference[v]);
     const NodeId sender = outcome.decoded_from[v];
+    UDWN_ASSERT(!sender.valid() || sender.value < n);
     fb.received = sender.valid();
     fb.sender = sender;
     fb.payload = fb.received ? tx_payload[sender.value] : 0;

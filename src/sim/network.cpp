@@ -18,7 +18,7 @@ void Network::set_alive(NodeId v, bool alive) {
   UDWN_EXPECT(v.value < alive_.size());
   const bool was = alive_[v.value] != 0;
   if (was == alive) return;
-  alive_[v.value] = alive ? 1 : 0;
+  alive_[v.value] = static_cast<std::uint8_t>(alive);
   alive_count_ += alive ? 1 : std::size_t(-1);
 }
 

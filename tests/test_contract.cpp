@@ -1,0 +1,136 @@
+// Contract-subsystem tests: the abort handler dies with a diagnostic (death
+// tests), the throwing handler raises ContractViolation with full location
+// info, counters track violations per kind, and UDWN_ASSERT respects its
+// debug-only compilation tier.
+#include "common/contract.h"
+
+#include <gtest/gtest.h>
+
+namespace udwn {
+namespace {
+
+class ContractTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_contract_violation_counts(); }
+  void TearDown() override {
+    set_contract_handler(&abort_contract_handler);
+    reset_contract_violation_counts();
+  }
+};
+
+using ContractDeathTest = ContractTest;
+
+TEST_F(ContractDeathTest, ExpectAbortsWithDiagnosticUnderAbortHandler) {
+  EXPECT_DEATH(UDWN_EXPECT(1 == 2), "precondition violated: \\(1 == 2\\)");
+}
+
+TEST_F(ContractDeathTest, EnsureAbortsWithDiagnosticUnderAbortHandler) {
+  EXPECT_DEATH(UDWN_ENSURE(false), "invariant violated: \\(false\\)");
+}
+
+TEST_F(ContractDeathTest, DiagnosticNamesTheFunctionAndFile) {
+  EXPECT_DEATH(UDWN_EXPECT(false), "TestBody.*test_contract\\.cpp");
+}
+
+TEST_F(ContractDeathTest, HandlerThatReturnsStillAborts) {
+  // Handlers must not return; the funnel aborts as a backstop if one does.
+  set_contract_handler([](const ContractViolationInfo&) {});
+  EXPECT_DEATH(UDWN_EXPECT(false), "");
+}
+
+TEST_F(ContractTest, PassingChecksDoNothing) {
+  ScopedContractHandler guard(&throw_contract_handler);
+  EXPECT_NO_THROW(UDWN_EXPECT(1 + 1 == 2));
+  EXPECT_NO_THROW(UDWN_ENSURE(true));
+  EXPECT_EQ(contract_violation_count(), 0u);
+}
+
+TEST_F(ContractTest, ExpectThrowsUnderThrowingHandler) {
+  ScopedContractHandler guard(&throw_contract_handler);
+  EXPECT_THROW(UDWN_EXPECT(2 < 1), ContractViolation);
+}
+
+TEST_F(ContractTest, EnsureThrowsUnderThrowingHandler) {
+  ScopedContractHandler guard(&throw_contract_handler);
+  EXPECT_THROW(UDWN_ENSURE(2 < 1), ContractViolation);
+}
+
+TEST_F(ContractTest, ViolationCarriesKindExpressionAndLocation) {
+  ScopedContractHandler guard(&throw_contract_handler);
+  try {
+    UDWN_EXPECT(0 > 1);
+    FAIL() << "UDWN_EXPECT(0 > 1) did not throw";
+  } catch (const ContractViolation& violation) {
+    EXPECT_EQ(violation.kind(), ContractKind::Precondition);
+    EXPECT_STREQ(violation.expression(), "0 > 1");
+    EXPECT_NE(std::string(violation.where().function_name()).find("TestBody"),
+              std::string::npos);
+    EXPECT_NE(std::string(violation.what()).find("precondition violated"),
+              std::string::npos);
+  }
+}
+
+TEST_F(ContractTest, CountersTrackViolationsPerKind) {
+  ScopedContractHandler guard(&throw_contract_handler);
+  EXPECT_THROW(UDWN_EXPECT(false), ContractViolation);
+  EXPECT_THROW(UDWN_EXPECT(false), ContractViolation);
+  EXPECT_THROW(UDWN_ENSURE(false), ContractViolation);
+  EXPECT_EQ(contract_violation_count(ContractKind::Precondition), 2u);
+  EXPECT_EQ(contract_violation_count(ContractKind::Invariant), 1u);
+  EXPECT_EQ(contract_violation_count(ContractKind::Assertion), 0u);
+  EXPECT_EQ(contract_violation_count(), 3u);
+
+  reset_contract_violation_counts();
+  EXPECT_EQ(contract_violation_count(), 0u);
+}
+
+TEST_F(ContractTest, ScopedHandlerRestoresPrevious) {
+  ASSERT_EQ(contract_handler(), &abort_contract_handler);
+  {
+    ScopedContractHandler guard(&throw_contract_handler);
+    EXPECT_EQ(contract_handler(), &throw_contract_handler);
+  }
+  EXPECT_EQ(contract_handler(), &abort_contract_handler);
+}
+
+TEST_F(ContractTest, NullHandlerFallsBackToAbortHandler) {
+  set_contract_handler(nullptr);
+  EXPECT_EQ(contract_handler(), &abort_contract_handler);
+}
+
+TEST_F(ContractTest, SinkDefaultsToStderrAndRoundTrips) {
+  std::FILE* previous = set_contract_sink(nullptr);
+  EXPECT_EQ(previous, stderr);
+  EXPECT_EQ(set_contract_sink(nullptr), stderr);
+}
+
+TEST_F(ContractTest, KindNamesAreStable) {
+  EXPECT_STREQ(contract_kind_name(ContractKind::Precondition), "precondition");
+  EXPECT_STREQ(contract_kind_name(ContractKind::Invariant), "invariant");
+  EXPECT_STREQ(contract_kind_name(ContractKind::Assertion), "assertion");
+}
+
+#if !defined(NDEBUG) || defined(UDWN_ENABLE_ASSERTS)
+
+TEST_F(ContractTest, AssertActiveInDebugBuilds) {
+  ScopedContractHandler guard(&throw_contract_handler);
+  EXPECT_THROW(UDWN_ASSERT(false), ContractViolation);
+  EXPECT_EQ(contract_violation_count(ContractKind::Assertion), 1u);
+}
+
+#else
+
+TEST_F(ContractTest, AssertCompiledOutInReleaseBuilds) {
+  ScopedContractHandler guard(&throw_contract_handler);
+  int evaluations = 0;
+  // Disabled tier must neither evaluate the condition nor dispatch.
+  UDWN_ASSERT(++evaluations > 0);
+  UDWN_ASSERT(false);
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_EQ(contract_violation_count(ContractKind::Assertion), 0u);
+}
+
+#endif
+
+}  // namespace
+}  // namespace udwn

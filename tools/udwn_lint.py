@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""udwn_lint — repo-specific invariants no generic linter knows.
+
+Rules (see docs/TOOLING.md for the full rationale):
+
+  rng-source        All randomness must flow through udwn::Rng
+                    (src/common/rng.*). rand()/srand(), std::random_device,
+                    and <random> engine types anywhere else introduce hidden
+                    per-process or per-run state that breaks "reproducible
+                    from a single 64-bit seed".
+
+  unordered-iter    Iterating a std::unordered_map/std::unordered_set is
+                    address/hash-order dependent; if the loop feeds any
+                    simulation decision the run is no longer deterministic
+                    under seed. Use a sorted container, sort the keys first,
+                    or prove the loop is order-insensitive and suppress.
+
+  raw-assert        assert() vanishes under NDEBUG and bypasses the contract
+                    subsystem (handlers, counters, diagnostics). Use
+                    UDWN_EXPECT / UDWN_ENSURE (kept in release) or
+                    UDWN_ASSERT (debug-only tier).
+
+  float-eq          Floating-point ==/!= against literals in src/phy and
+                    src/metric: SINR and distance computations must use
+                    tolerances; exact comparison silently changes decisions
+                    across optimization levels and architectures.
+
+Suppress a finding by putting `udwn-lint: allow(<rule>)` in a comment on the
+same line, with a reason:   // udwn-lint: allow(float-eq): exact sentinel
+
+Usage: udwn_lint.py PATH [PATH...]   (files or directories; exit 0 = clean)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SOURCE_SUFFIXES = {".h", ".hpp", ".cpp", ".cc"}
+
+# Files exempt from rng-source: the blessed RNG implementation itself.
+RNG_HOME = re.compile(r"src/common/rng\.(h|cpp)$")
+
+# float-eq applies only where numerics decide physics.
+FLOAT_EQ_DIRS = ("src/phy", "src/metric")
+
+SUPPRESS = re.compile(r"udwn-lint:\s*allow\(([a-z-]+)\)")
+
+RNG_BANNED = re.compile(
+    r"(?<![\w:])(rand|srand)\s*\("
+    r"|std::random_device|(?<!\w)random_device\b"
+    r"|std::(mt19937(_64)?|minstd_rand0?|default_random_engine|ranlux\w+)"
+)
+
+RAW_ASSERT = re.compile(r"(?<![\w.])assert\s*\(|#\s*include\s*<(cassert|assert\.h)>")
+
+FLOAT_LITERAL = r"(?:\d+\.\d*|\.\d+|\d+\.)(?:[eE][+-]?\d+)?[fF]?|\d+[eE][+-]?\d+[fF]?"
+FLOAT_EQ = re.compile(
+    rf"(?:(?:{FLOAT_LITERAL})\s*[!=]=)|(?:[!=]=\s*(?:{FLOAT_LITERAL}))"
+)
+
+UNORDERED_DECL = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)\s*[;{=(]"
+)
+RANGE_FOR = re.compile(r"\bfor\s*\([^;)]*?:\s*([^)]+)\)")
+BEGIN_ITER = re.compile(r"(\w+)\s*\.\s*(?:begin|cbegin|rbegin)\s*\(")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line breaks so
+    reported line numbers stay accurate."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i = min(i + 2, n)
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def lint_file(path: Path, repo_relative: str) -> list[Finding]:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.splitlines()
+    suppressed: dict[int, set[str]] = {}
+    for lineno, line in enumerate(raw_lines, 1):
+        rules = set(SUPPRESS.findall(line))
+        if rules:
+            suppressed[lineno] = rules
+
+    code_lines = strip_comments_and_strings(raw).splitlines()
+    findings: list[Finding] = []
+
+    def report(lineno: int, rule: str, message: str) -> None:
+        if rule in suppressed.get(lineno, ()):
+            return
+        findings.append(Finding(path, lineno, rule, message))
+
+    rng_exempt = bool(RNG_HOME.search(repo_relative))
+    float_eq_applies = any(repo_relative.startswith(d) for d in FLOAT_EQ_DIRS)
+
+    # Identifiers declared as unordered containers anywhere in this file.
+    unordered_names = set()
+    for line in code_lines:
+        unordered_names.update(UNORDERED_DECL.findall(line))
+
+    for lineno, line in enumerate(code_lines, 1):
+        if not rng_exempt and (m := RNG_BANNED.search(line)):
+            report(
+                lineno,
+                "rng-source",
+                f"'{m.group(0).strip()}' outside src/common/rng.*: all "
+                "randomness must flow through udwn::Rng (seed determinism)",
+            )
+        if RAW_ASSERT.search(line):
+            report(
+                lineno,
+                "raw-assert",
+                "raw assert(): use UDWN_EXPECT/UDWN_ENSURE (kept in release) "
+                "or UDWN_ASSERT (debug tier) from common/contract.h",
+            )
+        if float_eq_applies and FLOAT_EQ.search(line):
+            report(
+                lineno,
+                "float-eq",
+                "floating-point ==/!= in a physics path: compare with a "
+                "tolerance, or suppress with a reason if the value is an "
+                "exact sentinel",
+            )
+        for m in RANGE_FOR.finditer(line):
+            expr_idents = set(re.findall(r"\w+", m.group(1)))
+            hit = expr_idents & unordered_names
+            if hit:
+                report(
+                    lineno,
+                    "unordered-iter",
+                    f"range-for over unordered container '{sorted(hit)[0]}': "
+                    "iteration order is hash/address dependent and must not "
+                    "feed simulation decisions",
+                )
+        for m in BEGIN_ITER.finditer(line):
+            if m.group(1) in unordered_names:
+                report(
+                    lineno,
+                    "unordered-iter",
+                    f"iterator over unordered container '{m.group(1)}': "
+                    "iteration order is hash/address dependent and must not "
+                    "feed simulation decisions",
+                )
+
+    return findings
+
+
+def collect_files(arguments: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for argument in arguments:
+        p = Path(argument)
+        if p.is_dir():
+            files.extend(
+                f for f in sorted(p.rglob("*")) if f.suffix in SOURCE_SUFFIXES
+            )
+        elif p.suffix in SOURCE_SUFFIXES:
+            files.append(p)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0 if argv else 2
+
+    repo_root = Path(__file__).resolve().parent.parent
+    files = collect_files(argv)
+    if not files:
+        print("udwn_lint: no C++ sources under the given paths", file=sys.stderr)
+        return 2
+
+    all_findings: list[Finding] = []
+    for f in files:
+        try:
+            relative = str(f.resolve().relative_to(repo_root))
+        except ValueError:
+            relative = str(f)
+        all_findings.extend(lint_file(f, relative))
+
+    for finding in all_findings:
+        print(finding)
+    print(
+        f"udwn_lint: {len(files)} files, {len(all_findings)} finding(s)",
+        file=sys.stderr,
+    )
+    return 1 if all_findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
