@@ -3,6 +3,10 @@
 // These bound how large an instance the experiment harness can afford.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "analysis/runner.h"
 #include "analysis/scenario.h"
 #include "core/try_adjust_protocol.h"
@@ -36,7 +40,25 @@ void BM_InterferenceField(benchmark::State& state) {
 }
 BENCHMARK(BM_InterferenceField)->Arg(128)->Arg(512)->Arg(2048);
 
+// Production slot pipeline: epoch-cached topology, grid pruning, reusable
+// workspace. This is what Engine::run_slot executes.
 void BM_ChannelResolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  Scenario s(uniform_square(n, std::sqrt(n / 8.0), rng), ScenarioConfig{});
+  const auto txs = sample_transmitters(n, 0.05, rng);
+  SlotWorkspace ws({.cache_topology = true, .use_spatial_grid = true});
+  for (auto _ : state) {
+    const SlotOutcome& outcome = s.channel().resolve_into(
+        txs, s.network().alive_mask(), 1.0, s.network().topology_epoch(), ws);
+    benchmark::DoNotOptimize(&outcome);
+  }
+}
+BENCHMARK(BM_ChannelResolve)->Arg(128)->Arg(512)->Arg(2048);
+
+// Brute-force reference (the pre-refactor resolve path, kept as the
+// specification): the denominator of the speedup table in EXPERIMENTS.md.
+void BM_ChannelResolveUncached(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(2);
   Scenario s(uniform_square(n, std::sqrt(n / 8.0), rng), ScenarioConfig{});
@@ -46,7 +68,25 @@ void BM_ChannelResolve(benchmark::State& state) {
     benchmark::DoNotOptimize(outcome);
   }
 }
-BENCHMARK(BM_ChannelResolve)->Arg(128)->Arg(512)->Arg(2048);
+BENCHMARK(BM_ChannelResolveUncached)->Arg(128)->Arg(512)->Arg(2048);
+
+// Parallel interference/decode kernels (bit-identical to serial; wall-clock
+// gain requires real cores — on a single-CPU host this measures overhead).
+void BM_ChannelResolveThreads(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  Scenario s(uniform_square(n, std::sqrt(n / 8.0), rng), ScenarioConfig{});
+  const auto txs = sample_transmitters(n, 0.05, rng);
+  SlotWorkspace ws({.cache_topology = true,
+                    .use_spatial_grid = true,
+                    .threads = static_cast<int>(state.range(1))});
+  for (auto _ : state) {
+    const SlotOutcome& outcome = s.channel().resolve_into(
+        txs, s.network().alive_mask(), 1.0, s.network().topology_epoch(), ws);
+    benchmark::DoNotOptimize(&outcome);
+  }
+}
+BENCHMARK(BM_ChannelResolveThreads)->Args({2048, 2})->Args({2048, 4});
 
 void BM_EngineRound(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -79,4 +119,29 @@ BENCHMARK(BM_GreedyPacking)->Arg(128)->Arg(512)->Arg(2048);
 }  // namespace
 }  // namespace udwn
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): with UDWN_JSON=<path> in the
+// environment (the same knob the exp* binaries honor), inject
+// --benchmark_out so the run lands as google-benchmark JSON at <path>.
+// Explicit --benchmark_out on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0)
+      has_out = true;
+  if (const char* path = std::getenv("UDWN_JSON");
+      path != nullptr && path[0] != '\0' && !has_out) {
+    out_flag = std::string("--benchmark_out=") + path;
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,12 +3,20 @@
 // prints (a) the measured table and (b) a SHAPE CHECK block summarizing
 // whether the claim's trend holds in this run. EXPERIMENTS.md records the
 // reference output.
+//
+// Machine-readable output: with UDWN_JSON=<path> in the environment, every
+// banner/show/shape_check call is mirrored into a JSON document written to
+// <path> when the process exits — experiment id + claim, every table
+// (headers + string rows), and every shape-check verdict. UDWN_CSV=1 keeps
+// emitting inline CSV as before; the two are independent.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/recorders.h"
@@ -21,8 +29,111 @@
 
 namespace udwn::bench {
 
+namespace detail {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Collects everything the binary reported and flushes it as one JSON
+/// document at static-destruction time (covers early std::exit too, since
+/// the sink registers no threads and fstream flushes in its destructor).
+class JsonSink {
+ public:
+  static JsonSink& instance() {
+    static JsonSink sink;
+    return sink;
+  }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  void set_experiment(const std::string& id, const std::string& claim) {
+    experiment_ = id;
+    claim_ = claim;
+  }
+
+  void add_table(const Table& table) {
+    if (!enabled()) return;
+    tables_.push_back({table.headers(), table.rows()});
+  }
+
+  void add_check(bool ok, const std::string& what) {
+    if (!enabled()) return;
+    checks_.emplace_back(ok, what);
+  }
+
+  ~JsonSink() {
+    if (!enabled()) return;
+    std::ofstream os(path_);
+    if (!os) {
+      std::cerr << "UDWN_JSON: cannot open " << path_ << " for writing\n";
+      return;
+    }
+    os << "{\n  \"experiment\": \"" << json_escape(experiment_)
+       << "\",\n  \"claim\": \"" << json_escape(claim_)
+       << "\",\n  \"tables\": [";
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      const auto& [headers, rows] = tables_[t];
+      os << (t ? ",\n    {" : "\n    {") << "\"headers\": [";
+      for (std::size_t i = 0; i < headers.size(); ++i)
+        os << (i ? ", " : "") << '"' << json_escape(headers[i]) << '"';
+      os << "], \"rows\": [";
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        os << (r ? ", [" : "[");
+        for (std::size_t i = 0; i < rows[r].size(); ++i)
+          os << (i ? ", " : "") << '"' << json_escape(rows[r][i]) << '"';
+        os << ']';
+      }
+      os << "]}";
+    }
+    os << "\n  ],\n  \"checks\": [";
+    for (std::size_t c = 0; c < checks_.size(); ++c) {
+      os << (c ? ",\n    {" : "\n    {") << "\"ok\": "
+         << (checks_[c].first ? "true" : "false") << ", \"what\": \""
+         << json_escape(checks_[c].second) << "\"}";
+    }
+    os << "\n  ]\n}\n";
+  }
+
+ private:
+  JsonSink() {
+    if (const char* path = std::getenv("UDWN_JSON"); path && path[0] != '\0')
+      path_ = path;
+  }
+
+  std::string path_;
+  std::string experiment_;
+  std::string claim_;
+  std::vector<std::pair<std::vector<std::string>,
+                        std::vector<std::vector<std::string>>>>
+      tables_;
+  std::vector<std::pair<bool, std::string>> checks_;
+};
+
+}  // namespace detail
+
 /// Print a result table; with UDWN_CSV=1 in the environment, also emit the
-/// machine-readable CSV right after it.
+/// machine-readable CSV right after it. With UDWN_JSON=<path>, the table is
+/// additionally captured into the end-of-run JSON document.
 inline void show(const Table& table) {
   table.print(std::cout);
   if (const char* csv = std::getenv("UDWN_CSV"); csv && csv[0] == '1') {
@@ -30,16 +141,19 @@ inline void show(const Table& table) {
     table.print_csv(std::cout);
     std::cout << "--- end csv ---\n";
   }
+  detail::JsonSink::instance().add_table(table);
 }
 
 inline void banner(const std::string& id, const std::string& claim) {
   std::cout << "==================================================================\n"
             << id << "\n" << claim << "\n"
             << "==================================================================\n";
+  detail::JsonSink::instance().set_experiment(id, claim);
 }
 
 inline void shape_check(bool ok, const std::string& what) {
   std::cout << (ok ? "  [OK]   " : "  [FAIL] ") << what << "\n";
+  detail::JsonSink::instance().add_check(ok, what);
 }
 
 inline void shape_header() { std::cout << "\nSHAPE CHECK\n"; }

@@ -1,0 +1,99 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+#include "common/contract.h"
+
+namespace udwn {
+
+TaskPool::TaskPool(int threads) : threads_(threads) {
+  UDWN_EXPECT(threads >= 1);
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 1; t < threads; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void TaskPool::run(std::size_t begin, std::size_t end, ChunkFn fn,
+                   void* context) {
+  UDWN_EXPECT(fn != nullptr);
+  UDWN_EXPECT(begin <= end);
+  const std::size_t total = end - begin;
+  if (total == 0) return;
+  if (threads_ == 1) {
+    fn(context, begin, end);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = fn;
+    context_ = context;
+    begin_ = begin;
+    end_ = end;
+    // Fixed arithmetic partition: chunk i covers
+    // [begin + i*chunk_size, min(begin + (i+1)*chunk_size, end)).
+    chunk_count_ = std::min<std::size_t>(
+        static_cast<std::size_t>(threads_), total);
+    chunk_size_ = (total + chunk_count_ - 1) / chunk_count_;
+    next_chunk_ = 0;
+    pending_ = chunk_count_;
+    ++generation_;
+  }
+  wake_.notify_all();
+
+  work_off_chunks();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+  fn_ = nullptr;
+  context_ = nullptr;
+}
+
+void TaskPool::work_off_chunks() {
+  for (;;) {
+    ChunkFn fn = nullptr;
+    void* context = nullptr;
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (next_chunk_ >= chunk_count_) return;
+      const std::size_t chunk = next_chunk_++;
+      fn = fn_;
+      context = context_;
+      lo = begin_ + chunk * chunk_size_;
+      hi = std::min(end_, lo + chunk_size_);
+    }
+    fn(context, lo, hi);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_.notify_all();
+    }
+  }
+}
+
+void TaskPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    work_off_chunks();
+  }
+}
+
+}  // namespace udwn

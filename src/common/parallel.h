@@ -1,0 +1,81 @@
+// Deterministic fork/join parallelism for the slot pipeline.
+//
+// TaskPool partitions an index range [begin, end) into fixed, arithmetic
+// chunks and runs a callback once per chunk on a set of persistent worker
+// threads (the calling thread participates too). Determinism contract:
+// chunk boundaries depend only on (begin, end, threads), never on timing,
+// and callbacks must write disjoint data per chunk — under that contract a
+// parallel run is bit-for-bit identical to calling the body serially on
+// each chunk in order, because no floating-point accumulation ever crosses
+// a chunk boundary. Which worker executes which chunk is scheduling noise
+// the results cannot observe.
+//
+// The dispatch path performs no heap allocation (plain function pointer +
+// context, no std::function), so a steady-state engine slot stays
+// allocation-free with threads > 1.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace udwn {
+
+class TaskPool {
+ public:
+  /// `threads` >= 1 is the total worker count including the caller; a pool
+  /// with threads == 1 runs everything inline and spawns nothing.
+  explicit TaskPool(int threads);
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+  ~TaskPool();
+
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// Run `fn(context, lo, hi)` over fixed chunks covering [begin, end) and
+  /// block until every chunk finished. Chunk count equals threads(); empty
+  /// ranges return immediately. Not reentrant.
+  using ChunkFn = void (*)(void* context, std::size_t lo, std::size_t hi);
+  void run(std::size_t begin, std::size_t end, ChunkFn fn, void* context);
+
+  /// Convenience adapter for stateless-callable lambdas (captures allowed;
+  /// the lambda lives on the caller's stack, so no allocation happens).
+  template <typename Body>
+  void run_chunks(std::size_t begin, std::size_t end, Body&& body) {
+    using Fn = std::remove_reference_t<Body>;
+    run(begin, end,
+        [](void* context, std::size_t lo, std::size_t hi) {
+          (*static_cast<Fn*>(context))(lo, hi);
+        },
+        &body);
+  }
+
+ private:
+  void worker_loop();
+  void work_off_chunks();
+
+  int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  // Current job, guarded by mutex_ (workers snapshot under the lock and
+  // claim chunks via next_chunk_).
+  ChunkFn fn_ = nullptr;
+  void* context_ = nullptr;
+  std::size_t begin_ = 0;
+  std::size_t end_ = 0;
+  std::size_t chunk_size_ = 0;
+  std::size_t chunk_count_ = 0;
+  std::size_t next_chunk_ = 0;
+  std::size_t pending_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace udwn

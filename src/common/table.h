@@ -25,6 +25,14 @@ class Table {
 
   [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
 
+  /// Structured access for machine-readable exporters (bench JSON sink).
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
   /// Print as an aligned ASCII table.
   void print(std::ostream& os) const;
 

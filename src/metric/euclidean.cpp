@@ -21,10 +21,12 @@ Vec2 EuclideanMetric::position(NodeId u) const {
 void EuclideanMetric::set_position(NodeId u, Vec2 p) {
   UDWN_EXPECT(u.value < positions_.size());
   positions_[u.value] = p;
+  bump_version();
 }
 
 NodeId EuclideanMetric::add_point(Vec2 p) {
   positions_.push_back(p);
+  bump_version();
   return NodeId(static_cast<std::uint32_t>(positions_.size() - 1));
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "common/types.h"
 
@@ -17,6 +18,14 @@ namespace udwn {
 class QuasiMetric {
  public:
   virtual ~QuasiMetric() = default;
+
+  /// Monotonic mutation counter: every change to the distance function
+  /// (moved point, edited matrix entry, appended point) bumps it. Epoch-
+  /// invalidated caches (TopologyCache, Network::topology_epoch) compare
+  /// versions instead of re-deriving distances, so every mutable metric
+  /// MUST call bump_version() from its mutators — a missed bump makes a
+  /// cache silently stale.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
 
   /// Number of points (ids are 0..size()-1). Points may be dead in the
   /// surrounding network; the metric itself is total on all ids.
@@ -33,6 +42,12 @@ class QuasiMetric {
     const double dvu = distance(v, u);
     return duv > dvu ? duv : dvu;
   }
+
+ protected:
+  void bump_version() { ++version_; }
+
+ private:
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace udwn

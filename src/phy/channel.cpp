@@ -1,11 +1,18 @@
 #include "phy/channel.h"
 
 #include <cmath>
+#include <limits>
 
 #include "common/contract.h"
 #include "phy/interference.h"
 
 namespace udwn {
+
+namespace {
+// Superset-safe inflation for grid range queries; the exact metric/model
+// predicate always re-filters candidates (see topology_cache.h).
+constexpr double kGridInflation = 1.0 + 1e-9;
+}  // namespace
 
 Channel::Channel(const QuasiMetric& metric, const PathLoss& pathloss,
                  const ReceptionModel& model, double epsilon)
@@ -14,6 +21,16 @@ Channel::Channel(const QuasiMetric& metric, const PathLoss& pathloss,
       model_(&model),
       epsilon_(epsilon) {
   UDWN_EXPECT(epsilon > 0 && epsilon < 1);
+}
+
+SlotWorkspace::SlotWorkspace(SlotWorkspaceConfig config)
+    : config_(config),
+      cache_(TopologyCache::Config{
+          .use_spatial_grid = config.use_spatial_grid,
+          .gain_cache_max_nodes = config.gain_cache_max_nodes}) {
+  UDWN_EXPECT(config.threads >= 1);
+  if (config.threads > 1)
+    pool_ = std::make_unique<TaskPool>(config.threads);
 }
 
 double Channel::comm_radius() const {
@@ -107,6 +124,199 @@ SlotOutcome Channel::resolve(std::span<const NodeId> transmitters,
     out.mass_delivered[u.value] = static_cast<std::uint8_t>(all);
     out.clear[u.value] =
         static_cast<std::uint8_t>(model_->clear_channel(u, view, epsilon_));
+  }
+
+  return out;
+}
+
+void Channel::decode_scatter(const SlotView& view, const PathLoss& pl,
+                             bool unscaled,
+                             std::span<const std::uint8_t> alive,
+                             const SpatialGrid& grid, double decode_radius,
+                             SlotWorkspace& ws) const {
+  // Scatter-max: visit, per transmitter in slot order, every listener that
+  // could possibly decode it (grid ball of the model's decode range) and
+  // keep the strongest decodable sender. Iterating transmitters outermost
+  // preserves the reference tie-break (first transmitter wins on equal
+  // signal); listeners outside every ball provably fail receives(), so
+  // skipping them cannot change any decision.
+  const std::size_t n = metric_->size();
+  ws.best_signal_.assign(n, -1.0);
+  const EuclideanMetric& euclid = *ws.cache_.euclidean();
+  for (NodeId u : view.transmitters) {
+    const double* row = unscaled ? ws.cache_.gain_row(u) : nullptr;
+    grid.for_each_within(
+        euclid.position(u), decode_radius * kGridInflation, [&](NodeId v) {
+          if (!alive[v.value] || ws.is_tx_[v.value]) return;
+          if (!model_->receives(v, u, view)) return;
+          const double s =
+              row != nullptr ? row[v.value]
+                             : pl.signal(metric_->distance(u, v));
+          if (s > ws.best_signal_[v.value]) {
+            ws.best_signal_[v.value] = s;
+            ws.outcome_.decoded_from[v.value] = u;
+          }
+        });
+  }
+}
+
+void Channel::decode_gather(const SlotView& view, const PathLoss& pl,
+                            std::span<const std::uint8_t> alive,
+                            SlotWorkspace& ws) const {
+  const std::size_t n = metric_->size();
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v) {
+      if (!alive[v] || ws.is_tx_[v]) continue;
+      const NodeId receiver(static_cast<std::uint32_t>(v));
+      NodeId best;
+      double best_signal = -1;
+      for (NodeId u : view.transmitters) {
+        if (!model_->receives(receiver, u, view)) continue;
+        const double s = pl.signal(metric_->distance(u, receiver));
+        if (s > best_signal) {
+          best_signal = s;
+          best = u;
+        }
+      }
+      ws.outcome_.decoded_from[v] = best;
+    }
+  };
+  if (ws.pool_ != nullptr) {
+    ws.pool_->run_chunks(0, n, body);
+  } else {
+    body(0, n);
+  }
+}
+
+const SlotOutcome& Channel::resolve_into(
+    std::span<const NodeId> transmitters,
+    std::span<const std::uint8_t> alive, double power_scale,
+    std::uint64_t topology_epoch, SlotWorkspace& ws) const {
+  UDWN_EXPECT(alive.size() == metric_->size());
+  UDWN_EXPECT(power_scale > 0);
+  const std::size_t n = metric_->size();
+
+  const PathLoss scaled(pathloss_->power() * power_scale, pathloss_->zeta(),
+                        pathloss_->near_limit());
+  const bool unscaled =
+      power_scale == 1.0;  // udwn-lint: allow(float-eq): exact sentinel —
+                           // callers pass literal 1.0 for "no power control"
+  const PathLoss& pl = unscaled ? *pathloss_ : scaled;
+
+  TopologyCache* cache = ws.config_.cache_topology ? &ws.cache_ : nullptr;
+  if (cache != nullptr)
+    cache->sync(*metric_, *pathloss_, comm_radius(), model_->max_range(),
+                alive, topology_epoch);
+  TaskPool* pool = ws.pool_.get();
+
+  SlotOutcome& out = ws.outcome_;
+  if (out.transmitters.capacity() < n) out.transmitters.reserve(n);
+  out.transmitters.assign(transmitters.begin(), transmitters.end());
+  out.decoded_from.assign(n, NodeId{});
+  out.mass_delivered.assign(n, 0);
+  out.clear.assign(n, 0);
+
+  ws.is_tx_.assign(n, 0);
+  for (NodeId u : transmitters) {
+    UDWN_EXPECT(u.value < n);
+    UDWN_EXPECT(alive[u.value]);
+    // Unique ids are part of the resolve_into contract (parallel row
+    // prefill relies on it).
+    UDWN_EXPECT(!ws.is_tx_[u.value]);
+    ws.is_tx_[u.value] = 1;
+  }
+
+  // Interference: exact sum over all transmitter/listener pairs. With the
+  // gain cache, entry (u,v) is the cached pathloss.signal(distance(u,v))
+  // double; without it, the same expression is evaluated in place — either
+  // way each field element accumulates in transmitter order, so the result
+  // is bit-identical to the serial brute-force kernel regardless of chunk
+  // count (chunks partition listeners, never the transmitter sum).
+  const bool rows =
+      unscaled && cache != nullptr && cache->gain_cache_enabled();
+  if (rows) {
+    cache->prefill_gain_rows(transmitters, pool);
+    out.interference.assign(n, 0.0);
+    auto body = [&](std::size_t lo, std::size_t hi) {
+      for (NodeId u : transmitters) {
+        const double* row = cache->gain_row(u);
+        for (std::size_t v = lo; v < hi; ++v) {
+          if (v == u.value) continue;
+          out.interference[v] += row[v];
+        }
+      }
+    };
+    if (pool != nullptr) {
+      pool->run_chunks(0, n, body);
+    } else {
+      body(0, n);
+    }
+  } else {
+    interference_field_into(*metric_, pl, transmitters, out.interference,
+                            pool);
+  }
+
+  const SlotView view{.metric = metric_,
+                      .pathloss = &pl,
+                      .transmitters = transmitters,
+                      .transmitting = ws.is_tx_,
+                      .interference = out.interference};
+
+  const SpatialGrid* grid = cache != nullptr ? cache->grid() : nullptr;
+  const double decode_radius = model_->decode_range(pl);
+  if (grid != nullptr && std::isfinite(decode_radius)) {
+    decode_scatter(view, pl, unscaled, alive, *grid, decode_radius, ws);
+  } else {
+    decode_gather(view, pl, alive, ws);
+  }
+
+  // Mass-delivery and clear-channel flags per transmitter.
+  const SuccClearParams params = model_->succ_clear(epsilon_);
+  const double guard = params.rho_c * model_->max_range();
+  for (NodeId u : transmitters) {
+    std::span<const NodeId> nb;
+    if (cache != nullptr) {
+      nb = cache->neighbors(u);
+    } else {
+      ws.scratch_neighbors_.clear();
+      const double rb = comm_radius();
+      for (std::size_t v = 0; v < n; ++v) {
+        const NodeId id(static_cast<std::uint32_t>(v));
+        if (id == u || !alive[v]) continue;
+        if (metric_->distance(u, id) <= rb)
+          ws.scratch_neighbors_.push_back(id);
+      }
+      nb = ws.scratch_neighbors_;
+    }
+    bool all = true;
+    for (NodeId v : nb) {
+      if (out.decoded_from[v.value] != u) {
+        all = false;
+        break;
+      }
+    }
+    out.mass_delivered[u.value] = static_cast<std::uint8_t>(all);
+
+    bool clear;
+    if (grid != nullptr && guard > 0) {
+      // Grid-pruned guard zone, then the same exact predicate as
+      // ReceptionModel::clear_channel: any *other* transmitter strictly
+      // inside D(u, ρ_c·R) spoils the channel. Transmitters outside the
+      // (inflated) ball are provably outside the guard zone.
+      clear = true;
+      grid->for_each_within(
+          ws.cache_.euclidean()->position(u),
+          guard * kGridInflation, [&](NodeId w) {
+            if (w == u || !ws.is_tx_[w.value]) return;
+            if (metric_->distance(w, u) < guard) clear = false;
+          });
+      if (clear && params.i_c < std::numeric_limits<double>::infinity() &&
+          out.interference[u.value] > params.i_c)
+        clear = false;
+    } else {
+      clear = model_->clear_channel(u, view, epsilon_);
+    }
+    out.clear[u.value] = static_cast<std::uint8_t>(clear);
   }
 
   return out;

@@ -4,15 +4,32 @@
 // reports mass-deliveries (Sec. 2: a node mass-delivers when all its alive
 // neighbors receive its message) plus the ground-truth clear-channel flags
 // used by tests and the oracle primitives.
+//
+// Two entry points resolve a slot:
+//   * resolve()      — the allocation-per-call brute-force reference. Every
+//                      decision is derived from scratch; property tests and
+//                      the determinism audit treat it as the specification.
+//   * resolve_into() — the production pipeline: reuses a caller-owned
+//                      SlotWorkspace (no steady-state allocation), serves
+//                      neighborhoods and pairwise gains from an epoch-
+//                      invalidated TopologyCache, prunes decode/clear
+//                      candidates with a SpatialGrid on Euclidean
+//                      instances, and can run the interference kernel on a
+//                      deterministic TaskPool. Its SlotOutcome is
+//                      bit-for-bit identical to resolve()'s for every
+//                      configuration — see docs/ENGINE.md.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/types.h"
 #include "metric/quasi_metric.h"
 #include "phy/pathloss.h"
 #include "phy/reception.h"
+#include "phy/topology_cache.h"
 
 namespace udwn {
 
@@ -34,6 +51,50 @@ struct SlotOutcome {
   std::vector<std::uint8_t> clear;
 };
 
+struct SlotWorkspaceConfig {
+  /// Serve neighborhoods and gain rows from the epoch-invalidated
+  /// TopologyCache instead of re-deriving them per slot.
+  bool cache_topology = true;
+  /// Prune decode/clear candidates with a SpatialGrid on Euclidean
+  /// instances (requires cache_topology; ignored for asymmetric metrics).
+  bool use_spatial_grid = true;
+  /// Upper instance size for the pairwise gain table (n² doubles).
+  std::size_t gain_cache_max_nodes = 4096;
+  /// Worker threads for the interference kernel (including the caller);
+  /// 1 = serial. Any value produces bit-identical outcomes.
+  int threads = 1;
+};
+
+/// Reusable per-slot state owned by the caller (one per Engine). Hoists
+/// every buffer the slot pipeline needs out of the hot loop: after a warm-up
+/// slot at a given instance size, resolve_into performs no heap allocation
+/// while the topology epoch is stable (enforced by a counting-allocator
+/// test). Not thread-safe; one workspace per concurrently running engine.
+class SlotWorkspace {
+ public:
+  explicit SlotWorkspace(SlotWorkspaceConfig config = {});
+
+  SlotWorkspace(const SlotWorkspace&) = delete;
+  SlotWorkspace& operator=(const SlotWorkspace&) = delete;
+
+  /// Outcome of the most recent resolve_into through this workspace.
+  [[nodiscard]] const SlotOutcome& outcome() const { return outcome_; }
+  [[nodiscard]] const SlotWorkspaceConfig& config() const { return config_; }
+  /// Introspection for tests: the cache backing this workspace.
+  [[nodiscard]] TopologyCache& cache() { return cache_; }
+
+ private:
+  friend class Channel;
+
+  SlotWorkspaceConfig config_;
+  SlotOutcome outcome_;
+  std::vector<std::uint8_t> is_tx_;
+  std::vector<double> best_signal_;
+  std::vector<NodeId> scratch_neighbors_;
+  TopologyCache cache_;
+  std::unique_ptr<TaskPool> pool_;  // created when threads > 1
+};
+
 class Channel {
  public:
   /// `alive[v] != 0` marks nodes present in the network; dead nodes neither
@@ -50,6 +111,17 @@ class Channel {
   [[nodiscard]] SlotOutcome resolve(std::span<const NodeId> transmitters,
                                     std::span<const std::uint8_t> alive,
                                     double power_scale = 1.0) const;
+
+  /// Resolve one slot through `workspace` (see class comment above).
+  /// `topology_epoch` is Network::topology_epoch() — any monotonic counter
+  /// that bumps whenever the alive mask or the metric changes. Transmitter
+  /// ids must be unique. Returns workspace.outcome(); the reference is
+  /// valid until the next resolve_into on the same workspace.
+  const SlotOutcome& resolve_into(std::span<const NodeId> transmitters,
+                                  std::span<const std::uint8_t> alive,
+                                  double power_scale,
+                                  std::uint64_t topology_epoch,
+                                  SlotWorkspace& workspace) const;
 
   /// The power scale that shrinks the SINR clear-channel range by `factor`:
   /// factor^ζ.
@@ -68,6 +140,14 @@ class Channel {
   [[nodiscard]] double epsilon() const { return epsilon_; }
 
  private:
+  void decode_scatter(const SlotView& view, const PathLoss& pl, bool unscaled,
+                      std::span<const std::uint8_t> alive,
+                      const SpatialGrid& grid, double decode_radius,
+                      SlotWorkspace& ws) const;
+  void decode_gather(const SlotView& view, const PathLoss& pl,
+                     std::span<const std::uint8_t> alive,
+                     SlotWorkspace& ws) const;
+
   const QuasiMetric* metric_;
   const PathLoss* pathloss_;
   const ReceptionModel* model_;

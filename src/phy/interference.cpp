@@ -4,18 +4,34 @@
 
 namespace udwn {
 
+void interference_field_into(const QuasiMetric& metric,
+                             const PathLoss& pathloss,
+                             std::span<const NodeId> transmitters,
+                             std::vector<double>& field, TaskPool* pool) {
+  const std::size_t n = metric.size();
+  field.assign(n, 0.0);
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    for (NodeId u : transmitters) {
+      UDWN_ASSERT(u.value < n);
+      for (std::size_t v = lo; v < hi; ++v) {
+        if (u.value == v) continue;
+        field[v] += pathloss.signal(
+            metric.distance(u, NodeId(static_cast<std::uint32_t>(v))));
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->run_chunks(0, n, body);
+  } else {
+    body(0, n);
+  }
+}
+
 std::vector<double> interference_field(const QuasiMetric& metric,
                                        const PathLoss& pathloss,
                                        std::span<const NodeId> transmitters) {
-  std::vector<double> field(metric.size(), 0.0);
-  for (NodeId u : transmitters) {
-    UDWN_ASSERT(u.value < field.size());
-    for (std::size_t v = 0; v < field.size(); ++v) {
-      if (u.value == v) continue;
-      field[v] +=
-          pathloss.signal(metric.distance(u, NodeId(static_cast<std::uint32_t>(v))));
-    }
-  }
+  std::vector<double> field;
+  interference_field_into(metric, pathloss, transmitters, field);
   return field;
 }
 

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/types.h"
 #include "metric/quasi_metric.h"
 #include "phy/pathloss.h"
@@ -22,6 +23,19 @@ namespace udwn {
 std::vector<double> interference_field(const QuasiMetric& metric,
                                        const PathLoss& pathloss,
                                        std::span<const NodeId> transmitters);
+
+/// Same field, written into a caller-owned buffer (resized to
+/// metric.size(); reuses capacity, so steady-state calls do not allocate).
+/// With a TaskPool the listener range is partitioned into fixed chunks and
+/// summed concurrently; every listener's sum still accumulates in
+/// transmitter order, so the result is bit-for-bit identical to the serial
+/// kernel for any thread count (chunks partition listeners, never a single
+/// listener's sum).
+void interference_field_into(const QuasiMetric& metric,
+                             const PathLoss& pathloss,
+                             std::span<const NodeId> transmitters,
+                             std::vector<double>& field,
+                             TaskPool* pool = nullptr);
 
 /// Interference at a single listener from `transmitters` (excluding the
 /// listener itself and `excluded`, typically the intended sender).

@@ -11,6 +11,13 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }
 
+double ReceptionModel::decode_range(const PathLoss& /*pathloss*/) const {
+  // Unknown models opt out of candidate pruning: an infinite radius makes
+  // the pruned decode loop consider every transmitter, which is always
+  // sound.
+  return kInf;
+}
+
 bool ReceptionModel::clear_channel(NodeId sender, const SlotView& view,
                                    double epsilon) const {
   const SuccClearParams params = succ_clear(epsilon);
@@ -50,6 +57,15 @@ SuccClearParams SinrReception::succ_clear(double epsilon) const {
       std::min(beta_, std::pow(1 - epsilon, -zeta) - 1) * noise_ /
       std::pow(2.0, zeta);
   return {.rho_c = 0, .i_c = cap};
+}
+
+double SinrReception::decode_range(const PathLoss& pathloss) const {
+  // receives() demands signal > β·(others + N) >= β·N, and the slot signal
+  // P'/max(d, near)^ζ is non-increasing in d, so no sender beyond the
+  // distance where the slot signal equals β·N can ever be decoded. The
+  // caller inflates the radius before using it as a grid query, so exact
+  // boundary rounding does not matter here.
+  return pathloss.range_for_signal(beta_ * noise_);
 }
 
 bool SinrReception::receives(NodeId receiver, NodeId sender,

@@ -76,6 +76,13 @@ class ReceptionModel {
   /// Human-readable model name for experiment tables.
   [[nodiscard]] virtual const char* name() const = 0;
 
+  /// Upper bound on the sender–receiver distance at which receives() can
+  /// possibly return true under slot path loss `pathloss` (which may be
+  /// power-scaled). Candidate pruning (TopologyCache + SpatialGrid) only
+  /// skips pairs beyond this distance, so the bound must be sound but need
+  /// not be tight; +infinity disables pruning for the model.
+  [[nodiscard]] virtual double decode_range(const PathLoss& pathloss) const;
+
   /// True iff the clear-channel condition of Def. 1 holds at `sender` for
   /// precision ε: no other transmitter in D(sender, ρ_c·R) and interference
   /// at sender <= I_c. SuccClear then *guarantees* mass-delivery; model
@@ -96,6 +103,7 @@ class SinrReception final : public ReceptionModel {
   [[nodiscard]] bool receives(NodeId receiver, NodeId sender,
                               const SlotView& view) const override;
   [[nodiscard]] const char* name() const override { return "SINR"; }
+  [[nodiscard]] double decode_range(const PathLoss& pathloss) const override;
 
   [[nodiscard]] double beta() const { return beta_; }
   [[nodiscard]] double noise() const { return noise_; }
@@ -117,6 +125,10 @@ class UdgReception final : public ReceptionModel {
   [[nodiscard]] bool receives(NodeId receiver, NodeId sender,
                               const SlotView& view) const override;
   [[nodiscard]] const char* name() const override { return "UDG"; }
+  [[nodiscard]] double decode_range(const PathLoss& /*pathloss*/) const
+      override {
+    return range_;
+  }
 
  private:
   double range_;
@@ -145,6 +157,10 @@ class QudgReception final : public ReceptionModel {
   [[nodiscard]] bool receives(NodeId receiver, NodeId sender,
                               const SlotView& view) const override;
   [[nodiscard]] const char* name() const override { return "QUDG"; }
+  [[nodiscard]] double decode_range(const PathLoss& /*pathloss*/) const
+      override {
+    return outer_;
+  }
 
   /// The adversary's (static) verdict for a grey pair: does the edge exist?
   [[nodiscard]] bool grey_edge(NodeId a, NodeId b) const;
@@ -169,6 +185,10 @@ class ProtocolReception final : public ReceptionModel {
   [[nodiscard]] bool receives(NodeId receiver, NodeId sender,
                               const SlotView& view) const override;
   [[nodiscard]] const char* name() const override { return "Protocol"; }
+  [[nodiscard]] double decode_range(const PathLoss& /*pathloss*/) const
+      override {
+    return comm_range_;
+  }
 
  private:
   double comm_range_;
@@ -190,6 +210,10 @@ class SuccClearOnlyReception final : public ReceptionModel {
   [[nodiscard]] bool receives(NodeId receiver, NodeId sender,
                               const SlotView& view) const override;
   [[nodiscard]] const char* name() const override { return "SuccClearOnly"; }
+  [[nodiscard]] double decode_range(const PathLoss& /*pathloss*/) const
+      override {
+    return (1 - epsilon_) * range_;
+  }
 
  private:
   double range_;

@@ -1,0 +1,131 @@
+#include "phy/topology_cache.h"
+
+#include <algorithm>
+
+#include "common/contract.h"
+
+namespace udwn {
+
+namespace {
+// Grid queries use squared distances while the metric compares rounded
+// sqrt values; inflating the query radius by a hair guarantees the grid
+// candidate set is a superset of every metric-exact ball, after which the
+// exact metric predicate re-filters. 1e-9 is ~1e7 ulps — far beyond any
+// sqrt/pow rounding — while loose enough not to drag in extra cells.
+constexpr double kGridInflation = 1.0 + 1e-9;
+}  // namespace
+
+TopologyCache::TopologyCache(Config config) : config_(config) {}
+
+void TopologyCache::sync(const QuasiMetric& metric, const PathLoss& pathloss,
+                         double comm_radius, double grid_cell,
+                         std::span<const std::uint8_t> alive,
+                         std::uint64_t epoch) {
+  UDWN_EXPECT(alive.size() == metric.size());
+  UDWN_EXPECT(comm_radius > 0 && grid_cell > 0);
+  const std::size_t n = metric.size();
+  const bool rebind = metric_ != &metric || pathloss_ != &pathloss ||
+                      neighbor_stamp_.size() != n;
+  metric_ = &metric;
+  pathloss_ = &pathloss;
+  alive_ = alive;
+  comm_radius_ = comm_radius;
+  grid_cell_ = grid_cell;
+  UDWN_EXPECT(epoch >= epoch_ || rebind);
+  epoch_ = epoch;
+  if (!rebind) return;
+
+  euclid_ = dynamic_cast<const EuclideanMetric*>(&metric);
+  neighbor_lists_.resize(n);
+  neighbor_stamp_.assign(n, 0);
+  grid_.reset();
+  grid_stamp_ = 0;
+  if (n <= config_.gain_cache_max_nodes && n > 0) {
+    gains_.assign(n * n, 0.0);
+    gain_stamp_.assign(n, 0);
+  } else {
+    gains_.clear();
+    gains_.shrink_to_fit();
+    gain_stamp_.clear();
+  }
+}
+
+const SpatialGrid* TopologyCache::grid() {
+  if (euclid_ == nullptr || !config_.use_spatial_grid) return nullptr;
+  const std::uint64_t stamp = metric_->version() + 1;
+  if (grid_stamp_ != stamp) {
+    grid_.emplace(euclid_->positions(), grid_cell_);
+    grid_stamp_ = stamp;
+  }
+  return &*grid_;
+}
+
+void TopologyCache::fill_neighbors(std::uint32_t u) {
+  std::vector<NodeId>& list = neighbor_lists_[u];
+  list.clear();
+  const NodeId id(u);
+  const double rb = comm_radius_;
+  if (const SpatialGrid* g = grid(); g != nullptr) {
+    // Grid pruning, then the exact brute-force predicate; sorting restores
+    // the ascending-id order Channel::neighbors produces.
+    g->for_each_within(euclid_->position(id), rb * kGridInflation,
+                       [&](NodeId v) {
+                         if (v == id || !alive_[v.value]) return;
+                         if (metric_->distance(id, v) <= rb)
+                           list.push_back(v);
+                       });
+    std::sort(list.begin(), list.end());
+  } else {
+    for (std::size_t v = 0; v < metric_->size(); ++v) {
+      const NodeId other(static_cast<std::uint32_t>(v));
+      if (other == id || !alive_[v]) continue;
+      if (metric_->distance(id, other) <= rb) list.push_back(other);
+    }
+  }
+  neighbor_stamp_[u] = epoch_;
+}
+
+std::span<const NodeId> TopologyCache::neighbors(NodeId u) {
+  UDWN_EXPECT(metric_ != nullptr);
+  UDWN_EXPECT(u.value < neighbor_stamp_.size());
+  if (neighbor_stamp_[u.value] != epoch_) fill_neighbors(u.value);
+  return neighbor_lists_[u.value];
+}
+
+void TopologyCache::fill_gain_row(std::uint32_t u) {
+  const std::size_t n = metric_->size();
+  double* row = gains_.data() + static_cast<std::size_t>(u) * n;
+  const NodeId id(u);
+  for (std::size_t v = 0; v < n; ++v)
+    row[v] =
+        pathloss_->signal(metric_->distance(id, NodeId(static_cast<std::uint32_t>(v))));
+  gain_stamp_[u] = metric_->version() + 1;
+}
+
+const double* TopologyCache::gain_row(NodeId u) {
+  if (gains_.empty()) return nullptr;
+  UDWN_EXPECT(u.value < gain_stamp_.size());
+  if (gain_stamp_[u.value] != metric_->version() + 1) fill_gain_row(u.value);
+  return gains_.data() + static_cast<std::size_t>(u.value) * metric_->size();
+}
+
+void TopologyCache::prefill_gain_rows(std::span<const NodeId> sources,
+                                      TaskPool* pool) {
+  if (gains_.empty()) return;
+  const std::uint64_t stamp = metric_->version() + 1;
+  if (pool == nullptr || pool->threads() == 1) {
+    for (NodeId u : sources)
+      if (gain_stamp_[u.value] != stamp) fill_gain_row(u.value);
+    return;
+  }
+  // Rows are disjoint slices of gains_, so filling them from different
+  // threads is race-free and the result is schedule-independent.
+  pool->run_chunks(0, sources.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const NodeId u = sources[i];
+      if (gain_stamp_[u.value] != stamp) fill_gain_row(u.value);
+    }
+  });
+}
+
+}  // namespace udwn

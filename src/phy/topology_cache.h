@@ -1,0 +1,124 @@
+// Epoch-invalidated topology caches for the slot pipeline.
+//
+// Channel::resolve re-derives three quantities that are pure functions of
+// the (metric, alive-mask) topology: alive neighborhoods N(u), pairwise
+// gains pathloss.signal(metric.distance(u, v)), and (for Euclidean
+// instances) range-query candidate sets. Under the paper's dynamics these
+// change only when Dynamics toggles an alive flag or moves a point — both
+// of which bump an epoch (Network::topology_epoch, QuasiMetric::version) —
+// so between changes every slot can reuse the previous derivation.
+//
+// TopologyCache holds those derivations with per-entry epoch stamps:
+//   * neighbor lists   — per node, stamped with the caller-supplied
+//                        topology epoch (covers alive churn AND moves);
+//   * gain rows        — per source node, unscaled signal strengths to all
+//                        ids, stamped with the metric version only (gains
+//                        ignore the alive mask);
+//   * a SpatialGrid    — over *all* points of a EuclideanMetric (callers
+//                        filter dead ids), rebuilt per metric version.
+//
+// Everything is recomputed lazily on first use after an epoch bump, so a
+// mobility workload that moves every node each round pays no more than the
+// uncached sweep, while static/churn-only workloads amortize to O(1) per
+// query. Cached values are produced by the exact same expressions as the
+// brute-force paths (same doubles in, same libm calls), which is what makes
+// the cached pipeline bit-for-bit identical to Channel::resolve — the
+// determinism audit enforces this, tests/test_slot_pipeline.cpp proves it
+// property-style.
+//
+// The grid is only ever attached to EuclideanMetric instances: grid queries
+// are symmetric Euclidean balls, and a general quasi-metric (MatrixMetric)
+// may be asymmetric, so pruning with a grid would be unsound there.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/types.h"
+#include "metric/euclidean.h"
+#include "metric/quasi_metric.h"
+#include "phy/pathloss.h"
+#include "phy/spatial_grid.h"
+
+namespace udwn {
+
+class TopologyCache {
+ public:
+  struct Config {
+    /// Attach a SpatialGrid to Euclidean metrics for candidate pruning.
+    bool use_spatial_grid = true;
+    /// Cache pairwise gain rows only while metric.size() stays at or below
+    /// this bound (the table is n² doubles; 4096 nodes = 128 MiB).
+    std::size_t gain_cache_max_nodes = 4096;
+  };
+
+  TopologyCache() : TopologyCache(Config{}) {}
+  explicit TopologyCache(Config config);
+
+  /// Bind to a topology and refresh bookkeeping. Cheap when nothing
+  /// changed; called once per slot. `comm_radius` is the neighborhood
+  /// radius (1-ε)R, `grid_cell` the grid cell size (typically R), `epoch`
+  /// the Network::topology_epoch() covering alive churn and moves.
+  void sync(const QuasiMetric& metric, const PathLoss& pathloss,
+            double comm_radius, double grid_cell,
+            std::span<const std::uint8_t> alive, std::uint64_t epoch);
+
+  /// Alive neighbors of u: identical contents and (ascending id) order to
+  /// Channel::neighbors(u, alive). Valid until the next sync/mutation.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId u);
+
+  /// True when the pairwise gain table is active for this instance size.
+  [[nodiscard]] bool gain_cache_enabled() const { return !gains_.empty(); }
+
+  /// Row of unscaled gains from u: entry v == pathloss.signal(
+  /// metric.distance(u, v)) bit-for-bit. nullptr when the table is
+  /// disabled. Fills the row on first use per metric version.
+  [[nodiscard]] const double* gain_row(NodeId u);
+
+  /// Fill (possibly in parallel, one row per chunk item) every stale row in
+  /// `sources`, so that subsequent gain_row calls are read-only. Rows are
+  /// disjoint, so the fill is race-free and the contents are independent of
+  /// the thread schedule.
+  void prefill_gain_rows(std::span<const NodeId> sources, TaskPool* pool);
+
+  /// Spatial grid over all points, or nullptr (non-Euclidean metric, or
+  /// grids disabled). Membership pruning only — interference stays exact.
+  [[nodiscard]] const SpatialGrid* grid();
+
+  /// The bound Euclidean metric, or nullptr when the metric is not
+  /// Euclidean (asymmetric/graph instances must not be grid-pruned).
+  [[nodiscard]] const EuclideanMetric* euclidean() const { return euclid_; }
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  void fill_gain_row(std::uint32_t u);
+  void fill_neighbors(std::uint32_t u);
+
+  Config config_;
+
+  const QuasiMetric* metric_ = nullptr;
+  const PathLoss* pathloss_ = nullptr;
+  const EuclideanMetric* euclid_ = nullptr;
+  std::span<const std::uint8_t> alive_;
+  double comm_radius_ = 0;
+  double grid_cell_ = 0;
+  std::uint64_t epoch_ = 0;
+
+  // Per-node alive neighborhoods; stamp == epoch_ marks a fresh entry.
+  std::vector<std::vector<NodeId>> neighbor_lists_;
+  std::vector<std::uint64_t> neighbor_stamp_;
+
+  // Flat n×n unscaled gain table; row stamps are metric version + 1
+  // (0 = never filled). Empty when disabled.
+  std::vector<double> gains_;
+  std::vector<std::uint64_t> gain_stamp_;
+
+  std::optional<SpatialGrid> grid_;
+  std::uint64_t grid_stamp_ = 0;  // metric version + 1
+};
+
+}  // namespace udwn

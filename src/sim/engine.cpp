@@ -15,13 +15,21 @@ Engine::Engine(const Channel& channel, Network& network,
       sensing_(&sensing),
       protocols_(protocols),
       config_(config),
-      rng_(config.seed) {
+      rng_(config.seed),
+      workspace_(SlotWorkspaceConfig{
+          .cache_topology = config.cache_topology,
+          .use_spatial_grid = config.use_spatial_grid,
+          .threads = config.threads}) {
   UDWN_EXPECT(protocols_.size() == network.size());
   UDWN_EXPECT(config_.slots_per_round >= 1 &&
               config_.slots_per_round <= static_cast<int>(kSlotsPerRound));
   UDWN_EXPECT(config_.drift_bound >= 1);
+  UDWN_EXPECT(config_.threads >= 1);
 
   const std::size_t n = network.size();
+  transmitters_.reserve(n);
+  tx_payload_.assign(n, 0);
+  is_tx_.assign(n, 0);
   node_rng_.reserve(n);
   clock_rate_.resize(n, 1.0);
   clock_progress_.resize(n, 0.0);
@@ -92,10 +100,10 @@ void Engine::step() {
 void Engine::run_slot(Slot slot) {
   const std::size_t n = network_->size();
 
-  std::vector<NodeId> transmitters;
+  transmitters_.clear();
   // Payloads are captured at transmission time: feedback delivery below may
   // mutate protocol state before all receivers have been served.
-  std::vector<std::uint32_t> tx_payload(n, 0);
+  tx_payload_.assign(n, 0);
   for (std::size_t v = 0; v < n; ++v) {
     const NodeId id(static_cast<std::uint32_t>(v));
     if (!network_->alive(id)) {
@@ -109,18 +117,20 @@ void Engine::run_slot(Slot slot) {
     }
     if (slot == Slot::Data) last_probability_[v] = p;
     if (p > 0 && node_rng_[v].chance(p)) {
-      transmitters.push_back(id);
-      tx_payload[v] = protocols_[v]->payload(slot);
+      transmitters_.push_back(id);
+      tx_payload_[v] = protocols_[v]->payload(slot);
     }
   }
 
   const double power_scale =
       slot == Slot::Notify ? config_.notify_power_scale : 1.0;
-  const SlotOutcome outcome =
-      channel_->resolve(transmitters, network_->alive_mask(), power_scale);
+  const SlotOutcome& outcome =
+      channel_->resolve_into(transmitters_, network_->alive_mask(),
+                             power_scale, network_->topology_epoch(),
+                             workspace_);
 
-  std::vector<std::uint8_t> is_tx(n, 0);
-  for (NodeId u : outcome.transmitters) is_tx[u.value] = 1;
+  is_tx_.assign(n, 0);
+  for (NodeId u : outcome.transmitters) is_tx_[u.value] = 1;
 
   const QuasiMetric& metric = channel_->metric();
   for (std::size_t v = 0; v < n; ++v) {
@@ -129,7 +139,7 @@ void Engine::run_slot(Slot slot) {
     SlotFeedback fb;
     fb.slot = slot;
     fb.local_round = fired_[v] != 0;
-    const bool transmitted = is_tx[v] != 0;
+    const bool transmitted = is_tx_[v] != 0;
     fb.transmitted = transmitted;
     fb.busy = sensing_->busy(outcome.interference[v]);
     fb.ack = transmitted && sensing_->ack(outcome.interference[v]);
@@ -137,7 +147,7 @@ void Engine::run_slot(Slot slot) {
     UDWN_ASSERT(!sender.valid() || sender.value < n);
     fb.received = sender.valid();
     fb.sender = sender;
-    fb.payload = fb.received ? tx_payload[sender.value] : 0;
+    fb.payload = fb.received ? tx_payload_[sender.value] : 0;
     fb.ntd = fb.received && sensing_->ntd(metric.distance(sender, id));
     protocols_[v]->on_slot(fb);
   }

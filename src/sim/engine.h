@@ -50,6 +50,16 @@ struct EngineConfig {
   /// Upper bound on the ratio of round lengths (paper: 2).
   double drift_bound = 2.0;
   std::uint64_t seed = 1;
+  /// Worker threads for the slot pipeline's interference/decode kernels
+  /// (including the calling thread); 1 = serial. Every value produces
+  /// bit-identical traces (enforced by tools/determinism_audit).
+  int threads = 1;
+  /// Serve neighborhoods/gains from the epoch-invalidated TopologyCache.
+  /// Off = brute-force re-derivation per slot (same bits, slower).
+  bool cache_topology = true;
+  /// SpatialGrid candidate pruning on Euclidean instances (no effect on
+  /// graph/asymmetric metrics, where the grid is never attached).
+  bool use_spatial_grid = true;
 };
 
 class Engine {
@@ -111,6 +121,14 @@ class Engine {
   std::vector<std::uint8_t> fired_;     // clock fired this round
   std::vector<double> last_probability_;
   Round round_ = 0;
+
+  // Slot-pipeline workspace: all per-slot buffers live here (not in
+  // run_slot), so a steady-state slot performs no heap allocation — see
+  // docs/ENGINE.md and the counting-allocator test.
+  SlotWorkspace workspace_;
+  std::vector<NodeId> transmitters_;
+  std::vector<std::uint32_t> tx_payload_;
+  std::vector<std::uint8_t> is_tx_;
 };
 
 }  // namespace udwn

@@ -20,6 +20,7 @@ void Network::set_alive(NodeId v, bool alive) {
   if (was == alive) return;
   alive_[v.value] = static_cast<std::uint8_t>(alive);
   alive_count_ += alive ? 1 : std::size_t(-1);
+  ++alive_epoch_;
 }
 
 std::vector<NodeId> Network::alive_nodes() const {

@@ -30,6 +30,16 @@ class Network {
     return alive_;
   }
 
+  /// Monotonic topology epoch: bumps whenever the communication topology can
+  /// have changed — an alive flag toggled here (arrivals/departures) or the
+  /// metric mutated underneath us (moves; QuasiMetric::version()). Epoch-
+  /// invalidated caches (TopologyCache) recompute neighborhoods exactly when
+  /// this value changes. Starts at 1 so a zero-initialized cache stamp is
+  /// always stale.
+  [[nodiscard]] std::uint64_t topology_epoch() const {
+    return alive_epoch_ + metric_->version();
+  }
+
   [[nodiscard]] std::vector<NodeId> alive_nodes() const;
   [[nodiscard]] std::size_t alive_count() const { return alive_count_; }
 
@@ -40,6 +50,7 @@ class Network {
   QuasiMetric* metric_;
   std::vector<std::uint8_t> alive_;
   std::size_t alive_count_ = 0;
+  std::uint64_t alive_epoch_ = 1;
 };
 
 }  // namespace udwn

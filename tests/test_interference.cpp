@@ -68,6 +68,45 @@ TEST(Interference, NoTransmittersZeroField) {
   for (double v : field) EXPECT_DOUBLE_EQ(v, 0.0);
 }
 
+TEST(Interference, PooledKernelBitIdenticalToSerial) {
+  // The TaskPool partitions listeners into fixed chunks; each listener's
+  // sum still accumulates in transmitter order, so any thread count must
+  // reproduce the serial field bit-for-bit (exact ==, not NEAR).
+  EuclideanMetric m(test::random_points(97, 8, 34));
+  PathLoss pl(1.7, 2.8, 1e-3);
+  std::vector<NodeId> txs;
+  for (std::uint32_t v = 0; v < 97; v += 3) txs.push_back(NodeId(v));
+
+  std::vector<double> serial;
+  interference_field_into(m, pl, txs, serial, nullptr);
+
+  for (int threads : {1, 2, 3, 7}) {
+    TaskPool pool(threads);
+    std::vector<double> parallel;
+    interference_field_into(m, pl, txs, parallel, &pool);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t v = 0; v < serial.size(); ++v)
+      EXPECT_EQ(serial[v], parallel[v])
+          << "threads=" << threads << " node " << v;
+  }
+}
+
+TEST(Interference, PooledKernelHandlesDegenerateRanges) {
+  EuclideanMetric m(test::random_points(5, 2, 35));
+  PathLoss pl(1.0, 3.0, 1e-3);
+  TaskPool pool(8);  // more threads than listeners
+  std::vector<double> field;
+  interference_field_into(m, pl, {}, field, &pool);  // no transmitters
+  for (double v : field) EXPECT_DOUBLE_EQ(v, 0.0);
+
+  const std::vector<NodeId> txs{NodeId(0)};
+  interference_field_into(m, pl, txs, field, &pool);
+  std::vector<double> serial;
+  interference_field_into(m, pl, txs, serial, nullptr);
+  for (std::size_t v = 0; v < serial.size(); ++v)
+    EXPECT_EQ(serial[v], field[v]);
+}
+
 TEST(Interference, CoLocatedTransmitterUsesNearClamp) {
   EuclideanMetric m({{1, 1}, {1, 1}});
   PathLoss pl(1.0, 3.0, 0.1);

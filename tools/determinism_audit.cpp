@@ -1,8 +1,16 @@
-// determinism_audit — checked invariant: a dynamic-broadcast scenario run
-// twice under the same seed produces bit-for-bit identical event traces.
+// determinism_audit — checked invariants:
+//
+//  1. Run-twice: a dynamic-broadcast scenario run twice under the same seed
+//     produces bit-for-bit identical event traces.
+//  2. Pipeline matrix: the same scenario resolved through every slot
+//     pipeline configuration — brute-force uncached, epoch-cached +
+//     grid-pruned, and cached with a multi-threaded kernel — yields one
+//     identical trace. This is the executable form of the resolve_into ≡
+//     resolve contract (docs/ENGINE.md) under full dynamics: churn AND
+//     mobility invalidate the caches every round.
 //
 // Builds the EXP-10 style workload (cluster chain, node churn + bounded
-// mobility, Bcast(beta) with two slots per round), runs it twice through
+// mobility, Bcast(beta) with two slots per round), runs it through
 // the DeterminismAuditor, and reports the per-run trace hashes and the
 // first divergent round if any. Exit code 0 = identical, 1 = divergence.
 //
@@ -11,7 +19,8 @@
 // extra RNG draw on one node) to demonstrate the auditor catches real
 // nondeterminism; that mode must exit nonzero.
 //
-//   determinism_audit [--seed N] [--rounds N] [--clusters N] [--inject]
+//   determinism_audit [--seed N] [--rounds N] [--clusters N] [--threads N]
+//                     [--no-matrix] [--inject]
 #include <cerrno>
 #include <cstdint>
 #include <cstdlib>
@@ -35,10 +44,21 @@ struct Options {
   std::uint64_t seed = 12345;
   Round rounds = 300;
   std::size_t clusters = 8;
+  int threads = 4;
+  bool matrix = true;
   bool inject = false;
 };
 
+/// Slot-pipeline knobs under audit (subset of EngineConfig).
+struct PipelineConfig {
+  const char* label;
+  bool cache_topology;
+  bool use_spatial_grid;
+  int threads;
+};
+
 void run_dynamic_broadcast(const Options& options, bool perturb,
+                           const PipelineConfig& pipeline,
                            TraceHashRecorder& recorder) {
   Rng topo_rng(options.seed);
   auto points = cluster_chain(options.clusters, 6, 0.6, 0.05, topo_rng);
@@ -53,7 +73,11 @@ void run_dynamic_broadcast(const Options& options, bool perturb,
   });
   const CarrierSensing sensing = scenario.sensing_broadcast();
   Engine engine(scenario.channel(), scenario.network(), sensing, protocols,
-                EngineConfig{.slots_per_round = 2, .seed = options.seed});
+                EngineConfig{.slots_per_round = 2,
+                             .seed = options.seed,
+                             .threads = pipeline.threads,
+                             .cache_topology = pipeline.cache_topology,
+                             .use_spatial_grid = pipeline.use_spatial_grid});
 
   ChurnDynamics churn({.arrival_rate = 0.05,
                        .departure_rate = 0.05,
@@ -79,12 +103,39 @@ void run_dynamic_broadcast(const Options& options, bool perturb,
   }
 }
 
+/// Pipeline matrix: one trace per configuration, all compared against the
+/// brute-force serial reference. Any divergence is a bug in the cache /
+/// grid / parallel kernels, not scheduling noise — the contract is
+/// bit-exact equality.
+int run_pipeline_matrix(const Options& options) {
+  const PipelineConfig configs[] = {
+      {"uncached-serial", false, false, 1},
+      {"cached+grid-serial", true, true, 1},
+      {"cached+grid-threads", true, true, options.threads},
+  };
+  std::vector<TraceHashRecorder> traces(std::size(configs));
+  for (std::size_t i = 0; i < std::size(configs); ++i)
+    run_dynamic_broadcast(options, /*perturb=*/false, configs[i], traces[i]);
+
+  int failures = 0;
+  std::cout << "  pipeline matrix (reference: " << configs[0].label << ")\n";
+  for (std::size_t i = 1; i < std::size(configs); ++i) {
+    const DeterminismReport report =
+        DeterminismAuditor::compare(traces[0], traces[i]);
+    std::cout << "    vs " << configs[i].label << ": " << to_string(report)
+              << "\n";
+    if (!report.deterministic) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int run(const Options& options) {
+  const PipelineConfig reference{"cached+grid-serial", true, true, 1};
   int call = 0;
   const DeterminismReport report = DeterminismAuditor::audit(
       [&](TraceHashRecorder& recorder) {
         const bool perturb = options.inject && call++ == 1;
-        run_dynamic_broadcast(options, perturb, recorder);
+        run_dynamic_broadcast(options, perturb, reference, recorder);
       });
 
   std::cout << "determinism_audit: dynamic broadcast, seed " << options.seed
@@ -93,7 +144,8 @@ int run(const Options& options) {
             << "\n  " << to_string(report) << "\n";
 
   if (options.inject) {
-    // Self-test mode: success means the fault was *detected*.
+    // Self-test mode: success means the fault was *detected*. The matrix is
+    // skipped — the perturbation would (correctly) fail it.
     if (!report.deterministic) {
       std::cout << "  injected nondeterminism detected as expected\n";
       return 0;
@@ -101,7 +153,9 @@ int run(const Options& options) {
     std::cout << "  ERROR: injected nondeterminism was NOT detected\n";
     return 1;
   }
-  return report.deterministic ? 0 : 1;
+  int rc = report.deterministic ? 0 : 1;
+  if (options.matrix && rc == 0) rc = run_pipeline_matrix(options);
+  return rc;
 }
 
 }  // namespace
@@ -112,7 +166,7 @@ namespace {
 [[noreturn]] void usage_error(const char* detail) {
   std::cerr << "determinism_audit: " << detail << "\n"
             << "usage: determinism_audit [--seed N] [--rounds N] "
-               "[--clusters N] [--inject]\n";
+               "[--clusters N] [--threads N] [--no-matrix] [--inject]\n";
   std::exit(2);
 }
 
@@ -141,6 +195,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--clusters" && has_value) {
       options.clusters = parse_u64("--clusters", argv[++i]);
       if (options.clusters == 0) usage_error("--clusters must be >= 1");
+    } else if (arg == "--threads" && has_value) {
+      options.threads = static_cast<int>(parse_u64("--threads", argv[++i]));
+      if (options.threads < 1) usage_error("--threads must be >= 1");
+    } else if (arg == "--no-matrix") {
+      options.matrix = false;
     } else if (arg == "--inject") {
       options.inject = true;
     } else {
