@@ -12,6 +12,7 @@
 #include "core/try_adjust_protocol.h"
 #include "phy/interference.h"
 #include "metric/packing.h"
+#include "sim/batch.h"
 #include "topo/generators.h"
 
 namespace udwn {
@@ -102,6 +103,43 @@ void BM_EngineRound(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_EngineRound)->Arg(128)->Arg(512)->Arg(2048);
+
+// Batched multi-scenario execution (sim/batch.h): K = 16 independent
+// short engine trials per iteration, dispatched over one shared TaskPool.
+// Arg = pool threads; Arg(1) is the serial baseline of the speedup claim.
+// Wall-clock gain requires real cores — on a single-CPU host the threaded
+// variant measures dispatch overhead, like BM_ChannelResolveThreads.
+double batch_trial(std::uint64_t seed) {
+  const std::size_t n = 160;
+  Rng rng(seed);
+  Scenario s(uniform_square(n, std::sqrt(n / 8.0), rng), ScenarioConfig{});
+  auto protos = make_protocols(n, [&](NodeId) {
+    return std::make_unique<TryAdjustProtocol>(TryAdjust::standard(n, 1.0));
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.seed = seed});
+  for (int i = 0; i < 30; ++i) engine.step();
+  double sum = 0;
+  for (NodeId v : s.network().alive_nodes())
+    sum += engine.last_probability(v);
+  return sum;
+}
+
+void BM_BatchTrials(benchmark::State& state) {
+  const std::size_t trials = 16;
+  const auto seeds = BatchRunner::trial_seeds(9000, trials);
+  BatchRunner runner(
+      BatchConfig{.threads = static_cast<int>(state.range(0))});
+  for (auto _ : state) {
+    auto results = runner.run(
+        trials, [&](std::size_t k) { return batch_trial(seeds[k]); });
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trials));
+}
+BENCHMARK(BM_BatchTrials)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_GreedyPacking(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -92,8 +92,10 @@ int main() {
     Accumulator per_phase;
     Accumulator type_a;
     Accumulator phases;
-    for (auto seed : seeds(2, 3)) {
-      const auto stats = run_cell(n, seed);
+    // Trials run concurrently on the shared BatchRunner pool; results come
+    // back in seed order, so the accumulators see the serial sequence.
+    for (const auto& stats : run_trials(
+             seeds(2, 3), [n](std::uint64_t seed) { return run_cell(n, seed); })) {
       per_phase.add(stats.finishers_per_phase);
       type_a.add(stats.type_a_phases);
       phases.add(stats.phases);

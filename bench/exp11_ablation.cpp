@@ -104,8 +104,10 @@ int main() {
   std::vector<double> scale_p95;
   for (double scale : {1.0, 2.0, 4.0, 8.0, 15.6 /* = App. B unclamped */}) {
     Accumulator p95, frac;
-    for (auto seed : seeds(15, 3)) {
-      const LocalResult r = run_local(scale, true, seed);
+    for (const LocalResult& r :
+         run_trials(seeds(15, 3), [scale](std::uint64_t seed) {
+           return run_local(scale, true, seed);
+         })) {
       p95.add(r.p95);
       frac.add(r.completed_fraction);
     }
@@ -117,11 +119,13 @@ int main() {
   std::cout << "\n(b) No carrier sensing (CD disabled):\n";
   Table tb({"variant", "p95_rounds", "completed_frac"});
   Accumulator ncs_frac, ncs_p95, cs_frac, cs_p95;
-  for (auto seed : seeds(16, 3)) {
-    const LocalResult off = run_local(1.0, false, seed);
+  for (const auto& [off, on] :
+       run_trials(seeds(16, 3), [](std::uint64_t seed) {
+         return std::pair{run_local(1.0, false, seed),
+                          run_local(1.0, true, seed)};
+       })) {
     ncs_frac.add(off.completed_fraction);
     ncs_p95.add(off.p95);
-    const LocalResult on = run_local(1.0, true, seed);
     cs_frac.add(on.completed_fraction);
     cs_p95.add(on.p95);
   }
@@ -134,8 +138,10 @@ int main() {
   std::vector<double> beta_times;
   for (double beta : {1.0, 1.5, 2.0, 3.0}) {
     Accumulator t;
-    for (auto seed : seeds(17, 3)) {
-      const double r = run_dynamic_beta(beta, seed);
+    for (const double r :
+         run_trials(seeds(17, 3), [beta](std::uint64_t seed) {
+           return run_dynamic_beta(beta, seed);
+         })) {
       if (r >= 0) t.add(r);
     }
     beta_times.push_back(t.mean());
@@ -148,8 +154,9 @@ int main() {
   std::vector<double> p0_times;
   for (double p0 : {0.01, 0.05, 0.15, 0.25, 0.5}) {
     Accumulator t;
-    for (auto seed : seeds(18, 3)) {
-      const double r = run_p0(p0, seed);
+    for (const double r : run_trials(seeds(18, 3), [p0](std::uint64_t seed) {
+           return run_p0(p0, seed);
+         })) {
       if (r >= 0) t.add(r);
     }
     p0_times.push_back(t.count() ? t.mean() : -1);

@@ -11,11 +11,13 @@
 // emitting inline CSV as before; the two are independent.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -25,6 +27,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "sim/batch.h"
 #include "topo/generators.h"
 
 namespace udwn::bench {
@@ -163,6 +166,33 @@ inline std::vector<std::uint64_t> seeds(std::uint64_t base, int reps) {
   std::vector<std::uint64_t> out;
   for (int r = 0; r < reps; ++r) out.push_back(base * 1000 + r);
   return out;
+}
+
+/// Trial-level parallelism for run_trials: UDWN_THREADS overrides, else the
+/// hardware concurrency clamped to [1, 4] (experiment cells are short; more
+/// workers than that just fight over memory bandwidth).
+inline int trial_threads() {
+  if (const char* env = std::getenv("UDWN_THREADS"); env && env[0] != '\0') {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 4u));
+}
+
+/// Run one trial per seed concurrently on the binary's single shared
+/// BatchRunner pool and return the results in seed order. `fn` must derive
+/// all randomness from its seed argument and build engines with
+/// EngineConfig::threads == 1 (trial-level parallelism replaces slot-level
+/// parallelism; the TaskPool is not reentrant). Results are deterministic
+/// and identical to a serial loop for any pool size — see sim/batch.h.
+template <typename Fn>
+auto run_trials(const std::vector<std::uint64_t>& trial_seeds, Fn&& fn)
+    -> std::vector<decltype(fn(std::uint64_t{0}))> {
+  static BatchRunner runner{BatchConfig{.threads = trial_threads()}};
+  return runner.run(trial_seeds.size(), [&](std::size_t k) {
+    return fn(trial_seeds[k]);
+  });
 }
 
 }  // namespace udwn::bench

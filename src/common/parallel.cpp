@@ -23,7 +23,7 @@ TaskPool::~TaskPool() {
 }
 
 void TaskPool::run(std::size_t begin, std::size_t end, ChunkFn fn,
-                   void* context) {
+                   void* context, std::size_t chunk_size) {
   UDWN_EXPECT(fn != nullptr);
   UDWN_EXPECT(begin <= end);
   const std::size_t total = end - begin;
@@ -41,9 +41,16 @@ void TaskPool::run(std::size_t begin, std::size_t end, ChunkFn fn,
     end_ = end;
     // Fixed arithmetic partition: chunk i covers
     // [begin + i*chunk_size, min(begin + (i+1)*chunk_size, end)).
-    chunk_count_ = std::min<std::size_t>(
-        static_cast<std::size_t>(threads_), total);
-    chunk_size_ = (total + chunk_count_ - 1) / chunk_count_;
+    // chunk_size == 0 splits evenly across threads; a caller-fixed size
+    // yields more, smaller chunks that idle workers claim dynamically.
+    if (chunk_size == 0) {
+      chunk_count_ = std::min<std::size_t>(
+          static_cast<std::size_t>(threads_), total);
+      chunk_size_ = (total + chunk_count_ - 1) / chunk_count_;
+    } else {
+      chunk_size_ = chunk_size;
+      chunk_count_ = (total + chunk_size - 1) / chunk_size;
+    }
     next_chunk_ = 0;
     pending_ = chunk_count_;
     ++generation_;

@@ -37,21 +37,28 @@ class TaskPool {
   [[nodiscard]] int threads() const { return threads_; }
 
   /// Run `fn(context, lo, hi)` over fixed chunks covering [begin, end) and
-  /// block until every chunk finished. Chunk count equals threads(); empty
-  /// ranges return immediately. Not reentrant.
+  /// block until every chunk finished. With `chunk_size == 0` the range is
+  /// split evenly into threads() chunks; a nonzero `chunk_size` fixes the
+  /// chunk length instead (the last chunk may be shorter), which lets
+  /// callers with uneven per-item cost (e.g. BatchRunner trials) claim work
+  /// at finer granularity. Either way chunk boundaries depend only on
+  /// (begin, end, threads, chunk_size) — never on timing — so results stay
+  /// schedule-independent. Empty ranges return immediately. Not reentrant.
   using ChunkFn = void (*)(void* context, std::size_t lo, std::size_t hi);
-  void run(std::size_t begin, std::size_t end, ChunkFn fn, void* context);
+  void run(std::size_t begin, std::size_t end, ChunkFn fn, void* context,
+           std::size_t chunk_size = 0);
 
   /// Convenience adapter for stateless-callable lambdas (captures allowed;
   /// the lambda lives on the caller's stack, so no allocation happens).
   template <typename Body>
-  void run_chunks(std::size_t begin, std::size_t end, Body&& body) {
+  void run_chunks(std::size_t begin, std::size_t end, Body&& body,
+                  std::size_t chunk_size = 0) {
     using Fn = std::remove_reference_t<Body>;
     run(begin, end,
         [](void* context, std::size_t lo, std::size_t hi) {
           (*static_cast<Fn*>(context))(lo, hi);
         },
-        &body);
+        &body, chunk_size);
   }
 
  private:

@@ -19,7 +19,15 @@ Channel::Channel(const QuasiMetric& metric, const PathLoss& pathloss,
     : metric_(&metric),
       pathloss_(&pathloss),
       model_(&model),
-      epsilon_(epsilon) {
+      epsilon_(epsilon),
+      // The model and path loss are immutable after construction, so their
+      // derived constants (each a virtual call, some a libm pow) are hoisted
+      // here once instead of per slot. Same expressions, same bits.
+      sinr_(dynamic_cast<const SinrReception*>(&model)),
+      max_range_(model.max_range()),
+      comm_radius_((1 - epsilon) * model.max_range()),
+      decode_range_unscaled_(model.decode_range(pathloss)),
+      succ_clear_(model.succ_clear(epsilon)) {
   UDWN_EXPECT(epsilon > 0 && epsilon < 1);
 }
 
@@ -27,15 +35,14 @@ SlotWorkspace::SlotWorkspace(SlotWorkspaceConfig config)
     : config_(config),
       cache_(TopologyCache::Config{
           .use_spatial_grid = config.use_spatial_grid,
-          .gain_cache_max_nodes = config.gain_cache_max_nodes}) {
+          .gain_budget_bytes = config.gain_budget_bytes,
+          .gain_tile_cols = config.gain_tile_cols}) {
   UDWN_EXPECT(config.threads >= 1);
   if (config.threads > 1)
     pool_ = std::make_unique<TaskPool>(config.threads);
 }
 
-double Channel::comm_radius() const {
-  return (1 - epsilon_) * model_->max_range();
-}
+double Channel::comm_radius() const { return comm_radius_; }
 
 std::vector<NodeId> Channel::neighbors(
     NodeId u, std::span<const std::uint8_t> alive) const {
@@ -130,7 +137,7 @@ SlotOutcome Channel::resolve(std::span<const NodeId> transmitters,
 }
 
 void Channel::decode_scatter(const SlotView& view, const PathLoss& pl,
-                             bool unscaled,
+                             const GainTable* gains,
                              std::span<const std::uint8_t> alive,
                              const SpatialGrid& grid, double decode_radius,
                              SlotWorkspace& ws) const {
@@ -140,18 +147,47 @@ void Channel::decode_scatter(const SlotView& view, const PathLoss& pl,
   // preserves the reference tie-break (first transmitter wins on equal
   // signal); listeners outside every ball provably fail receives(), so
   // skipping them cannot change any decision.
+  //
+  // SINR fast path: when the model is SINR, the receives() predicate is
+  //   signal > β·(I(v) - signal + N)
+  // with signal = pl.signal(distance(u, v)) — exactly the double a resident
+  // gain cell holds — so the cell substitutes for both the predicate's
+  // signal and the best-signal comparison without a virtual call, a metric
+  // distance, or a pow. The inlined comparison is the same expression
+  // receives() evaluates, so every decision is bit-identical.
   const std::size_t n = metric_->size();
   ws.best_signal_.assign(n, -1.0);
   const EuclideanMetric& euclid = *ws.cache_.euclidean();
+  if (sinr_ != nullptr) {
+    const double beta = sinr_->beta();
+    const double noise = sinr_->noise();
+    for (NodeId u : view.transmitters) {
+      grid.for_each_within(
+          euclid.position(u), decode_radius * kGridInflation, [&](NodeId v) {
+            if (!alive[v.value] || ws.is_tx_[v.value]) return;
+            const double* g =
+                gains != nullptr ? gains->cell(u, v.value) : nullptr;
+            const double s =
+                g != nullptr ? *g : pl.signal(metric_->distance(u, v));
+            const double others = view.interference[v.value] - s;
+            if (!(s > beta * (others + noise))) return;
+            if (s > ws.best_signal_[v.value]) {
+              ws.best_signal_[v.value] = s;
+              ws.outcome_.decoded_from[v.value] = u;
+            }
+          });
+    }
+    return;
+  }
   for (NodeId u : view.transmitters) {
-    const double* row = unscaled ? ws.cache_.gain_row(u) : nullptr;
     grid.for_each_within(
         euclid.position(u), decode_radius * kGridInflation, [&](NodeId v) {
           if (!alive[v.value] || ws.is_tx_[v.value]) return;
           if (!model_->receives(v, u, view)) return;
+          const double* g =
+              gains != nullptr ? gains->cell(u, v.value) : nullptr;
           const double s =
-              row != nullptr ? row[v.value]
-                             : pl.signal(metric_->distance(u, v));
+              g != nullptr ? *g : pl.signal(metric_->distance(u, v));
           if (s > ws.best_signal_[v.value]) {
             ws.best_signal_[v.value] = s;
             ws.outcome_.decoded_from[v.value] = u;
@@ -161,9 +197,15 @@ void Channel::decode_scatter(const SlotView& view, const PathLoss& pl,
 }
 
 void Channel::decode_gather(const SlotView& view, const PathLoss& pl,
+                            const GainTable* gains,
                             std::span<const std::uint8_t> alive,
                             SlotWorkspace& ws) const {
   const std::size_t n = metric_->size();
+  // Same SINR fast path as decode_scatter: inline the predicate, read the
+  // signal from the gain table when resident (bit-identical either way).
+  const bool sinr_fast = sinr_ != nullptr;
+  const double beta = sinr_fast ? sinr_->beta() : 0.0;
+  const double noise = sinr_fast ? sinr_->noise() : 0.0;
   auto body = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t v = lo; v < hi; ++v) {
       if (!alive[v] || ws.is_tx_[v]) continue;
@@ -171,11 +213,29 @@ void Channel::decode_gather(const SlotView& view, const PathLoss& pl,
       NodeId best;
       double best_signal = -1;
       for (NodeId u : view.transmitters) {
-        if (!model_->receives(receiver, u, view)) continue;
-        const double s = pl.signal(metric_->distance(u, receiver));
-        if (s > best_signal) {
-          best_signal = s;
-          best = u;
+        const double* g =
+            gains != nullptr
+                ? gains->cell(u, static_cast<std::uint32_t>(v))
+                : nullptr;
+        if (sinr_fast) {
+          const double s =
+              g != nullptr ? *g
+                           : pl.signal(metric_->distance(u, receiver));
+          const double others = view.interference[v] - s;
+          if (!(s > beta * (others + noise))) continue;
+          if (s > best_signal) {
+            best_signal = s;
+            best = u;
+          }
+        } else {
+          if (!model_->receives(receiver, u, view)) continue;
+          const double s =
+              g != nullptr ? *g
+                           : pl.signal(metric_->distance(u, receiver));
+          if (s > best_signal) {
+            best_signal = s;
+            best = u;
+          }
         }
       }
       ws.outcome_.decoded_from[v] = best;
@@ -205,8 +265,8 @@ const SlotOutcome& Channel::resolve_into(
 
   TopologyCache* cache = ws.config_.cache_topology ? &ws.cache_ : nullptr;
   if (cache != nullptr)
-    cache->sync(*metric_, *pathloss_, comm_radius(), model_->max_range(),
-                alive, topology_epoch);
+    cache->sync(*metric_, *pathloss_, comm_radius_, max_range_, alive,
+                topology_epoch);
   TaskPool* pool = ws.pool_.get();
 
   SlotOutcome& out = ws.outcome_;
@@ -227,29 +287,22 @@ const SlotOutcome& Channel::resolve_into(
   }
 
   // Interference: exact sum over all transmitter/listener pairs. With the
-  // gain cache, entry (u,v) is the cached pathloss.signal(distance(u,v))
-  // double; without it, the same expression is evaluated in place — either
-  // way each field element accumulates in transmitter order, so the result
-  // is bit-identical to the serial brute-force kernel regardless of chunk
-  // count (chunks partition listeners, never the transmitter sum).
-  const bool rows =
-      unscaled && cache != nullptr && cache->gain_cache_enabled();
+  // gain table, cell (u,v) is the cached pathloss.signal(distance(u,v))
+  // double (diagonal stored as +0.0, added unconditionally — exact, since
+  // every partial sum is non-negative); without it, the same expression is
+  // evaluated in place. Either way each field element accumulates in
+  // transmitter order, so the result is bit-identical to the serial
+  // brute-force kernel regardless of chunk count or kernel choice (chunks
+  // partition listeners, never the transmitter sum).
+  GainTable* gains = cache != nullptr ? cache->gains() : nullptr;
+  const bool rows = unscaled && gains != nullptr &&
+                    gains->ensure_rows(transmitters, pool);
   if (rows) {
-    cache->prefill_gain_rows(transmitters, pool);
-    out.interference.assign(n, 0.0);
-    auto body = [&](std::size_t lo, std::size_t hi) {
-      for (NodeId u : transmitters) {
-        const double* row = cache->gain_row(u);
-        for (std::size_t v = lo; v < hi; ++v) {
-          if (v == u.value) continue;
-          out.interference[v] += row[v];
-        }
-      }
-    };
-    if (pool != nullptr) {
-      pool->run_chunks(0, n, body);
+    if (ws.config_.soa_kernel) {
+      interference_field_soa(*gains, transmitters, ws.row_scratch_,
+                             out.interference, pool);
     } else {
-      body(0, n);
+      interference_field_rows(*gains, transmitters, out.interference, pool);
     }
   } else {
     interference_field_into(*metric_, pl, transmitters, out.interference,
@@ -263,16 +316,18 @@ const SlotOutcome& Channel::resolve_into(
                       .interference = out.interference};
 
   const SpatialGrid* grid = cache != nullptr ? cache->grid() : nullptr;
-  const double decode_radius = model_->decode_range(pl);
+  const GainTable* decode_gains = rows ? gains : nullptr;
+  const double decode_radius =
+      unscaled ? decode_range_unscaled_ : model_->decode_range(pl);
   if (grid != nullptr && std::isfinite(decode_radius)) {
-    decode_scatter(view, pl, unscaled, alive, *grid, decode_radius, ws);
+    decode_scatter(view, pl, decode_gains, alive, *grid, decode_radius, ws);
   } else {
-    decode_gather(view, pl, alive, ws);
+    decode_gather(view, pl, decode_gains, alive, ws);
   }
 
   // Mass-delivery and clear-channel flags per transmitter.
-  const SuccClearParams params = model_->succ_clear(epsilon_);
-  const double guard = params.rho_c * model_->max_range();
+  const SuccClearParams params = succ_clear_;
+  const double guard = params.rho_c * max_range_;
   for (NodeId u : transmitters) {
     std::span<const NodeId> nb;
     if (cache != nullptr) {

@@ -58,8 +58,17 @@ struct SlotWorkspaceConfig {
   /// Prune decode/clear candidates with a SpatialGrid on Euclidean
   /// instances (requires cache_topology; ignored for asymmetric metrics).
   bool use_spatial_grid = true;
-  /// Upper instance size for the pairwise gain table (n² doubles).
-  std::size_t gain_cache_max_nodes = 4096;
+  /// Memory budget for the tiled LRU gain table (see gain_table.h);
+  /// 0 disables gain caching. Any instance size is cached within budget —
+  /// this replaces the old hard gain_cache_max_nodes = 4096 cliff.
+  std::size_t gain_budget_bytes = std::size_t{128} << 20;
+  /// Listener columns per gain tile (power of two). Small values exist for
+  /// tests that exercise multi-block rows at small n.
+  std::size_t gain_tile_cols = 4096;
+  /// Use the SoA/SIMD interference kernel over the gain table (vectorizes
+  /// across listeners). false = scalar row-at-a-time kernel. Either setting
+  /// produces bit-identical outcomes (audited).
+  bool soa_kernel = true;
   /// Worker threads for the interference kernel (including the caller);
   /// 1 = serial. Any value produces bit-identical outcomes.
   int threads = 1;
@@ -91,6 +100,7 @@ class SlotWorkspace {
   std::vector<std::uint8_t> is_tx_;
   std::vector<double> best_signal_;
   std::vector<NodeId> scratch_neighbors_;
+  std::vector<const double*> row_scratch_;  // SoA kernel row pointers
   TopologyCache cache_;
   std::unique_ptr<TaskPool> pool_;  // created when threads > 1
 };
@@ -140,11 +150,13 @@ class Channel {
   [[nodiscard]] double epsilon() const { return epsilon_; }
 
  private:
-  void decode_scatter(const SlotView& view, const PathLoss& pl, bool unscaled,
+  void decode_scatter(const SlotView& view, const PathLoss& pl,
+                      const GainTable* gains,
                       std::span<const std::uint8_t> alive,
                       const SpatialGrid& grid, double decode_radius,
                       SlotWorkspace& ws) const;
   void decode_gather(const SlotView& view, const PathLoss& pl,
+                     const GainTable* gains,
                      std::span<const std::uint8_t> alive,
                      SlotWorkspace& ws) const;
 
@@ -152,6 +164,13 @@ class Channel {
   const PathLoss* pathloss_;
   const ReceptionModel* model_;
   double epsilon_;
+  // Constants of the immutable model/pathloss, hoisted out of the per-slot
+  // path (each hides a virtual call and/or a libm pow).
+  const SinrReception* sinr_;  // non-null iff the model is SINR
+  double max_range_;
+  double comm_radius_;
+  double decode_range_unscaled_;
+  SuccClearParams succ_clear_;
 };
 
 }  // namespace udwn

@@ -1,0 +1,199 @@
+#include "phy/gain_table.h"
+
+#include <algorithm>
+
+#include "common/contract.h"
+
+namespace udwn {
+
+namespace {
+
+[[nodiscard]] constexpr bool is_power_of_two(std::size_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+[[nodiscard]] std::uint32_t log2_of(std::size_t x) {
+  std::uint32_t shift = 0;
+  while ((std::size_t{1} << shift) < x) ++shift;
+  return shift;
+}
+
+}  // namespace
+
+GainTable::GainTable(Config config) : config_(config) {
+  UDWN_EXPECT(is_power_of_two(config.tile_cols));
+}
+
+void GainTable::bind(const QuasiMetric& metric, const PathLoss& pathloss) {
+  metric_ = &metric;
+  pathloss_ = &pathloss;
+  n_ = metric.size();
+  tile_cols_ = config_.tile_cols;
+  col_shift_ = log2_of(tile_cols_);
+  blocks_ = n_ == 0 ? 0 : (n_ + tile_cols_ - 1) / tile_cols_;
+  // One full row per slot when a row fits a single tile — no ragged waste
+  // for the common n <= tile_cols case.
+  stride_ = blocks_ == 1 ? n_ : tile_cols_;
+  max_tiles_ =
+      stride_ == 0 ? 0 : config_.budget_bytes / (stride_ * sizeof(double));
+  max_tiles_ = std::min(max_tiles_, n_ * blocks_);
+  // Useful only if at least one whole source row can be resident at once.
+  enabled_ = blocks_ > 0 && max_tiles_ >= blocks_;
+
+  tile_slot_.clear();
+  tile_stamp_.clear();
+  storage_.clear();
+  storage_.shrink_to_fit();
+  slot_tile_.clear();
+  lru_prev_.clear();
+  lru_next_.clear();
+  pin_pass_.clear();
+  lru_head_ = kInvalid;
+  lru_tail_ = kInvalid;
+  used_slots_ = 0;
+  pass_ = 0;
+  if (!enabled_) return;
+
+  tile_slot_.assign(n_ * blocks_, kInvalid);
+  tile_stamp_.assign(n_ * blocks_, 0);
+  slot_tile_.reserve(max_tiles_);
+  lru_prev_.reserve(max_tiles_);
+  lru_next_.reserve(max_tiles_);
+  pin_pass_.reserve(max_tiles_);
+}
+
+void GainTable::lru_detach(std::uint32_t slot) {
+  const std::uint32_t prev = lru_prev_[slot];
+  const std::uint32_t next = lru_next_[slot];
+  if (prev != kInvalid) lru_next_[prev] = next;
+  if (next != kInvalid) lru_prev_[next] = prev;
+  if (lru_head_ == slot) lru_head_ = next;
+  if (lru_tail_ == slot) lru_tail_ = prev;
+  lru_prev_[slot] = kInvalid;
+  lru_next_[slot] = kInvalid;
+}
+
+void GainTable::lru_touch(std::uint32_t slot) {
+  if (lru_head_ == slot) return;
+  lru_detach(slot);
+  lru_next_[slot] = lru_head_;
+  if (lru_head_ != kInvalid) lru_prev_[lru_head_] = slot;
+  lru_head_ = slot;
+  if (lru_tail_ == kInvalid) lru_tail_ = slot;
+}
+
+std::uint32_t GainTable::acquire_slot() {
+  if (used_slots_ < max_tiles_) {
+    const auto slot = static_cast<std::uint32_t>(used_slots_++);
+    if (storage_.size() < used_slots_ * stride_) {
+      // Grow geometrically toward the budget: a one-time warm-up cost, so
+      // steady-state slots never allocate once the working set is sized.
+      const std::size_t want = used_slots_ * stride_;
+      const std::size_t doubled =
+          std::min(max_tiles_ * stride_, storage_.size() * 2 + stride_);
+      storage_.resize(std::max(want, doubled));
+    }
+    slot_tile_.push_back(0);
+    lru_prev_.push_back(kInvalid);
+    lru_next_.push_back(kInvalid);
+    pin_pass_.push_back(0);
+    return slot;
+  }
+  // Evict the least-recently-ensured tile not pinned by the current call.
+  std::uint32_t slot = lru_tail_;
+  while (slot != kInvalid && pin_pass_[slot] == pass_) slot = lru_prev_[slot];
+  if (slot == kInvalid) return kInvalid;
+  tile_slot_[slot_tile_[slot]] = kInvalid;
+  return slot;
+}
+
+void GainTable::fill_tile(std::size_t tile) {
+  const std::size_t u = tile / blocks_;
+  const std::size_t b = tile - u * blocks_;
+  const std::size_t begin = block_begin(b);
+  const std::size_t count = block_cols(b);
+  double* dst = storage_.data() +
+                static_cast<std::size_t>(tile_slot_[tile]) * stride_;
+  const NodeId id(static_cast<std::uint32_t>(u));
+  for (std::size_t j = 0; j < count; ++j)
+    dst[j] = pathloss_->signal(metric_->distance(
+        id, NodeId(static_cast<std::uint32_t>(begin + j))));
+  // Diagonal contract: the self entry is +0.0 so kernels can add whole rows
+  // without a branch (see file comment in gain_table.h).
+  if (u >= begin && u < begin + count) dst[u - begin] = 0.0;
+}
+
+bool GainTable::ensure_rows(std::span<const NodeId> sources, TaskPool* pool) {
+  if (!enabled_) return false;
+  if (sources.empty()) return true;
+  UDWN_ASSERT(metric_ != nullptr && pathloss_ != nullptr);
+  const std::uint64_t fresh = metric_->version() + 1;
+  ++pass_;
+  fill_tiles_.clear();
+  for (const NodeId u : sources) {
+    UDWN_ASSERT(u.value < n_);
+    for (std::size_t b = 0; b < blocks_; ++b) {
+      const std::size_t tile = static_cast<std::size_t>(u.value) * blocks_ + b;
+      std::uint32_t slot = tile_slot_[tile];
+      if (slot == kInvalid) {
+        slot = acquire_slot();
+        if (slot == kInvalid) {
+          // Over budget: roll back the freshness claims of tiles queued but
+          // not yet filled, then report failure so the caller recomputes.
+          for (const std::size_t t : fill_tiles_) tile_stamp_[t] = 0;
+          return false;
+        }
+        tile_slot_[tile] = slot;
+        slot_tile_[slot] = tile;
+        tile_stamp_[tile] = 0;
+      }
+      pin_pass_[slot] = pass_;
+      lru_touch(slot);
+      if (tile_stamp_[tile] != fresh) {
+        // Stamp now, fill below: sources may repeat across calls but tiles
+        // enter the fill list exactly once, keeping parallel fills disjoint.
+        tile_stamp_[tile] = fresh;
+        fill_tiles_.push_back(tile);
+      }
+    }
+  }
+  if (fill_tiles_.empty()) return true;
+  if (pool != nullptr && pool->threads() > 1 && fill_tiles_.size() > 1) {
+    // Distinct tiles occupy distinct slots, so fills write disjoint storage
+    // ranges; contents are pure functions of (metric, pathloss, tile), so
+    // the result is schedule-independent.
+    pool->run_chunks(0, fill_tiles_.size(),
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i)
+                         fill_tile(fill_tiles_[i]);
+                     });
+  } else {
+    for (const std::size_t tile : fill_tiles_) fill_tile(tile);
+  }
+  return true;
+}
+
+const double* GainTable::row_block(NodeId u, std::size_t b) const {
+  if (!enabled_) return nullptr;
+  UDWN_ASSERT(u.value < n_ && b < blocks_);
+  const std::size_t tile = static_cast<std::size_t>(u.value) * blocks_ + b;
+  const std::uint32_t slot = tile_slot_[tile];
+  if (slot == kInvalid || tile_stamp_[tile] != metric_->version() + 1)
+    return nullptr;
+  return storage_.data() + static_cast<std::size_t>(slot) * stride_;
+}
+
+const double* GainTable::cell(NodeId u, std::uint32_t v) const {
+  if (!enabled_) return nullptr;
+  UDWN_ASSERT(u.value < n_ && v < n_);
+  const std::size_t b = blocks_ == 1 ? 0 : v >> col_shift_;
+  const std::size_t col =
+      blocks_ == 1 ? v : v & ((std::size_t{1} << col_shift_) - 1);
+  const std::size_t tile = static_cast<std::size_t>(u.value) * blocks_ + b;
+  const std::uint32_t slot = tile_slot_[tile];
+  if (slot == kInvalid || tile_stamp_[tile] != metric_->version() + 1)
+    return nullptr;
+  return storage_.data() + static_cast<std::size_t>(slot) * stride_ + col;
+}
+
+}  // namespace udwn

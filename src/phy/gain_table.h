@@ -1,0 +1,143 @@
+// Blocked/tiled LRU cache of unscaled pairwise gains.
+//
+// The slot pipeline reads the same gain pathloss.signal(metric.distance(u,v))
+// once per transmitter/listener pair per slot — recomputing it costs a
+// virtual distance call plus a libm pow. The old design cached a flat n×n
+// table but only while n <= 4096, so large instances silently lost all
+// caching. GainTable replaces that cliff with a tiled table:
+//
+//   * a *tile* is one contiguous column block of one source row —
+//     `tile_cols` listener entries (the last block of a row may be ragged);
+//   * tiles are materialized lazily into fixed-size slots, bounded by
+//     `budget_bytes`, and evicted in least-recently-ensured order, so any n
+//     gets cache benefits for its per-slot working set (the transmitter
+//     rows) while memory stays bounded;
+//   * a tile is *fresh* while its stamp matches the metric version; moves
+//     invalidate by stamp, never by writeback.
+//
+// Bit-exactness contract (what makes the cached pipeline identical to the
+// brute-force reference): every entry is produced by the exact expression
+// the uncached kernels evaluate — same doubles in, same libm call — except
+// the self entry gains[u][u], which is stored as +0.0. Kernels may therefore
+// add a whole row without skipping the diagonal: all partial interference
+// sums are >= +0.0, and x + 0.0 == x bit-for-bit for every non-negative
+// double, so including the zeroed diagonal is indistinguishable from the
+// reference's `skip self` loop. (Readers that need the true self gain — no
+// current caller does — must not use this table.)
+//
+// Determinism: eviction order depends only on the sequence of ensure_rows
+// calls (source order within a call is the caller's transmitter order),
+// never on thread scheduling; parallel tile fills write disjoint slots.
+// Reads (row_block / cell) are const and touch no LRU state, so concurrent
+// readers after an ensure_rows are race-free.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/types.h"
+#include "metric/quasi_metric.h"
+#include "phy/pathloss.h"
+
+namespace udwn {
+
+class GainTable {
+ public:
+  struct Config {
+    /// Listener columns per tile; must be a power of two. One tile is
+    /// tile_cols * 8 bytes (32 KiB at the default).
+    std::size_t tile_cols = 4096;
+    /// Upper bound on resident tile storage. 0 disables the table. The
+    /// default keeps the old flat-table footprint (n=4096 → 128 MiB) but
+    /// now bounds *any* n instead of gating on it.
+    std::size_t budget_bytes = std::size_t{128} << 20;
+  };
+
+  GainTable() : GainTable(Config{}) {}
+  explicit GainTable(Config config);
+
+  /// Bind to a topology, dropping all residency. Called on workspace rebind
+  /// (new metric/pathloss object or changed instance size), not per slot.
+  void bind(const QuasiMetric& metric, const PathLoss& pathloss);
+
+  /// True when the budget admits at least one full row of tiles for the
+  /// bound instance (the minimum ensure_rows can ever satisfy).
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  /// Column blocks per source row.
+  [[nodiscard]] std::size_t blocks() const { return blocks_; }
+  /// First listener column of block b.
+  [[nodiscard]] std::size_t block_begin(std::size_t b) const {
+    return b * tile_cols_;
+  }
+  /// Number of listener columns in block b (the last block may be ragged).
+  [[nodiscard]] std::size_t block_cols(std::size_t b) const {
+    return b + 1 == blocks_ ? n_ - b * tile_cols_ : tile_cols_;
+  }
+
+  /// Make every tile of every source row resident and fresh, filling stale
+  /// tiles (in parallel when `pool` is given: tiles are distinct, slots
+  /// disjoint). Pins the sources' tiles for the duration of the call so a
+  /// call never evicts its own rows. Returns false — leaving freshness
+  /// state consistent — when the sources' tiles exceed the budget together;
+  /// callers then fall back to the uncached kernel (same bits, recomputed).
+  bool ensure_rows(std::span<const NodeId> sources, TaskPool* pool);
+
+  /// Base pointer of row u's column block b, or nullptr unless resident and
+  /// fresh. Entry j is the gain from u to listener block_begin(b) + j (with
+  /// the diagonal stored as +0.0; see file comment). Valid until the next
+  /// ensure_rows / bind.
+  [[nodiscard]] const double* row_block(NodeId u, std::size_t b) const;
+
+  /// Pointer to the single gain entry (u → v), or nullptr unless the
+  /// covering tile is resident and fresh. Never returns the diagonal's
+  /// stored zero as a surprise: callers (decode paths) only query u != v.
+  [[nodiscard]] const double* cell(NodeId u, std::uint32_t v) const;
+
+  /// Introspection for tests.
+  [[nodiscard]] std::size_t resident_tiles() const { return used_slots_; }
+  [[nodiscard]] std::size_t max_tiles() const { return max_tiles_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  void fill_tile(std::size_t tile);
+  std::uint32_t acquire_slot();
+  void lru_touch(std::uint32_t slot);
+  void lru_detach(std::uint32_t slot);
+
+  Config config_;
+  const QuasiMetric* metric_ = nullptr;
+  const PathLoss* pathloss_ = nullptr;
+
+  std::size_t n_ = 0;
+  std::size_t blocks_ = 0;
+  std::size_t tile_cols_ = 0;   // == config_.tile_cols
+  std::uint32_t col_shift_ = 0;  // log2(tile_cols_)
+  std::size_t stride_ = 0;      // doubles per slot (== n_ when blocks_ == 1)
+  std::size_t max_tiles_ = 0;
+  bool enabled_ = false;
+
+  // Per logical tile (row-major: tile = u * blocks_ + b).
+  std::vector<std::uint32_t> tile_slot_;
+  std::vector<std::uint64_t> tile_stamp_;  // metric version + 1; 0 = never
+
+  // Per physical slot.
+  std::vector<double> storage_;  // grows on demand up to max_tiles_*stride_
+  std::vector<std::size_t> slot_tile_;
+  std::vector<std::uint32_t> lru_prev_;
+  std::vector<std::uint32_t> lru_next_;
+  std::vector<std::uint64_t> pin_pass_;
+  std::uint32_t lru_head_ = kInvalid;
+  std::uint32_t lru_tail_ = kInvalid;
+  std::size_t used_slots_ = 0;
+  std::uint64_t pass_ = 0;
+
+  std::vector<std::size_t> fill_tiles_;  // scratch, reused across calls
+};
+
+}  // namespace udwn

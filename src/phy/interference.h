@@ -13,6 +13,7 @@
 #include "common/parallel.h"
 #include "common/types.h"
 #include "metric/quasi_metric.h"
+#include "phy/gain_table.h"
 #include "phy/pathloss.h"
 
 namespace udwn {
@@ -42,5 +43,36 @@ void interference_field_into(const QuasiMetric& metric,
 double interference_at(const QuasiMetric& metric, const PathLoss& pathloss,
                        std::span<const NodeId> transmitters, NodeId listener,
                        NodeId excluded = NodeId{});
+
+// --- Gain-table kernels -----------------------------------------------------
+//
+// Both kernels read unscaled gains from a GainTable whose transmitter rows
+// were made resident by ensure_rows (the caller guarantees this). Because
+// every table entry is the exact double the uncached kernel would compute —
+// with the diagonal stored as +0.0, and x + 0.0 == x for the non-negative
+// partial sums — both produce fields bit-for-bit identical to
+// interference_field_into for any thread count (chunks partition listeners,
+// each listener still accumulates in transmitter order).
+
+/// Scalar reference over the table: one row at a time, listeners chunked.
+/// Kept as the comparison kernel for the `soa_kernel = false` knob and the
+/// determinism-audit matrix.
+void interference_field_rows(const GainTable& gains,
+                             std::span<const NodeId> transmitters,
+                             std::vector<double>& field,
+                             TaskPool* pool = nullptr);
+
+/// SoA/SIMD kernel: vectorizes across *listeners* (contiguous column blocks
+/// of several transmitter rows accumulate into a register before the field
+/// is stored back), while each listener lane still adds gains in exact
+/// transmitter order — the unroll never reassociates a single listener's
+/// sum, so the result is bit-identical to the scalar kernels. `row_scratch`
+/// is caller-owned reusable storage for the per-(transmitter, block) row
+/// pointers (no steady-state allocation).
+void interference_field_soa(const GainTable& gains,
+                            std::span<const NodeId> transmitters,
+                            std::vector<const double*>& row_scratch,
+                            std::vector<double>& field,
+                            TaskPool* pool = nullptr);
 
 }  // namespace udwn

@@ -15,7 +15,10 @@ namespace {
 constexpr double kGridInflation = 1.0 + 1e-9;
 }  // namespace
 
-TopologyCache::TopologyCache(Config config) : config_(config) {}
+TopologyCache::TopologyCache(Config config)
+    : config_(config),
+      gains_(GainTable::Config{.tile_cols = config.gain_tile_cols,
+                               .budget_bytes = config.gain_budget_bytes}) {}
 
 void TopologyCache::sync(const QuasiMetric& metric, const PathLoss& pathloss,
                          double comm_radius, double grid_cell,
@@ -40,14 +43,7 @@ void TopologyCache::sync(const QuasiMetric& metric, const PathLoss& pathloss,
   neighbor_stamp_.assign(n, 0);
   grid_.reset();
   grid_stamp_ = 0;
-  if (n <= config_.gain_cache_max_nodes && n > 0) {
-    gains_.assign(n * n, 0.0);
-    gain_stamp_.assign(n, 0);
-  } else {
-    gains_.clear();
-    gains_.shrink_to_fit();
-    gain_stamp_.clear();
-  }
+  gains_.bind(metric, pathloss);
 }
 
 const SpatialGrid* TopologyCache::grid() {
@@ -90,42 +86,6 @@ std::span<const NodeId> TopologyCache::neighbors(NodeId u) {
   UDWN_EXPECT(u.value < neighbor_stamp_.size());
   if (neighbor_stamp_[u.value] != epoch_) fill_neighbors(u.value);
   return neighbor_lists_[u.value];
-}
-
-void TopologyCache::fill_gain_row(std::uint32_t u) {
-  const std::size_t n = metric_->size();
-  double* row = gains_.data() + static_cast<std::size_t>(u) * n;
-  const NodeId id(u);
-  for (std::size_t v = 0; v < n; ++v)
-    row[v] =
-        pathloss_->signal(metric_->distance(id, NodeId(static_cast<std::uint32_t>(v))));
-  gain_stamp_[u] = metric_->version() + 1;
-}
-
-const double* TopologyCache::gain_row(NodeId u) {
-  if (gains_.empty()) return nullptr;
-  UDWN_EXPECT(u.value < gain_stamp_.size());
-  if (gain_stamp_[u.value] != metric_->version() + 1) fill_gain_row(u.value);
-  return gains_.data() + static_cast<std::size_t>(u.value) * metric_->size();
-}
-
-void TopologyCache::prefill_gain_rows(std::span<const NodeId> sources,
-                                      TaskPool* pool) {
-  if (gains_.empty()) return;
-  const std::uint64_t stamp = metric_->version() + 1;
-  if (pool == nullptr || pool->threads() == 1) {
-    for (NodeId u : sources)
-      if (gain_stamp_[u.value] != stamp) fill_gain_row(u.value);
-    return;
-  }
-  // Rows are disjoint slices of gains_, so filling them from different
-  // threads is race-free and the result is schedule-independent.
-  pool->run_chunks(0, sources.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      const NodeId u = sources[i];
-      if (gain_stamp_[u.value] != stamp) fill_gain_row(u.value);
-    }
-  });
 }
 
 }  // namespace udwn

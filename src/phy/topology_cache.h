@@ -11,9 +11,9 @@
 // TopologyCache holds those derivations with per-entry epoch stamps:
 //   * neighbor lists   — per node, stamped with the caller-supplied
 //                        topology epoch (covers alive churn AND moves);
-//   * gain rows        — per source node, unscaled signal strengths to all
-//                        ids, stamped with the metric version only (gains
-//                        ignore the alive mask);
+//   * a GainTable      — tiled LRU cache of unscaled per-source gain rows,
+//                        stamped with the metric version only (gains ignore
+//                        the alive mask); see gain_table.h;
 //   * a SpatialGrid    — over *all* points of a EuclideanMetric (callers
 //                        filter dead ids), rebuilt per metric version.
 //
@@ -40,6 +40,7 @@
 #include "common/types.h"
 #include "metric/euclidean.h"
 #include "metric/quasi_metric.h"
+#include "phy/gain_table.h"
 #include "phy/pathloss.h"
 #include "phy/spatial_grid.h"
 
@@ -50,9 +51,12 @@ class TopologyCache {
   struct Config {
     /// Attach a SpatialGrid to Euclidean metrics for candidate pruning.
     bool use_spatial_grid = true;
-    /// Cache pairwise gain rows only while metric.size() stays at or below
-    /// this bound (the table is n² doubles; 4096 nodes = 128 MiB).
-    std::size_t gain_cache_max_nodes = 4096;
+    /// Memory bound for the tiled gain table (see gain_table.h); 0 disables
+    /// gain caching entirely. Replaces the old hard n <= 4096 cliff: any
+    /// instance size gets LRU-cached gain rows within this budget.
+    std::size_t gain_budget_bytes = std::size_t{128} << 20;
+    /// Listener columns per gain tile (power of two).
+    std::size_t gain_tile_cols = 4096;
   };
 
   TopologyCache() : TopologyCache(Config{}) {}
@@ -70,19 +74,14 @@ class TopologyCache {
   /// Channel::neighbors(u, alive). Valid until the next sync/mutation.
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId u);
 
-  /// True when the pairwise gain table is active for this instance size.
-  [[nodiscard]] bool gain_cache_enabled() const { return !gains_.empty(); }
-
-  /// Row of unscaled gains from u: entry v == pathloss.signal(
-  /// metric.distance(u, v)) bit-for-bit. nullptr when the table is
-  /// disabled. Fills the row on first use per metric version.
-  [[nodiscard]] const double* gain_row(NodeId u);
-
-  /// Fill (possibly in parallel, one row per chunk item) every stale row in
-  /// `sources`, so that subsequent gain_row calls are read-only. Rows are
-  /// disjoint, so the fill is race-free and the contents are independent of
-  /// the thread schedule.
-  void prefill_gain_rows(std::span<const NodeId> sources, TaskPool* pool);
+  /// The tiled gain table bound to this topology, or nullptr when gain
+  /// caching is disabled (zero budget, or budget below one row of tiles).
+  /// Callers ensure_rows() the slot's transmitters, then read row blocks /
+  /// cells; entries are bit-identical to the uncached expressions (self
+  /// entries stored as +0.0 — see gain_table.h).
+  [[nodiscard]] GainTable* gains() {
+    return gains_.enabled() ? &gains_ : nullptr;
+  }
 
   /// Spatial grid over all points, or nullptr (non-Euclidean metric, or
   /// grids disabled). Membership pruning only — interference stays exact.
@@ -95,7 +94,6 @@ class TopologyCache {
   [[nodiscard]] const Config& config() const { return config_; }
 
  private:
-  void fill_gain_row(std::uint32_t u);
   void fill_neighbors(std::uint32_t u);
 
   Config config_;
@@ -112,10 +110,8 @@ class TopologyCache {
   std::vector<std::vector<NodeId>> neighbor_lists_;
   std::vector<std::uint64_t> neighbor_stamp_;
 
-  // Flat n×n unscaled gain table; row stamps are metric version + 1
-  // (0 = never filled). Empty when disabled.
-  std::vector<double> gains_;
-  std::vector<std::uint64_t> gain_stamp_;
+  // Tiled LRU gain table (freshness tracked internally per tile).
+  GainTable gains_;
 
   std::optional<SpatialGrid> grid_;
   std::uint64_t grid_stamp_ = 0;  // metric version + 1

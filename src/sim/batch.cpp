@@ -1,0 +1,44 @@
+#include "sim/batch.h"
+
+#include "common/contract.h"
+#include "common/rng.h"
+
+namespace udwn {
+
+BatchRunner::BatchRunner(BatchConfig config) : config_(config) {
+  UDWN_EXPECT(config.threads >= 1);
+  if (config.threads > 1)
+    pool_ = std::make_unique<TaskPool>(config.threads);
+}
+
+void BatchRunner::run_items(std::size_t count, ItemFn fn, void* context) {
+  if (count == 0) return;
+  if (pool_ == nullptr) {
+    for (std::size_t k = 0; k < count; ++k) fn(context, k);
+    return;
+  }
+  struct Dispatch {
+    ItemFn fn;
+    void* context;
+  } dispatch{fn, context};
+  // chunk_size 1: trials have wildly uneven cost, so workers claim them one
+  // at a time. Each chunk is exactly one trial index — writes stay disjoint
+  // per trial no matter how the claims interleave.
+  pool_->run(
+      0, count,
+      [](void* raw, std::size_t lo, std::size_t hi) {
+        auto* d = static_cast<Dispatch*>(raw);
+        for (std::size_t k = lo; k < hi; ++k) d->fn(d->context, k);
+      },
+      &dispatch, /*chunk_size=*/1);
+}
+
+std::vector<std::uint64_t> BatchRunner::trial_seeds(std::uint64_t base,
+                                                    std::size_t count) {
+  std::vector<std::uint64_t> seeds(count);
+  Rng rng(base);
+  for (auto& s : seeds) s = rng.next();
+  return seeds;
+}
+
+}  // namespace udwn

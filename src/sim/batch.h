@@ -1,0 +1,91 @@
+// Batched multi-scenario execution over one shared TaskPool.
+//
+// Experiment binaries run K independent trials (scenario builds + engine
+// runs) that differ only in their seed. Before this subsystem each trial ran
+// serially on the calling thread; BatchRunner executes them concurrently on
+// ONE process-wide TaskPool — no per-trial thread spawn, no pool churn —
+// while keeping results deterministic:
+//
+//   * Seed-stream discipline: every trial k derives all of its randomness
+//     from its own seed (trial_seeds gives a decorrelated stream per trial);
+//     trials never share an Rng, so execution order cannot leak into the
+//     random choices.
+//   * Disjoint writes: trial k writes only results[k]. Items are dispatched
+//     as chunk_size-1 TaskPool chunks, so chunk boundaries (and therefore
+//     which indices exist) depend only on the trial count — which worker
+//     runs which trial is scheduling noise the results cannot observe.
+//   * Deterministic ordering: run() returns results indexed by trial, not by
+//     completion order.
+//
+// Trials run whole engines, so each trial must itself be single-threaded
+// (EngineConfig::threads == 1): TaskPool is not reentrant, and nesting
+// pools would oversubscribe the machine. Parallelism across trials replaces
+// parallelism within a trial for the experiment workloads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace udwn {
+
+struct BatchConfig {
+  /// Worker threads shared by all trials (including the caller); 1 runs
+  /// trials serially inline (no pool is created).
+  int threads = 1;
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchConfig config = {});
+
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+
+  [[nodiscard]] int threads() const { return config_.threads; }
+
+  /// Run `body(k)` for every k in [0, count) and return the results in
+  /// trial order. `body` must be callable concurrently from multiple
+  /// threads and must derive all randomness from k (see the seed-stream
+  /// discipline above). R must be default-constructible and movable.
+  template <typename Body>
+  auto run(std::size_t count, Body&& body)
+      -> std::vector<decltype(body(std::size_t{0}))> {
+    using R = decltype(body(std::size_t{0}));
+    using Fn = std::remove_reference_t<Body>;
+    std::vector<R> results(count);
+    struct Ctx {
+      Fn* body;
+      R* results;
+    } ctx{&body, results.data()};
+    run_items(
+        count,
+        [](void* context, std::size_t k) {
+          auto* c = static_cast<Ctx*>(context);
+          c->results[k] = (*c->body)(k);
+        },
+        &ctx);
+    return results;
+  }
+
+  /// Untemplated core: run `fn(context, k)` for every k in [0, count),
+  /// dispatched one trial per chunk over the shared pool (serially inline
+  /// when threads == 1).
+  using ItemFn = void (*)(void* context, std::size_t item);
+  void run_items(std::size_t count, ItemFn fn, void* context);
+
+  /// Decorrelated per-trial seeds: a deterministic function of (base,
+  /// count) only. Distinct trials get distinct streams; distinct bases give
+  /// unrelated sequences (xoshiro-generated, not base + k).
+  static std::vector<std::uint64_t> trial_seeds(std::uint64_t base,
+                                                std::size_t count);
+
+ private:
+  BatchConfig config_;
+  std::unique_ptr<TaskPool> pool_;  // created when threads > 1
+};
+
+}  // namespace udwn

@@ -19,6 +19,8 @@ Engine::Engine(const Channel& channel, Network& network,
       workspace_(SlotWorkspaceConfig{
           .cache_topology = config.cache_topology,
           .use_spatial_grid = config.use_spatial_grid,
+          .gain_budget_bytes = config.gain_budget_bytes,
+          .soa_kernel = config.soa_kernel,
           .threads = config.threads}) {
   UDWN_EXPECT(protocols_.size() == network.size());
   UDWN_EXPECT(config_.slots_per_round >= 1 &&

@@ -60,6 +60,11 @@ struct EngineConfig {
   /// SpatialGrid candidate pruning on Euclidean instances (no effect on
   /// graph/asymmetric metrics, where the grid is never attached).
   bool use_spatial_grid = true;
+  /// SoA/SIMD interference kernel over the tiled gain table; false = scalar
+  /// row-at-a-time kernel. Bit-identical either way (audited).
+  bool soa_kernel = true;
+  /// Memory budget for the tiled LRU gain table; 0 disables gain caching.
+  std::size_t gain_budget_bytes = std::size_t{128} << 20;
 };
 
 class Engine {

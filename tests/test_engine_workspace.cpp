@@ -124,6 +124,47 @@ TEST(SteadyStateAllocation, UncachedPipelineAlsoSettles) {
   EXPECT_EQ(allocations_during_rounds(engine, 10), 0);
 }
 
+TEST(SteadyStateAllocation, SoaTiledTableWithEvictionSettles) {
+  // The SoA kernel + tiled gain table under LRU pressure: n = 64 with
+  // 16-column tiles is 4 blocks/row and 256 logical tiles, the 10 KiB
+  // budget holds 80 — every slot evicts. After warming over the exact
+  // transmitter sets that will be replayed, resolve_into must not allocate:
+  // tile storage, fill scratch and SoA row pointers are all reused.
+  Scenario scenario(test::random_points(64, 6.0, 8104),
+                    test::default_config());
+  const Channel& channel = scenario.channel();
+  const Network& network = scenario.network();
+  SlotWorkspace ws({.cache_topology = true,
+                    .use_spatial_grid = true,
+                    .gain_budget_bytes = 10240,
+                    .gain_tile_cols = 16});
+
+  std::vector<std::vector<NodeId>> tx_sets;
+  Rng rng(8105);
+  for (int s = 0; s < 12; ++s) {
+    std::vector<NodeId> txs;
+    for (std::uint32_t v = 0; v < 64; ++v)
+      if (rng.chance(0.25)) txs.push_back(NodeId(v));
+    tx_sets.push_back(std::move(txs));
+  }
+
+  const auto epoch = std::uint64_t{1};
+  for (const auto& txs : tx_sets)  // warm-up sizes every buffer
+    channel.resolve_into(txs, network.alive_mask(), 1.0, epoch, ws);
+
+  GainTable* gains = ws.cache().gains();
+  ASSERT_NE(gains, nullptr);
+  EXPECT_EQ(gains->blocks(), 4u);
+  EXPECT_EQ(gains->max_tiles(), 80u);
+
+  g_live_allocations.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  for (const auto& txs : tx_sets)
+    channel.resolve_into(txs, network.alive_mask(), 1.0, epoch, ws);
+  g_counting.store(false, std::memory_order_relaxed);
+  EXPECT_EQ(g_live_allocations.load(std::memory_order_relaxed), 0);
+}
+
 // Engine-level trace equivalence: the cached/grid/threaded pipeline and the
 // fully uncached one must produce identical ground-truth traces, not just
 // identical single slots.
@@ -158,6 +199,12 @@ TEST(EngineWorkspace, PipelineConfigurationsShareOneTrace) {
                                            .threads = 2,
                                            .cache_topology = false,
                                            .use_spatial_grid = false}));
+  // Kernel and gain-table variants: scalar row kernel, table disabled, and
+  // tiled multi-block rows all reproduce the same trace.
+  EXPECT_EQ(reference, engine_trace_hash(
+                           EngineConfig{.seed = 3, .soa_kernel = false}));
+  EXPECT_EQ(reference, engine_trace_hash(EngineConfig{
+                           .seed = 3, .gain_budget_bytes = 0}));
 }
 
 }  // namespace

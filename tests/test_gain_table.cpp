@@ -1,0 +1,207 @@
+// Unit tests for the blocked/tiled LRU gain table, plus the end-to-end
+// guarantee the tiling exists for: instances with n > 4096 (the old flat
+// table's hard cliff) still resolve bit-identically to the brute-force
+// reference while the gain cache is active.
+#include "phy/gain_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/scenario.h"
+#include "metric/euclidean.h"
+#include "phy/channel.h"
+#include "tests/helpers.h"
+
+namespace udwn {
+namespace {
+
+std::vector<NodeId> ids(std::initializer_list<std::uint32_t> list) {
+  std::vector<NodeId> out;
+  for (auto id : list) out.push_back(NodeId(id));
+  return out;
+}
+
+GainTable::Config tiny_tiles(std::size_t tile_cols, std::size_t tiles) {
+  return GainTable::Config{.tile_cols = tile_cols,
+                           .budget_bytes = tiles * tile_cols * 8};
+}
+
+TEST(GainTable, EntriesMatchUncachedExpressionDiagonalIsPlusZero) {
+  EuclideanMetric metric(test::random_points(20, 4.0, 601));
+  const PathLoss pl(2.0, 3.0, 1e-3);
+  GainTable gains;
+  gains.bind(metric, pl);
+  ASSERT_TRUE(gains.enabled());
+  EXPECT_EQ(gains.blocks(), 1u);  // 20 columns < one default tile
+
+  const auto sources = ids({0, 7, 19});
+  ASSERT_TRUE(gains.ensure_rows(sources, nullptr));
+  for (NodeId u : sources) {
+    const double* row = gains.row_block(u, 0);
+    ASSERT_NE(row, nullptr);
+    for (std::uint32_t v = 0; v < 20; ++v) {
+      if (v == u.value) {
+        EXPECT_EQ(row[v], 0.0);
+        EXPECT_FALSE(std::signbit(row[v]));  // +0.0, not -0.0
+        continue;
+      }
+      EXPECT_EQ(row[v], pl.signal(metric.distance(u, NodeId(v))));
+      ASSERT_NE(gains.cell(u, v), nullptr);
+      EXPECT_EQ(*gains.cell(u, v), row[v]);
+    }
+  }
+}
+
+TEST(GainTable, ZeroBudgetDisablesTable) {
+  EuclideanMetric metric(test::random_points(8, 3.0, 602));
+  const PathLoss pl(1.0, 3.0, 1e-3);
+  GainTable gains(GainTable::Config{.budget_bytes = 0});
+  gains.bind(metric, pl);
+  EXPECT_FALSE(gains.enabled());
+  EXPECT_FALSE(gains.ensure_rows(ids({0}), nullptr));
+}
+
+TEST(GainTable, EvictsLeastRecentlyEnsuredRows) {
+  // n = 8, 4-column tiles → 2 blocks/row; budget for exactly 4 tiles =
+  // 2 resident rows.
+  EuclideanMetric metric(test::random_points(8, 3.0, 603));
+  const PathLoss pl(1.0, 3.0, 1e-3);
+  GainTable gains(tiny_tiles(4, 4));
+  gains.bind(metric, pl);
+  ASSERT_TRUE(gains.enabled());
+  EXPECT_EQ(gains.max_tiles(), 4u);
+
+  ASSERT_TRUE(gains.ensure_rows(ids({0, 1}), nullptr));
+  EXPECT_NE(gains.row_block(NodeId(0), 0), nullptr);
+  EXPECT_NE(gains.row_block(NodeId(1), 1), nullptr);
+  EXPECT_EQ(gains.resident_tiles(), 4u);
+
+  // Row 2 displaces row 0 (least recently ensured); row 1 survives.
+  ASSERT_TRUE(gains.ensure_rows(ids({1, 2}), nullptr));
+  EXPECT_EQ(gains.row_block(NodeId(0), 0), nullptr);
+  EXPECT_EQ(gains.row_block(NodeId(0), 1), nullptr);
+  EXPECT_NE(gains.row_block(NodeId(1), 0), nullptr);
+  EXPECT_NE(gains.row_block(NodeId(2), 0), nullptr);
+  EXPECT_EQ(gains.resident_tiles(), 4u);
+}
+
+TEST(GainTable, OverCommittedEnsureFailsAndLeavesTableConsistent) {
+  // Budget of 4 tiles cannot pin 3 rows × 2 tiles at once; ensure_rows must
+  // report failure, and a subsequent within-budget call must succeed with
+  // exact entries.
+  EuclideanMetric metric(test::random_points(8, 3.0, 604));
+  const PathLoss pl(1.0, 3.0, 1e-3);
+  GainTable gains(tiny_tiles(4, 4));
+  gains.bind(metric, pl);
+
+  EXPECT_FALSE(gains.ensure_rows(ids({0, 1, 2}), nullptr));
+  ASSERT_TRUE(gains.ensure_rows(ids({3, 4}), nullptr));
+  for (std::uint32_t v = 0; v < 8; ++v) {
+    if (v == 3) continue;
+    ASSERT_NE(gains.cell(NodeId(3), v), nullptr);
+    EXPECT_EQ(*gains.cell(NodeId(3), v),
+              pl.signal(metric.distance(NodeId(3), NodeId(v))));
+  }
+}
+
+TEST(GainTable, MovesInvalidateByStampAndRefillExactly) {
+  EuclideanMetric metric(test::random_points(10, 3.0, 605));
+  const PathLoss pl(1.0, 3.0, 1e-3);
+  GainTable gains;
+  gains.bind(metric, pl);
+  ASSERT_TRUE(gains.ensure_rows(ids({2}), nullptr));
+  const double before = *gains.cell(NodeId(2), 5);
+
+  metric.set_position(NodeId(5), {9.0, 9.0});
+  EXPECT_EQ(gains.row_block(NodeId(2), 0), nullptr);  // stale by stamp
+  EXPECT_EQ(gains.cell(NodeId(2), 5), nullptr);
+
+  ASSERT_TRUE(gains.ensure_rows(ids({2}), nullptr));
+  const double after = *gains.cell(NodeId(2), 5);
+  EXPECT_NE(before, after);
+  EXPECT_EQ(after, pl.signal(metric.distance(NodeId(2), NodeId(5))));
+}
+
+TEST(GainTable, ParallelFillMatchesSerialFill) {
+  EuclideanMetric metric(test::random_points(67, 7.0, 606));
+  const PathLoss pl(1.5, 2.8, 1e-3);
+  const auto sources = ids({0, 5, 11, 23, 42, 66});
+
+  GainTable serial(GainTable::Config{.tile_cols = 16});
+  serial.bind(metric, pl);
+  ASSERT_TRUE(serial.ensure_rows(sources, nullptr));
+
+  TaskPool pool(3);
+  GainTable parallel(GainTable::Config{.tile_cols = 16});
+  parallel.bind(metric, pl);
+  ASSERT_TRUE(parallel.ensure_rows(sources, &pool));
+
+  for (NodeId u : sources)
+    for (std::uint32_t v = 0; v < 67; ++v) {
+      ASSERT_NE(parallel.cell(u, v), nullptr);
+      EXPECT_EQ(*serial.cell(u, v), *parallel.cell(u, v));
+    }
+}
+
+TEST(GainTable, PipelineStaysExactBeyondLegacyNodeCliff) {
+  // n = 4100 exceeds the old gain_cache_max_nodes = 4096 cliff: the tiled
+  // table must stay active (two blocks per row) and resolve_into must match
+  // the brute-force reference bit-for-bit.
+  const std::size_t n = 4100;
+  Scenario scenario(test::random_points(n, 22.0, 607),
+                    test::default_config());
+  const Channel& channel = scenario.channel();
+  const Network& network = scenario.network();
+
+  SlotWorkspace ws({.cache_topology = true, .use_spatial_grid = true});
+  Rng rng(608);
+  for (int trial = 0; trial < 2; ++trial) {
+    std::vector<NodeId> txs;
+    for (std::uint32_t v = 0; v < n; ++v)
+      if (rng.chance(0.03)) txs.push_back(NodeId(v));
+    const SlotOutcome ref = channel.resolve(txs, network.alive_mask());
+    const SlotOutcome& got = channel.resolve_into(
+        txs, network.alive_mask(), 1.0, network.topology_epoch(), ws);
+    ASSERT_EQ(ref.interference.size(), got.interference.size());
+    for (std::size_t v = 0; v < n; ++v) {
+      ASSERT_EQ(ref.interference[v], got.interference[v]) << "node " << v;
+      ASSERT_EQ(ref.decoded_from[v], got.decoded_from[v]) << "node " << v;
+      ASSERT_EQ(ref.mass_delivered[v], got.mass_delivered[v]);
+      ASSERT_EQ(ref.clear[v], got.clear[v]);
+    }
+  }
+  // The table really was active: two blocks per row, tiles resident.
+  GainTable* gains = ws.cache().gains();
+  ASSERT_NE(gains, nullptr);
+  EXPECT_EQ(gains->blocks(), 2u);
+  EXPECT_GT(gains->resident_tiles(), 0u);
+}
+
+TEST(GainTable, PipelineFallsBackExactlyWhenBudgetTooSmall) {
+  // A budget far below one row of tiles keeps the table disabled at this n;
+  // resolve_into silently uses the uncached kernel and must still match.
+  const std::size_t n = 4100;
+  Scenario scenario(test::random_points(n, 22.0, 609),
+                    test::default_config());
+  const Channel& channel = scenario.channel();
+  const Network& network = scenario.network();
+
+  SlotWorkspace ws({.cache_topology = true, .use_spatial_grid = true,
+                    .gain_budget_bytes = 1024});
+  Rng rng(610);
+  std::vector<NodeId> txs;
+  for (std::uint32_t v = 0; v < n; ++v)
+    if (rng.chance(0.02)) txs.push_back(NodeId(v));
+  const SlotOutcome ref = channel.resolve(txs, network.alive_mask());
+  const SlotOutcome& got = channel.resolve_into(
+      txs, network.alive_mask(), 1.0, network.topology_epoch(), ws);
+  for (std::size_t v = 0; v < n; ++v) {
+    ASSERT_EQ(ref.interference[v], got.interference[v]) << "node " << v;
+    ASSERT_EQ(ref.decoded_from[v], got.decoded_from[v]) << "node " << v;
+  }
+  EXPECT_EQ(ws.cache().gains(), nullptr);  // disabled at this budget
+}
+
+}  // namespace
+}  // namespace udwn

@@ -62,12 +62,29 @@ std::vector<PipelineVariant> all_variants() {
        {.cache_topology = true, .use_spatial_grid = true, .threads = 3}},
       {"uncached+threads2",
        {.cache_topology = false, .use_spatial_grid = false, .threads = 2}},
-      {"tiny-gain-table",
-       // Forces the gain table off (n > max nodes) while keeping the
-       // neighbor cache and grid on.
-       {.cache_topology = true,
-        .use_spatial_grid = true,
-        .gain_cache_max_nodes = 2}},
+      {"scalar-kernel",
+       // Row-at-a-time kernel over the same gain table.
+       {.cache_topology = true, .use_spatial_grid = true,
+        .soa_kernel = false}},
+      {"no-gain-table",
+       // Budget 0 disables gain caching entirely while keeping the
+       // neighbor cache and grid on (uncached interference kernel).
+       {.cache_topology = true, .use_spatial_grid = true,
+        .gain_budget_bytes = 0}},
+      {"tiled-gain-table",
+       // 16-column tiles force multi-block rows at n = 60.
+       {.cache_topology = true, .use_spatial_grid = true,
+        .gain_tile_cols = 16}},
+      {"tiled-lru-pressure",
+       // 60 resident tiles vs 240 logical: ensure_rows succeeds only by
+       // evicting, so every slot exercises the LRU path.
+       {.cache_topology = true, .use_spatial_grid = true,
+        .gain_budget_bytes = 7680, .gain_tile_cols = 16}},
+      {"gain-table-fallback",
+       // Budget below one tile: ensure_rows always fails and the pipeline
+       // falls back to the uncached kernel mid-flight.
+       {.cache_topology = true, .use_spatial_grid = true,
+        .gain_budget_bytes = 512}},
   };
 }
 

@@ -34,6 +34,7 @@
 #include "analysis/scenario.h"
 #include "common/rng.h"
 #include "core/broadcast.h"
+#include "sim/batch.h"
 #include "sim/dynamics.h"
 #include "topo/generators.h"
 
@@ -55,6 +56,7 @@ struct PipelineConfig {
   bool cache_topology;
   bool use_spatial_grid;
   int threads;
+  bool soa_kernel;
 };
 
 void run_dynamic_broadcast(const Options& options, bool perturb,
@@ -77,7 +79,8 @@ void run_dynamic_broadcast(const Options& options, bool perturb,
                              .seed = options.seed,
                              .threads = pipeline.threads,
                              .cache_topology = pipeline.cache_topology,
-                             .use_spatial_grid = pipeline.use_spatial_grid});
+                             .use_spatial_grid = pipeline.use_spatial_grid,
+                             .soa_kernel = pipeline.soa_kernel});
 
   ChurnDynamics churn({.arrival_rate = 0.05,
                        .departure_rate = 0.05,
@@ -109,9 +112,10 @@ void run_dynamic_broadcast(const Options& options, bool perturb,
 /// bit-exact equality.
 int run_pipeline_matrix(const Options& options) {
   const PipelineConfig configs[] = {
-      {"uncached-serial", false, false, 1},
-      {"cached+grid-serial", true, true, 1},
-      {"cached+grid-threads", true, true, options.threads},
+      {"uncached-serial", false, false, 1, false},
+      {"cached+grid-serial", true, true, 1, false},
+      {"soa-kernel", true, true, 1, true},
+      {"cached+grid-threads", true, true, options.threads, true},
   };
   std::vector<TraceHashRecorder> traces(std::size(configs));
   for (std::size_t i = 0; i < std::size(configs); ++i)
@@ -129,8 +133,45 @@ int run_pipeline_matrix(const Options& options) {
   return failures == 0 ? 0 : 1;
 }
 
+/// Batch check: K trials through BatchRunner(threads) must produce exactly
+/// the per-trial traces a serial loop produces — the executable form of the
+/// seed-stream discipline sim/batch.h documents.
+int run_batch_check(const Options& options) {
+  constexpr std::size_t kTrials = 3;
+  const PipelineConfig pipeline{"cached+grid-serial", true, true, 1, true};
+  const auto seeds = BatchRunner::trial_seeds(options.seed, kTrials);
+
+  auto trial_hash = [&](std::size_t k) {
+    Options trial = options;
+    trial.seed = seeds[k];
+    trial.rounds = options.rounds / 2;
+    TraceHashRecorder recorder;
+    run_dynamic_broadcast(trial, /*perturb=*/false, pipeline, recorder);
+    return recorder.final_hash();
+  };
+
+  std::vector<std::uint64_t> serial(kTrials);
+  for (std::size_t k = 0; k < kTrials; ++k) serial[k] = trial_hash(k);
+
+  BatchRunner runner(BatchConfig{.threads = options.threads});
+  const auto batched = runner.run(kTrials, trial_hash);
+
+  int failures = 0;
+  std::cout << "  batch(threads=" << options.threads << "): ";
+  for (std::size_t k = 0; k < kTrials; ++k)
+    if (batched[k] != serial[k]) ++failures;
+  if (failures == 0) {
+    std::cout << kTrials << " trials, per-trial trace hashes identical to "
+              << "serial\n";
+  } else {
+    std::cout << failures << " of " << kTrials
+              << " trials diverged from serial\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int run(const Options& options) {
-  const PipelineConfig reference{"cached+grid-serial", true, true, 1};
+  const PipelineConfig reference{"cached+grid-serial", true, true, 1, true};
   int call = 0;
   const DeterminismReport report = DeterminismAuditor::audit(
       [&](TraceHashRecorder& recorder) {
@@ -155,6 +196,7 @@ int run(const Options& options) {
   }
   int rc = report.deterministic ? 0 : 1;
   if (options.matrix && rc == 0) rc = run_pipeline_matrix(options);
+  if (options.matrix && rc == 0) rc = run_batch_check(options);
   return rc;
 }
 
