@@ -10,6 +10,7 @@
 #include "analysis/runner.h"
 #include "analysis/scenario.h"
 #include "core/try_adjust_protocol.h"
+#include "obs/obs.h"
 #include "phy/interference.h"
 #include "metric/packing.h"
 #include "sim/batch.h"
@@ -103,6 +104,50 @@ void BM_EngineRound(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_EngineRound)->Arg(128)->Arg(512)->Arg(2048);
+
+// Same workload with a live Obs handle: counters, histograms, and trace
+// events all on. The ratio against BM_EngineRound at the same n is the
+// observability overhead; tools/obs_overhead_check.py gates it at 5% in CI
+// and bench/results/BENCH_micro_obs.json records the measured numbers.
+// The handle is per-iteration-set, not per-iteration: counters accumulate
+// across steps exactly as in a real observed run.
+void BM_EngineRoundObs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  Scenario s(uniform_square(n, std::sqrt(n / 8.0), rng), ScenarioConfig{});
+  auto protos = make_protocols(n, [&](NodeId) {
+    return std::make_unique<TryAdjustProtocol>(TryAdjust::standard(n, 1.0));
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Obs obs;
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.seed = 3, .obs = &obs});
+  for (int i = 0; i < 100; ++i) engine.step();  // reach steady state
+  for (auto _ : state) engine.step();
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EngineRoundObs)->Arg(128)->Arg(512)->Arg(2048);
+
+// The opt-in state-transition tier on top: one virtual obs_state() poll per
+// node per round. Documented here, NOT gated — the poll is O(n) against a
+// slot pipeline that is sublinear in quiet regions, so its relative cost
+// grows with n by design (see ObsConfig::state_transitions).
+void BM_EngineRoundObsStates(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  Scenario s(uniform_square(n, std::sqrt(n / 8.0), rng), ScenarioConfig{});
+  auto protos = make_protocols(n, [&](NodeId) {
+    return std::make_unique<TryAdjustProtocol>(TryAdjust::standard(n, 1.0));
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Obs obs(ObsConfig{.state_transitions = true});
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.seed = 3, .obs = &obs});
+  for (int i = 0; i < 100; ++i) engine.step();  // reach steady state
+  for (auto _ : state) engine.step();
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EngineRoundObsStates)->Arg(128)->Arg(512)->Arg(2048);
 
 // Batched multi-scenario execution (sim/batch.h): K = 16 independent
 // short engine trials per iteration, dispatched over one shared TaskPool.

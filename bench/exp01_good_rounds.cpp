@@ -132,8 +132,12 @@ int main() {
   for (std::size_t n : sizes) {
     for (bool adversarial : {true, false}) {
       Accumulator frac, stab, cont, intf;
-      for (auto seed : seeds(1, 3)) {
-        const Cell cell = run_cell(n, adversarial, seed);
+      // Trials run concurrently on the shared BatchRunner pool; results come
+      // back in seed order, so the accumulators see the serial sequence.
+      for (const Cell& cell :
+           run_trials(seeds(1, 3), [n, adversarial](std::uint64_t seed) {
+             return run_cell(n, adversarial, seed);
+           })) {
         frac.add(cell.good_fraction);
         stab.add(cell.stabilization);
         cont.add(cell.mean_contention);

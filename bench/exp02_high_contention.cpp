@@ -22,7 +22,7 @@ struct PhaseStats {
   double min_finishers = 0;        // min over type-A phases
 };
 
-PhaseStats run_cell(std::size_t n, std::uint64_t seed) {
+PhaseStats run_cell(std::size_t n, std::uint64_t seed, Obs* obs = nullptr) {
   Rng rng(seed);
   // Cluster radius 0.2 << R/2: everyone is in everyone's close ball.
   Scenario scenario(uniform_disk(n, {0, 0}, 0.2, rng), ScenarioConfig{});
@@ -32,7 +32,7 @@ PhaseStats run_cell(std::size_t n, std::uint64_t seed) {
   });
   const CarrierSensing cs = scenario.sensing_local();
   Engine engine(scenario.channel(), scenario.network(), cs, protos,
-                EngineConfig{.seed = seed});
+                EngineConfig{.seed = seed, .obs = obs});
 
   const NodeId probe(0);
   const double eta = 1.0;  // high-contention threshold η
@@ -121,5 +121,10 @@ int main() {
   shape_check(ratios.back() >= ratios.front() * 0.25,
               "the per-|H| delivery rate does not collapse with n "
               "(constant-fraction claim)");
+
+  // With UDWN_TRACE set, re-run one representative cell serially with the
+  // observability handle attached; the binary trace lands at the env path
+  // on exit (udwn_trace reconstructs the contention/delivery timeline).
+  if (Obs* obs = trace_obs()) run_cell(256, seeds(2, 1)[0], obs);
   return 0;
 }

@@ -92,8 +92,12 @@ int main() {
   for (std::size_t n : {32, 64, 128, 256}) {
     for (Algo algo : {Algo::LocalBcast, Algo::Decay, Algo::Aloha}) {
       Accumulator p95, mx, deg;
-      for (auto seed : seeds(4, 3)) {
-        const RunResult r = run_once(algo, n, 4.0, seed);
+      // Trials run concurrently on the shared BatchRunner pool; results
+      // come back in seed order, preserving the serial aggregation.
+      for (const RunResult& r :
+           run_trials(seeds(4, 3), [algo, n](std::uint64_t seed) {
+             return run_once(algo, n, 4.0, seed);
+           })) {
         if (!r.complete) continue;
         p95.add(r.completion_p95);
         mx.add(r.completion_max);
@@ -123,8 +127,10 @@ int main() {
   for (std::size_t n : {64, 128, 256, 512, 1024}) {
     const double extent = std::sqrt(static_cast<double>(n) / 8.0);
     Accumulator p95, mx, deg;
-    for (auto seed : seeds(5, 3)) {
-      const RunResult r = run_once(Algo::LocalBcast, n, extent, seed);
+    for (const RunResult& r :
+         run_trials(seeds(5, 3), [n, extent](std::uint64_t seed) {
+           return run_once(Algo::LocalBcast, n, extent, seed);
+         })) {
       if (!r.complete) continue;
       p95.add(r.completion_p95);
       mx.add(r.completion_max);

@@ -88,8 +88,11 @@ int main() {
   const double logn = std::log2(192.0);
   for (double rate : churn_rates) {
     Accumulator comp, dyn, stat;
-    for (auto seed : seeds(6, 5)) {
-      const Cell cell = run_cell(rate, seed);
+    // Trials run concurrently on the shared BatchRunner pool; results come
+    // back in seed order, preserving the serial aggregation.
+    for (const Cell& cell : run_trials(seeds(6, 5), [rate](std::uint64_t seed) {
+           return run_cell(rate, seed);
+         })) {
       if (!cell.complete) continue;
       comp.add(cell.completion);
       dyn.add(cell.dynamic_degree);

@@ -76,9 +76,14 @@ int main() {
   std::vector<double> ds, bcast_times, decay_times;
   for (std::size_t clusters : {4, 8, 16, 32}) {
     Accumulator bc, dc;
-    for (auto seed : seeds(7, 3)) {
-      const Cell b = run_chain(true, clusters, 5, seed);
-      const Cell d = run_chain(false, clusters, 5, seed);
+    // One trial = both algorithms on the same seed, so the pair shares a
+    // topology; trials run concurrently on the shared BatchRunner pool and
+    // come back in seed order.
+    for (const auto& [b, d] :
+         run_trials(seeds(7, 3), [clusters](std::uint64_t seed) {
+           return std::pair{run_chain(true, clusters, 5, seed),
+                            run_chain(false, clusters, 5, seed)};
+         })) {
       if (b.complete) bc.add(b.rounds);
       if (d.complete) dc.add(d.rounds);
     }
@@ -101,8 +106,9 @@ int main() {
   std::vector<double> ks, per_hop;
   for (std::size_t k : {3, 6, 12, 24}) {
     Accumulator bc;
-    for (auto seed : seeds(8, 3)) {
-      const Cell b = run_chain(true, 16, k, seed);
+    for (const Cell& b : run_trials(seeds(8, 3), [k](std::uint64_t seed) {
+           return run_chain(true, 16, k, seed);
+         })) {
       if (b.complete) bc.add(b.rounds);
     }
     ks.push_back(static_cast<double>(k));

@@ -10,6 +10,8 @@
 // Claim shape: completion linear in hops at every churn level; slowdown vs
 // the static case bounded; completion survives mobility below the edge-
 // change budget.
+#include <array>
+
 #include "bench/exp_common.h"
 #include "core/broadcast.h"
 
@@ -70,10 +72,15 @@ int main() {
   std::vector<double> ds, static_times, churny_times;
   for (std::size_t clusters : {4, 8, 16, 32}) {
     Accumulator t0, t1, t2;
-    for (auto seed : seeds(13, 3)) {
-      const double a = run_chain(clusters, 0.0, 0.0, seed);
-      const double b = run_chain(clusters, 0.02, 0.0, seed);
-      const double c = run_chain(clusters, 0.1, 0.0, seed);
+    // One trial = all three churn levels on the same seed (shared
+    // topology); trials run concurrently on the shared BatchRunner pool and
+    // come back in seed order.
+    for (const auto& [a, b, c] :
+         run_trials(seeds(13, 3), [clusters](std::uint64_t seed) {
+           return std::array{run_chain(clusters, 0.0, 0.0, seed),
+                             run_chain(clusters, 0.02, 0.0, seed),
+                             run_chain(clusters, 0.1, 0.0, seed)};
+         })) {
       if (a >= 0) t0.add(a);
       if (b >= 0) t1.add(b);
       if (c >= 0) t2.add(c);
@@ -95,8 +102,9 @@ int main() {
   std::vector<double> mobile_times;
   for (double speed : {0.0, 0.001, 0.004, 0.01}) {
     Accumulator t;
-    for (auto seed : seeds(14, 3)) {
-      const double a = run_chain(16, 0.0, speed, seed);
+    for (const double a : run_trials(seeds(14, 3), [speed](std::uint64_t seed) {
+           return run_chain(16, 0.0, speed, seed);
+         })) {
       if (a >= 0) t.add(a);
     }
     mobile_times.push_back(t.count() ? t.mean() : -1);

@@ -27,6 +27,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "obs/obs.h"
 #include "sim/batch.h"
 #include "topo/generators.h"
 
@@ -132,7 +133,52 @@ class JsonSink {
   std::vector<std::pair<bool, std::string>> checks_;
 };
 
+/// Owns the binary's UDWN_TRACE observability session: when the env var
+/// names a path, one Obs handle exists for the process and its binary trace
+/// (obs/trace.h) is written at static destruction. Experiments attach the
+/// handle to exactly ONE serial engine run (never to cells inside
+/// run_trials — concurrent trials would interleave ring writes and the
+/// trace would stop being reproducible).
+class TraceSession {
+ public:
+  static TraceSession& instance() {
+    static TraceSession session;
+    return session;
+  }
+
+  [[nodiscard]] Obs* obs() { return obs_.get(); }
+
+  ~TraceSession() {
+    if (obs_ == nullptr) return;
+    if (obs_->write(path_))
+      std::cout << "UDWN_TRACE: wrote " << path_ << "\n";
+    else
+      std::cerr << "UDWN_TRACE: cannot write " << path_ << "\n";
+  }
+
+ private:
+  TraceSession() {
+    if (const char* path = std::getenv("UDWN_TRACE"); path && path[0] != '\0') {
+      path_ = path;
+      // Experiment cells emit per-delivery events, so a full run needs a
+      // deeper ring than the engine default to avoid dropping its prefix
+      // (2^18 events = 6 MiB — diagnostic-run territory). State-transition
+      // tracking is on: traces exist to show protocol phase structure.
+      obs_ = std::make_unique<Obs>(
+          ObsConfig{.ring_capacity = std::size_t{1} << 18,
+                    .state_transitions = true});
+    }
+  }
+
+  std::string path_;
+  std::unique_ptr<Obs> obs_;
+};
+
 }  // namespace detail
+
+/// The process-wide Obs handle when UDWN_TRACE=<path> is set, else nullptr.
+/// Pass it to one representative serial run; see detail::TraceSession.
+inline Obs* trace_obs() { return detail::TraceSession::instance().obs(); }
 
 /// Print a result table; with UDWN_CSV=1 in the environment, also emit the
 /// machine-readable CSV right after it. With UDWN_JSON=<path>, the table is

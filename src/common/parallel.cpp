@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contract.h"
+#include "obs/clock.h"
 
 namespace udwn {
 
@@ -29,6 +30,9 @@ void TaskPool::run(std::size_t begin, std::size_t end, ChunkFn fn,
   const std::size_t total = end - begin;
   if (total == 0) return;
   if (threads_ == 1) {
+    // No workers exist, so the counters are caller-thread-private here.
+    ++stats_.jobs;
+    ++stats_.chunks;
     fn(context, begin, end);
     return;
   }
@@ -54,13 +58,21 @@ void TaskPool::run(std::size_t begin, std::size_t end, ChunkFn fn,
     next_chunk_ = 0;
     pending_ = chunk_count_;
     ++generation_;
+    ++stats_.jobs;
+    stats_.chunks += chunk_count_;
   }
   wake_.notify_all();
 
   work_off_chunks();
 
   std::unique_lock<std::mutex> lock(mutex_);
-  done_.wait(lock, [this] { return pending_ == 0; });
+  if (collect_stats_ && pending_ != 0) {
+    const std::uint64_t t0 = obs_now_ns();
+    done_.wait(lock, [this] { return pending_ == 0; });
+    stats_.caller_wait_ns += obs_now_ns() - t0;
+  } else {
+    done_.wait(lock, [this] { return pending_ == 0; });
+  }
   fn_ = nullptr;
   context_ = nullptr;
 }
@@ -93,14 +105,32 @@ void TaskPool::worker_loop() {
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] {
-        return stop_ || generation_ != seen_generation;
-      });
+      if (collect_stats_ && !stop_ && generation_ == seen_generation) {
+        const std::uint64_t t0 = obs_now_ns();
+        wake_.wait(lock, [&] {
+          return stop_ || generation_ != seen_generation;
+        });
+        stats_.worker_idle_ns += obs_now_ns() - t0;
+      } else {
+        wake_.wait(lock, [&] {
+          return stop_ || generation_ != seen_generation;
+        });
+      }
       if (stop_) return;
       seen_generation = generation_;
     }
     work_off_chunks();
   }
+}
+
+void TaskPool::set_collect_stats(bool collect) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  collect_stats_ = collect;
+}
+
+TaskPool::Stats TaskPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
 }
 
 }  // namespace udwn

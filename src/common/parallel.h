@@ -61,6 +61,20 @@ class TaskPool {
         &body, chunk_size);
   }
 
+  /// Lifetime scheduling statistics. Job/chunk counts are always kept (the
+  /// increments ride on locks run() takes anyway); the wall-clock fields
+  /// need set_collect_stats(true) because they add obs_now_ns() calls
+  /// around every condition-variable wait. Timing is observability-only —
+  /// it can never influence chunk boundaries (see determinism contract).
+  struct Stats {
+    std::uint64_t jobs = 0;            // run() calls that dispatched work
+    std::uint64_t chunks = 0;          // chunks executed across all jobs
+    std::uint64_t worker_idle_ns = 0;  // workers blocked waiting for a job
+    std::uint64_t caller_wait_ns = 0;  // callers blocked in run()'s join
+  };
+  void set_collect_stats(bool collect);
+  [[nodiscard]] Stats stats() const;
+
  private:
   void worker_loop();
   void work_off_chunks();
@@ -68,7 +82,7 @@ class TaskPool {
   int threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;
   // Current job, guarded by mutex_ (workers snapshot under the lock and
@@ -83,6 +97,8 @@ class TaskPool {
   std::size_t pending_ = 0;
   std::uint64_t generation_ = 0;
   bool stop_ = false;
+  bool collect_stats_ = false;  // guarded by mutex_
+  Stats stats_;                 // guarded by mutex_ (threads > 1)
 };
 
 }  // namespace udwn

@@ -62,6 +62,14 @@ class BcastProtocol final : public Protocol {
   [[nodiscard]] bool informed() const { return informed_; }
   [[nodiscard]] StopReason stop_reason() const { return stop_reason_; }
 
+  /// 0 = uninformed, 1 = informed and active, 2 = stopped on ACK,
+  /// 3 = stopped on NTD.
+  [[nodiscard]] std::uint32_t obs_state() const override {
+    if (stop_reason_ == StopReason::Ack) return 2;
+    if (stop_reason_ == StopReason::Ntd) return 3;
+    return informed_ ? 1 : 0;
+  }
+
   /// Local round (since last on_start) at which the node became informed;
   /// 0 for sources, -1 if still uninformed.
   [[nodiscard]] std::int64_t informed_round() const { return informed_round_; }

@@ -22,6 +22,10 @@ class LocalBcastProtocol final : public Protocol {
   [[nodiscard]] double transmit_probability(Slot slot) override;
   void on_slot(const SlotFeedback& feedback) override;
   [[nodiscard]] bool finished() const override { return delivered_; }
+  /// 0 = contending, 1 = ACK-confirmed delivery.
+  [[nodiscard]] std::uint32_t obs_state() const override {
+    return delivered_ ? 1 : 0;
+  }
 
   /// Number of local rounds taken before the ACK-confirmed delivery
   /// (counts only rounds since the last on_start).

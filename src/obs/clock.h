@@ -1,0 +1,29 @@
+// The single blessed home for wall-clock timing.
+//
+// Simulation results must be pure functions of the seed; wall-clock time is
+// observability-only (pool idle time, benchmark harnesses). To keep timing
+// from leaking into simulation decisions, the custom lint
+// (tools/udwn_lint.py, rule `chrono`) flags raw std::chrono outside
+// src/obs/ and bench/ — instrumentation elsewhere must go through this
+// header, which makes every timing call grep-able.
+//
+// Header-only on purpose: src/common (TaskPool) can time its idle waits
+// without a link dependency on udwn_obs, so the library layering stays
+// acyclic (udwn_obs depends on udwn_common, never the reverse).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace udwn {
+
+/// Monotonic nanoseconds since an arbitrary epoch. Observability only —
+/// never feed this into a simulation decision.
+[[nodiscard]] inline std::uint64_t obs_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace udwn

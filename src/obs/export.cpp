@@ -1,0 +1,244 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace udwn {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Extract `"key":<u64>` from a JSON line. The exporter writes flat objects
+/// with unambiguous keys, so a substring scan is sufficient for re-import.
+bool find_u64(const std::string& line, const char* key, std::uint64_t& out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* p = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  out = std::strtoull(p, &end, 10);
+  return end != p;
+}
+
+bool find_string(const std::string& line, const char* key, std::string& out) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const auto start = line.find(needle);
+  if (start == std::string::npos) return false;
+  std::size_t i = start + needle.size();
+  out.clear();
+  while (i < line.size() && line[i] != '"') {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      ++i;
+      switch (line[i]) {
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        default:
+          out += line[i];
+      }
+    } else {
+      out += line[i];
+    }
+    ++i;
+  }
+  return i < line.size();
+}
+
+std::uint16_t event_kind_from_name(const std::string& name) {
+  if (name == "slot_end") return static_cast<std::uint16_t>(EventKind::kSlotEnd);
+  if (name == "delivery") return static_cast<std::uint16_t>(EventKind::kDelivery);
+  if (name == "mass_delivery")
+    return static_cast<std::uint16_t>(EventKind::kMassDelivery);
+  if (name == "state_transition")
+    return static_cast<std::uint16_t>(EventKind::kStateTransition);
+  if (name == "round_end")
+    return static_cast<std::uint16_t>(EventKind::kRoundEnd);
+  if (name.rfind("kind_", 0) == 0)
+    return static_cast<std::uint16_t>(std::strtoul(name.c_str() + 5, nullptr, 10));
+  return 0;
+}
+
+}  // namespace
+
+std::string event_kind_name(std::uint16_t kind) {
+  switch (static_cast<EventKind>(kind)) {
+    case EventKind::kSlotEnd:
+      return "slot_end";
+    case EventKind::kDelivery:
+      return "delivery";
+    case EventKind::kMassDelivery:
+      return "mass_delivery";
+    case EventKind::kStateTransition:
+      return "state_transition";
+    case EventKind::kRoundEnd:
+      return "round_end";
+  }
+  return "kind_" + std::to_string(kind);
+}
+
+bool export_jsonl(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\"type\":\"meta\",\"format\":\"udwn-trace\",\"version\":1"
+      << ",\"events\":" << trace.events.size()
+      << ",\"dropped\":" << trace.dropped << "}\n";
+  for (const auto& [name, value] : trace.counters)
+    out << "{\"type\":\"counter\",\"name\":\"" << json_escape(name)
+        << "\",\"value\":" << value << "}\n";
+  for (const auto& hist : trace.histograms) {
+    out << "{\"type\":\"histogram\",\"name\":\"" << json_escape(hist.name)
+        << "\",\"count\":" << hist.count << ",\"sum\":" << hist.sum
+        << ",\"buckets\":[";
+    // Trailing zero buckets are elided; import zero-fills the remainder.
+    std::size_t last = hist.buckets.size();
+    while (last > 0 && hist.buckets[last - 1] == 0) --last;
+    for (std::size_t b = 0; b < last; ++b) {
+      if (b > 0) out << ',';
+      out << hist.buckets[b];
+    }
+    out << "]}\n";
+  }
+  for (const auto& ev : trace.events)
+    out << "{\"type\":\"event\",\"kind\":\"" << event_kind_name(ev.kind)
+        << "\",\"round\":" << ev.round
+        << ",\"slot\":" << static_cast<unsigned>(ev.slot)
+        << ",\"ring\":" << static_cast<unsigned>(ev.ring)
+        << ",\"node\":" << ev.node << ",\"aux\":" << ev.aux
+        << ",\"value\":" << ev.value << "}\n";
+  out.flush();
+  return out.good();
+}
+
+std::optional<Trace> import_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  Trace trace;
+  bool saw_meta = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string type;
+    if (!find_string(line, "type", type)) return std::nullopt;
+    if (type == "meta") {
+      saw_meta = true;
+      find_u64(line, "dropped", trace.dropped);
+    } else if (type == "counter") {
+      std::string name;
+      std::uint64_t value = 0;
+      if (!find_string(line, "name", name) || !find_u64(line, "value", value))
+        return std::nullopt;
+      trace.counters.emplace_back(std::move(name), value);
+    } else if (type == "histogram") {
+      MetricsRegistry::HistogramView hist;
+      if (!find_string(line, "name", hist.name)) return std::nullopt;
+      find_u64(line, "count", hist.count);
+      find_u64(line, "sum", hist.sum);
+      const auto open = line.find("\"buckets\":[");
+      if (open == std::string::npos) return std::nullopt;
+      const char* p = line.c_str() + open + std::strlen("\"buckets\":[");
+      std::size_t b = 0;
+      while (*p != ']' && *p != '\0' && b < hist.buckets.size()) {
+        char* end = nullptr;
+        hist.buckets[b++] = std::strtoull(p, &end, 10);
+        if (end == p) break;
+        p = end;
+        if (*p == ',') ++p;
+      }
+      trace.histograms.push_back(std::move(hist));
+    } else if (type == "event") {
+      std::string kind;
+      if (!find_string(line, "kind", kind)) return std::nullopt;
+      TraceEvent ev;
+      ev.kind = event_kind_from_name(kind);
+      std::uint64_t tmp = 0;
+      if (find_u64(line, "round", tmp)) ev.round = static_cast<std::uint32_t>(tmp);
+      if (find_u64(line, "slot", tmp)) ev.slot = static_cast<std::uint8_t>(tmp);
+      if (find_u64(line, "ring", tmp)) ev.ring = static_cast<std::uint8_t>(tmp);
+      if (find_u64(line, "node", tmp)) ev.node = static_cast<std::uint32_t>(tmp);
+      if (find_u64(line, "aux", tmp)) ev.aux = static_cast<std::uint32_t>(tmp);
+      find_u64(line, "value", ev.value);
+      trace.events.push_back(ev);
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!saw_meta) return std::nullopt;
+  return trace;
+}
+
+bool export_chrome(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& ev : trace.events) {
+    if (!first) out << ',';
+    first = false;
+    // Synthetic clock: 10 us per round, 5 us per slot. Instant events keep
+    // every record visible regardless of zoom.
+    const std::uint64_t ts =
+        std::uint64_t{ev.round} * 10 + std::uint64_t{ev.slot} * 5;
+    out << "\n{\"name\":\"" << event_kind_name(ev.kind)
+        << "\",\"ph\":\"i\",\"s\":\"g\",\"ts\":" << ts
+        << ",\"pid\":0,\"tid\":" << static_cast<unsigned>(ev.ring)
+        << ",\"args\":{\"round\":" << ev.round
+        << ",\"slot\":" << static_cast<unsigned>(ev.slot)
+        << ",\"node\":" << ev.node << ",\"aux\":" << ev.aux
+        << ",\"value\":" << ev.value << "}}";
+  }
+  out << "\n]}\n";
+  out.flush();
+  return out.good();
+}
+
+std::optional<std::uint64_t> count_chrome_events(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::uint64_t count = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    // One traceEvents entry per line; each carries exactly one "ph" key.
+    std::size_t pos = 0;
+    while ((pos = line.find("\"ph\":", pos)) != std::string::npos) {
+      ++count;
+      pos += 5;
+    }
+  }
+  return count;
+}
+
+}  // namespace udwn

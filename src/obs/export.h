@@ -1,0 +1,39 @@
+// Trace exporters: JSON-lines for scripting, chrome://tracing for the
+// browser timeline viewer (chrome://tracing or https://ui.perfetto.dev).
+//
+// Both exporters are lossless over the event stream (one output record per
+// TraceEvent); the JSONL format additionally round-trips counters and
+// histograms, and import_jsonl() reads it back so tests and the inspector
+// can verify event-count parity between the binary and both text forms.
+// Schemas are documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace udwn {
+
+/// Human-readable name for an event kind ("slot_end", "delivery", ...).
+/// Unknown kinds render as "kind_<n>".
+[[nodiscard]] std::string event_kind_name(std::uint16_t kind);
+
+/// Write the trace as JSON-lines: one meta line, then one line per counter,
+/// histogram, and event. Returns false on I/O failure.
+bool export_jsonl(const std::string& path, const Trace& trace);
+
+/// Read a JSONL export back into a Trace; nullopt on I/O or schema errors.
+std::optional<Trace> import_jsonl(const std::string& path);
+
+/// Write the event stream in the chrome://tracing JSON-array format.
+/// Timestamps are synthetic (derived from round/slot, in microseconds) —
+/// the simulation has no wall clock. Returns false on I/O failure.
+bool export_chrome(const std::string& path, const Trace& trace);
+
+/// Count traceEvents entries in a chrome export (round-trip check; the
+/// chrome format is write-only otherwise). Nullopt on I/O failure.
+std::optional<std::uint64_t> count_chrome_events(const std::string& path);
+
+}  // namespace udwn

@@ -1,0 +1,107 @@
+#include "obs/metrics.h"
+
+#include <atomic>
+
+#include "common/contract.h"
+
+namespace udwn {
+
+namespace {
+
+/// Process-wide registry id source: lets the thread_local shard cache tell
+/// a new registry from a destroyed one that happened to reuse its address.
+std::atomic<std::uint64_t> g_registry_ids{1};
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : registry_id_(g_registry_ids.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricId MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < counter_names_.size(); ++i)
+    if (counter_names_[i] == name) return static_cast<MetricId>(i);
+  if (counter_names_.size() >= kMaxCounters) return kInvalidMetric;
+  counter_names_.emplace_back(name);
+  return static_cast<MetricId>(counter_names_.size() - 1);
+}
+
+MetricId MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < histogram_names_.size(); ++i)
+    if (histogram_names_[i] == name) return static_cast<MetricId>(i);
+  if (histogram_names_.size() >= kMaxHistograms) return kInvalidMetric;
+  histogram_names_.emplace_back(name);
+  return static_cast<MetricId>(histogram_names_.size() - 1);
+}
+
+MetricsRegistry::Shard& MetricsRegistry::shard() {
+  struct Cache {
+    std::uint64_t registry_id = 0;
+    Shard* shard = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.registry_id != registry_id_) {
+    cache.shard = &acquire_shard();
+    cache.registry_id = registry_id_;
+  }
+  return *cache.shard;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::acquire_shard() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shards_.push_back(std::make_unique<Shard>());
+  return *shards_.back();
+}
+
+std::uint64_t MetricsRegistry::total(MetricId id) const {
+  if (id == kInvalidMetric) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  UDWN_EXPECT(id < counter_names_.size());
+  std::uint64_t sum = 0;
+  for (const auto& shard : shards_) sum += shard->counters[id];
+  return sum;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.counters.reserve(counter_names_.size());
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    std::uint64_t sum = 0;
+    for (const auto& shard : shards_) sum += shard->counters[i];
+    snap.counters.emplace_back(counter_names_[i], sum);
+  }
+  snap.histograms.reserve(histogram_names_.size());
+  for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
+    HistogramView view;
+    view.name = histogram_names_[i];
+    for (const auto& shard : shards_) {
+      view.sum += shard->hist_sum[i];
+      for (std::size_t b = 0; b < kBuckets; ++b)
+        view.buckets[b] += shard->hist_buckets[i][b];
+    }
+    for (const std::uint64_t c : view.buckets) view.count += c;
+    snap.histograms.push_back(std::move(view));
+  }
+  return snap;
+}
+
+std::size_t MetricsRegistry::counter_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counter_names_.size();
+}
+
+std::size_t MetricsRegistry::histogram_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histogram_names_.size();
+}
+
+std::size_t MetricsRegistry::shard_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shards_.size();
+}
+
+}  // namespace udwn

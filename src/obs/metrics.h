@@ -1,0 +1,122 @@
+// MetricsRegistry — register-once counters and bounded histograms with
+// per-thread storage and aggregate-on-demand reads.
+//
+// Design constraints (the engine's hot path dictates them):
+//
+//   * Register-once, increment-forever: metric registration (name lookup,
+//     id assignment) takes a mutex and may allocate; it happens at handle
+//     setup time, never per slot. The hot path works purely on integer ids.
+//   * No locks, no atomics on the hot path: each writing thread owns a
+//     private shard (a flat array of counter cells and histogram buckets)
+//     found through a thread_local cache, so add()/record() are plain
+//     loads/stores on thread-private memory.
+//   * Bounded: a shard is a fixed-size block (kMaxCounters cells +
+//     kMaxHistograms * kBuckets buckets), so per-thread cost is known up
+//     front and a steady-state increment never allocates.
+//   * Aggregate-on-demand: total()/snapshot() sum the shards under the
+//     registration mutex. Aggregation must only run at quiescent points
+//     (end of run, or between TaskPool jobs) — concurrent writers are not
+//     torn-read-safe by design, and the engine's usage guarantees quiescence
+//     (counters are written either from the engine thread or from pool
+//     workers that synchronize through TaskPool::run's join).
+//
+// Histograms are power-of-two bucketed: value v lands in bucket
+// bit_width(v) (0 -> bucket 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3, ...), which
+// bounds any uint64 distribution in kBuckets = 65 cells with no
+// configuration. Each histogram also tracks count-weighted sum for means.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace udwn {
+
+/// Handle to a registered counter or histogram. Plain index; valid for the
+/// lifetime of the registry that issued it.
+using MetricId = std::uint32_t;
+inline constexpr MetricId kInvalidMetric = 0xffffffffu;
+
+class MetricsRegistry {
+ public:
+  static constexpr std::size_t kMaxCounters = 128;
+  static constexpr std::size_t kMaxHistograms = 32;
+  /// bit_width of a uint64 is in [0, 64].
+  static constexpr std::size_t kBuckets = 65;
+
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+  ~MetricsRegistry();
+
+  /// Register (or look up) a counter by name. Same name -> same id.
+  /// Returns kInvalidMetric when kMaxCounters distinct names exist already.
+  MetricId counter(std::string_view name);
+
+  /// Register (or look up) a histogram by name. Same name -> same id.
+  MetricId histogram(std::string_view name);
+
+  /// Hot path: add `delta` to counter `id` on this thread's shard.
+  void add(MetricId id, std::uint64_t delta) {
+    if (id == kInvalidMetric) return;
+    shard().counters[id] += delta;
+  }
+
+  /// Hot path: record one histogram observation.
+  void record(MetricId id, std::uint64_t value) {
+    if (id == kInvalidMetric) return;
+    Shard& s = shard();
+    s.hist_buckets[id][std::bit_width(value)] += 1;
+    s.hist_sum[id] += value;
+  }
+
+  /// Aggregated counter value across all shards. Quiescent points only.
+  [[nodiscard]] std::uint64_t total(MetricId id) const;
+
+  struct HistogramView {
+    std::string name;
+    std::uint64_t count = 0;  // total observations
+    std::uint64_t sum = 0;    // sum of observed values
+    std::array<std::uint64_t, kBuckets> buckets{};
+  };
+
+  struct Snapshot {
+    /// (name, aggregated value) in registration order.
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<HistogramView> histograms;
+  };
+
+  /// Aggregate every metric across all shards. Quiescent points only.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Number of registered counters / histograms / writer shards (tests).
+  [[nodiscard]] std::size_t counter_count() const;
+  [[nodiscard]] std::size_t histogram_count() const;
+  [[nodiscard]] std::size_t shard_count() const;
+
+ private:
+  struct Shard {
+    std::array<std::uint64_t, kMaxCounters> counters{};
+    std::array<std::array<std::uint64_t, kBuckets>, kMaxHistograms>
+        hist_buckets{};
+    std::array<std::uint64_t, kMaxHistograms> hist_sum{};
+  };
+
+  /// This thread's shard, created on first use (the only allocating step on
+  /// the write path; engines hit it during warm-up).
+  Shard& shard();
+  Shard& acquire_shard();
+
+  const std::uint64_t registry_id_;  // distinguishes registries across reuse
+  mutable std::mutex mutex_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> histogram_names_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace udwn

@@ -1,0 +1,193 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+#include "common/contract.h"
+
+namespace udwn {
+
+namespace {
+
+std::atomic<std::uint64_t> g_sink_ids{1};
+
+constexpr char kMagic[8] = {'U', 'D', 'W', 'N', 'T', 'R', 'C', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+/// Caps a corrupt header before it turns into a giant allocation.
+constexpr std::uint64_t kMaxFileEvents = std::uint64_t{1} << 32;
+constexpr std::uint32_t kMaxFileMetrics = 1u << 16;
+constexpr std::uint32_t kMaxNameLen = 1u << 12;
+
+bool write_bytes(std::FILE* f, const void* data, std::size_t size) {
+  return std::fwrite(data, 1, size, f) == size;
+}
+
+bool read_bytes(std::FILE* f, void* data, std::size_t size) {
+  return std::fread(data, 1, size, f) == size;
+}
+
+template <typename T>
+bool write_pod(std::FILE* f, const T& value) {
+  return write_bytes(f, &value, sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::FILE* f, T& value) {
+  return read_bytes(f, &value, sizeof(T));
+}
+
+bool write_name(std::FILE* f, const std::string& name) {
+  const auto len = static_cast<std::uint32_t>(name.size());
+  return write_pod(f, len) && write_bytes(f, name.data(), name.size());
+}
+
+bool read_name(std::FILE* f, std::string& name) {
+  std::uint32_t len = 0;
+  if (!read_pod(f, len) || len > kMaxNameLen) return false;
+  name.resize(len);
+  return read_bytes(f, name.data(), len);
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+TraceSink::TraceSink(Config config)
+    : sink_id_(g_sink_ids.fetch_add(1, std::memory_order_relaxed)),
+      config_(config) {
+  UDWN_EXPECT(config_.ring_capacity > 0);
+}
+
+TraceSink::~TraceSink() = default;
+
+TraceSink::Ring& TraceSink::acquire_ring() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rings_.push_back(std::make_unique<Ring>());
+  rings_.back()->events.reserve(config_.ring_capacity);
+  return *rings_.back();
+}
+
+std::vector<TraceEvent> TraceSink::collect() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> merged;
+  std::size_t total = 0;
+  for (const auto& ring : rings_) total += ring->events.size();
+  merged.reserve(total);
+  for (std::size_t r = 0; r < rings_.size(); ++r) {
+    const Ring& ring = *rings_[r];
+    // Oldest-first: once wrapped, `next` points at the oldest record.
+    for (std::size_t i = 0; i < ring.events.size(); ++i) {
+      const std::size_t idx =
+          ring.events.size() == config_.ring_capacity
+              ? (ring.next + i) % config_.ring_capacity
+              : i;
+      TraceEvent event = ring.events[idx];
+      event.ring = static_cast<std::uint8_t>(r);
+      merged.push_back(event);
+    }
+  }
+  // Stable: within one (round, slot, ring) the per-ring emission order is
+  // already chronological and must survive the merge.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.round != b.round) return a.round < b.round;
+                     if (a.slot != b.slot) return a.slot < b.slot;
+                     return a.ring < b.ring;
+                   });
+  return merged;
+}
+
+std::uint64_t TraceSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->dropped;
+  return total;
+}
+
+std::size_t TraceSink::ring_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rings_.size();
+}
+
+bool write_trace_file(const std::string& path, const Trace& trace) {
+  FileHandle f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  if (!write_bytes(f.get(), kMagic, sizeof(kMagic))) return false;
+  if (!write_pod(f.get(), kVersion)) return false;
+  const auto counter_count = static_cast<std::uint32_t>(trace.counters.size());
+  const auto histogram_count =
+      static_cast<std::uint32_t>(trace.histograms.size());
+  const std::uint32_t reserved = 0;
+  const auto event_count = static_cast<std::uint64_t>(trace.events.size());
+  if (!write_pod(f.get(), counter_count) ||
+      !write_pod(f.get(), histogram_count) || !write_pod(f.get(), reserved) ||
+      !write_pod(f.get(), event_count) || !write_pod(f.get(), trace.dropped))
+    return false;
+  for (const auto& [name, value] : trace.counters)
+    if (!write_name(f.get(), name) || !write_pod(f.get(), value)) return false;
+  for (const auto& hist : trace.histograms) {
+    if (!write_name(f.get(), hist.name) || !write_pod(f.get(), hist.sum))
+      return false;
+    if (!write_bytes(f.get(), hist.buckets.data(),
+                     hist.buckets.size() * sizeof(std::uint64_t)))
+      return false;
+  }
+  if (!trace.events.empty() &&
+      !write_bytes(f.get(), trace.events.data(),
+                   trace.events.size() * sizeof(TraceEvent)))
+    return false;
+  return std::fflush(f.get()) == 0;
+}
+
+std::optional<Trace> read_trace_file(const std::string& path) {
+  FileHandle f(std::fopen(path.c_str(), "rb"));
+  if (!f) return std::nullopt;
+  char magic[8];
+  if (!read_bytes(f.get(), magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    return std::nullopt;
+  std::uint32_t version = 0;
+  if (!read_pod(f.get(), version) || version != kVersion) return std::nullopt;
+  std::uint32_t counter_count = 0;
+  std::uint32_t histogram_count = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t event_count = 0;
+  Trace trace;
+  if (!read_pod(f.get(), counter_count) ||
+      !read_pod(f.get(), histogram_count) || !read_pod(f.get(), reserved) ||
+      !read_pod(f.get(), event_count) || !read_pod(f.get(), trace.dropped))
+    return std::nullopt;
+  if (counter_count > kMaxFileMetrics || histogram_count > kMaxFileMetrics ||
+      event_count > kMaxFileEvents)
+    return std::nullopt;
+  trace.counters.resize(counter_count);
+  for (auto& [name, value] : trace.counters)
+    if (!read_name(f.get(), name) || !read_pod(f.get(), value))
+      return std::nullopt;
+  trace.histograms.resize(histogram_count);
+  for (auto& hist : trace.histograms) {
+    if (!read_name(f.get(), hist.name) || !read_pod(f.get(), hist.sum))
+      return std::nullopt;
+    if (!read_bytes(f.get(), hist.buckets.data(),
+                    hist.buckets.size() * sizeof(std::uint64_t)))
+      return std::nullopt;
+    hist.count = 0;
+    for (const std::uint64_t c : hist.buckets) hist.count += c;
+  }
+  trace.events.resize(event_count);
+  if (event_count > 0 &&
+      !read_bytes(f.get(), trace.events.data(),
+                  trace.events.size() * sizeof(TraceEvent)))
+    return std::nullopt;
+  return trace;
+}
+
+}  // namespace udwn

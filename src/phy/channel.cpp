@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/contract.h"
+#include "obs/obs.h"
 #include "phy/interference.h"
 
 namespace udwn {
@@ -40,6 +41,8 @@ SlotWorkspace::SlotWorkspace(SlotWorkspaceConfig config)
   UDWN_EXPECT(config.threads >= 1);
   if (config.threads > 1)
     pool_ = std::make_unique<TaskPool>(config.threads);
+  if (pool_ != nullptr && config.obs != nullptr)
+    pool_->set_collect_stats(true);
 }
 
 double Channel::comm_radius() const { return comm_radius_; }
@@ -319,9 +322,16 @@ const SlotOutcome& Channel::resolve_into(
   const GainTable* decode_gains = rows ? gains : nullptr;
   const double decode_radius =
       unscaled ? decode_range_unscaled_ : model_->decode_range(pl);
+  // Decode-path counters are bumped on the (serial) caller thread; nothing
+  // in the obs branch feeds back into any decision below.
+  Obs* obs = ws.config_.obs;
   if (grid != nullptr && std::isfinite(decode_radius)) {
+    if (obs != nullptr)
+      obs->metrics().add(obs->ids().decode_scatter_slots, 1);
     decode_scatter(view, pl, decode_gains, alive, *grid, decode_radius, ws);
   } else {
+    if (obs != nullptr)
+      obs->metrics().add(obs->ids().decode_gather_slots, 1);
     decode_gather(view, pl, decode_gains, alive, ws);
   }
 

@@ -33,6 +33,8 @@
 
 namespace udwn {
 
+class Obs;
+
 /// Everything that physically happened in one slot.
 struct SlotOutcome {
   /// The transmitters, as passed in.
@@ -72,6 +74,10 @@ struct SlotWorkspaceConfig {
   /// Worker threads for the interference kernel (including the caller);
   /// 1 = serial. Any value produces bit-identical outcomes.
   int threads = 1;
+  /// Observability handle (see obs/obs.h); null disables all
+  /// instrumentation at the cost of one branch per site. The handle must
+  /// outlive the workspace. Never influences any slot decision.
+  Obs* obs = nullptr;
 };
 
 /// Reusable per-slot state owned by the caller (one per Engine). Hoists
@@ -91,6 +97,9 @@ class SlotWorkspace {
   [[nodiscard]] const SlotWorkspaceConfig& config() const { return config_; }
   /// Introspection for tests: the cache backing this workspace.
   [[nodiscard]] TopologyCache& cache() { return cache_; }
+  /// The kernel pool (null when threads == 1); the engine reads its Stats
+  /// to publish per-round scheduling deltas.
+  [[nodiscard]] TaskPool* pool() { return pool_.get(); }
 
  private:
   friend class Channel;

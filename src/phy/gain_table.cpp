@@ -104,6 +104,7 @@ std::uint32_t GainTable::acquire_slot() {
   while (slot != kInvalid && pin_pass_[slot] == pass_) slot = lru_prev_[slot];
   if (slot == kInvalid) return kInvalid;
   tile_slot_[slot_tile_[slot]] = kInvalid;
+  ++stats_.evictions;
   return slot;
 }
 
@@ -136,16 +137,20 @@ bool GainTable::ensure_rows(std::span<const NodeId> sources, TaskPool* pool) {
       const std::size_t tile = static_cast<std::size_t>(u.value) * blocks_ + b;
       std::uint32_t slot = tile_slot_[tile];
       if (slot == kInvalid) {
+        ++stats_.misses;
         slot = acquire_slot();
         if (slot == kInvalid) {
           // Over budget: roll back the freshness claims of tiles queued but
           // not yet filled, then report failure so the caller recomputes.
           for (const std::size_t t : fill_tiles_) tile_stamp_[t] = 0;
+          ++stats_.fallbacks;
           return false;
         }
         tile_slot_[tile] = slot;
         slot_tile_[slot] = tile;
         tile_stamp_[tile] = 0;
+      } else if (tile_stamp_[tile] == fresh) {
+        ++stats_.hits;
       }
       pin_pass_[slot] = pass_;
       lru_touch(slot);
@@ -158,6 +163,7 @@ bool GainTable::ensure_rows(std::span<const NodeId> sources, TaskPool* pool) {
     }
   }
   if (fill_tiles_.empty()) return true;
+  stats_.fills += fill_tiles_.size();
   if (pool != nullptr && pool->threads() > 1 && fill_tiles_.size() > 1) {
     // Distinct tiles occupy distinct slots, so fills write disjoint storage
     // ranges; contents are pure functions of (metric, pathloss, tile), so

@@ -102,6 +102,19 @@ class GainTable {
   [[nodiscard]] std::size_t max_tiles() const { return max_tiles_; }
   [[nodiscard]] const Config& config() const { return config_; }
 
+  /// Lifetime cache statistics, maintained unconditionally (plain integer
+  /// bumps on the serial ensure_rows path — cheap enough to always keep).
+  /// The engine publishes per-round deltas to the metrics registry when an
+  /// Obs handle is attached; tests read them directly.
+  struct Stats {
+    std::uint64_t hits = 0;        // tile already resident and fresh
+    std::uint64_t misses = 0;      // tile not resident (slot acquired)
+    std::uint64_t evictions = 0;   // resident tile displaced for a new one
+    std::uint64_t fills = 0;       // tiles (re)computed
+    std::uint64_t fallbacks = 0;   // ensure_rows over budget -> uncached path
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
  private:
   static constexpr std::uint32_t kInvalid = 0xffffffffu;
 
@@ -138,6 +151,7 @@ class GainTable {
   std::uint64_t pass_ = 0;
 
   std::vector<std::size_t> fill_tiles_;  // scratch, reused across calls
+  Stats stats_;
 };
 
 }  // namespace udwn

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/contract.h"
+#include "obs/obs.h"
 
 namespace udwn {
 
@@ -21,7 +22,8 @@ Engine::Engine(const Channel& channel, Network& network,
           .use_spatial_grid = config.use_spatial_grid,
           .gain_budget_bytes = config.gain_budget_bytes,
           .soa_kernel = config.soa_kernel,
-          .threads = config.threads}) {
+          .threads = config.threads,
+          .obs = config.obs}) {
   UDWN_EXPECT(protocols_.size() == network.size());
   UDWN_EXPECT(config_.slots_per_round >= 1 &&
               config_.slots_per_round <= static_cast<int>(kSlotsPerRound));
@@ -49,6 +51,12 @@ Engine::Engine(const Channel& channel, Network& network,
     UDWN_EXPECT(protocols_[v] != nullptr);
     if (network.alive(NodeId(static_cast<std::uint32_t>(v))))
       protocols_[v]->on_start();
+  }
+  if (config_.obs != nullptr && config_.obs->config().state_transitions) {
+    // Baseline for state-transition events: the post-on_start states.
+    obs_state_.resize(n);
+    for (std::size_t v = 0; v < n; ++v)
+      obs_state_[v] = protocols_[v]->obs_state();
   }
 }
 
@@ -95,8 +103,75 @@ void Engine::step() {
   for (int s = 0; s < config_.slots_per_round; ++s)
     run_slot(static_cast<Slot>(s));
 
+  if (config_.obs != nullptr) {
+    // State-transition detection runs after all slots, on the engine
+    // thread, comparing against the previous round's snapshot. Arrivals are
+    // covered too: on_start may have changed obs_state since last round.
+    // The sweep polls a virtual obs_state() per node per round — the
+    // expensive tier of the handle, guarded by ObsConfig::state_transitions
+    // (obs_state_ is sized only when that is set).
+    Obs& obs = *config_.obs;
+    std::uint64_t transitions = 0;
+    if (!obs_state_.empty()) {
+      for (std::size_t v = 0; v < n; ++v) {
+        const std::uint32_t cur = protocols_[v]->obs_state();
+        if (cur != obs_state_[v]) {
+          ++transitions;
+          obs.emit(TraceEvent{.round = static_cast<std::uint32_t>(round_),
+                              .kind = static_cast<std::uint16_t>(
+                                  EventKind::kStateTransition),
+                              .slot = static_cast<std::uint8_t>(
+                                  config_.slots_per_round),
+                              .node = static_cast<std::uint32_t>(v),
+                              .aux = obs_state_[v],
+                              .value = cur});
+          obs_state_[v] = cur;
+        }
+      }
+    }
+    publish_round_obs(transitions, network_->alive_count());
+  }
+
   ++round_;
   if (recorder_ != nullptr) recorder_->on_round_end(round_, *this);
+}
+
+void Engine::publish_round_obs(std::uint64_t transitions,
+                               std::uint64_t alive) {
+  Obs& obs = *config_.obs;
+  MetricsRegistry& m = obs.metrics();
+  const EngineCounterIds& ids = obs.ids();
+  m.add(ids.rounds, 1);
+  m.add(ids.state_transitions, transitions);
+
+  // The gain table and pool keep cheap lifetime counters; the registry gets
+  // per-round deltas so several engines can share one Obs.
+  if (GainTable* gains = workspace_.cache().gains()) {
+    const GainTable::Stats cur = gains->stats();
+    m.add(ids.gain_hits, cur.hits - last_gain_stats_.hits);
+    m.add(ids.gain_misses, cur.misses - last_gain_stats_.misses);
+    m.add(ids.gain_evictions, cur.evictions - last_gain_stats_.evictions);
+    m.add(ids.gain_fills, cur.fills - last_gain_stats_.fills);
+    m.add(ids.gain_fallbacks, cur.fallbacks - last_gain_stats_.fallbacks);
+    last_gain_stats_ = cur;
+  }
+  if (TaskPool* pool = workspace_.pool()) {
+    const TaskPool::Stats cur = pool->stats();
+    m.add(ids.pool_jobs, cur.jobs - last_pool_stats_.jobs);
+    m.add(ids.pool_chunks, cur.chunks - last_pool_stats_.chunks);
+    m.add(ids.pool_idle_ns,
+          cur.worker_idle_ns - last_pool_stats_.worker_idle_ns);
+    m.add(ids.pool_wait_ns,
+          cur.caller_wait_ns - last_pool_stats_.caller_wait_ns);
+    last_pool_stats_ = cur;
+  }
+
+  obs.emit(TraceEvent{
+      .round = static_cast<std::uint32_t>(round_),
+      .kind = static_cast<std::uint16_t>(EventKind::kRoundEnd),
+      .slot = static_cast<std::uint8_t>(config_.slots_per_round),
+      .node = static_cast<std::uint32_t>(alive),
+      .value = transitions});
 }
 
 void Engine::run_slot(Slot slot) {
@@ -135,6 +210,14 @@ void Engine::run_slot(Slot slot) {
   for (NodeId u : outcome.transmitters) is_tx_[u.value] = 1;
 
   const QuasiMetric& metric = channel_->metric();
+  const bool count_obs = config_.obs != nullptr;
+  // Inert unless events are on: binding the thread ring once per slot keeps
+  // the per-delivery emit below to a bounds check and a 24-byte store.
+  TraceSink::Writer writer;
+  if (count_obs && config_.obs->events_enabled())
+    writer = config_.obs->trace().writer();
+  std::uint64_t deliveries = 0;
+  std::uint64_t collisions = 0;
   for (std::size_t v = 0; v < n; ++v) {
     const NodeId id(static_cast<std::uint32_t>(v));
     if (!network_->alive(id)) continue;
@@ -151,7 +234,65 @@ void Engine::run_slot(Slot slot) {
     fb.sender = sender;
     fb.payload = fb.received ? tx_payload_[sender.value] : 0;
     fb.ntd = fb.received && sensing_->ntd(metric.distance(sender, id));
+    if (count_obs) {
+      // Counter accumulation rides in this loop because every input is
+      // already in registers; a separate counting pass would re-load 24 KB
+      // of outcome arrays per slot at n = 2048. Branchless on purpose: the
+      // collision predicate (a listener that sensed energy but decoded
+      // nothing) holds for roughly half the nodes of a contended slot and
+      // a branch would mispredict its way through the loop. Only the
+      // delivery emit keeps a branch (~12% taken).
+      deliveries += static_cast<std::uint64_t>(fb.received);
+      collisions += static_cast<std::uint64_t>(
+          static_cast<unsigned>(fb.busy) &
+          static_cast<unsigned>(!transmitted) &
+          static_cast<unsigned>(!fb.received));
+      if (fb.received) {
+        writer.emit(TraceEvent{
+            .round = static_cast<std::uint32_t>(round_),
+            .kind = static_cast<std::uint16_t>(EventKind::kDelivery),
+            .slot = static_cast<std::uint8_t>(slot),
+            .node = id.value,
+            .aux = sender.value,
+            .value = fb.payload});
+      }
+    }
     protocols_[v]->on_slot(fb);
+  }
+
+  if (Obs* const obs = config_.obs; obs != nullptr) {
+    MetricsRegistry& m = obs->metrics();
+    const EngineCounterIds& ids = obs->ids();
+    m.add(ids.slots, 1);
+    m.add(ids.transmissions, outcome.transmitters.size());
+    m.add(ids.deliveries, deliveries);
+    m.add(ids.collisions, collisions);
+    std::uint64_t mass = 0;
+    std::uint64_t clear = 0;
+    for (NodeId u : outcome.transmitters) {
+      clear += outcome.clear[u.value];
+      if (outcome.mass_delivered[u.value] != 0) {
+        ++mass;
+        writer.emit(TraceEvent{
+            .round = static_cast<std::uint32_t>(round_),
+            .kind = static_cast<std::uint16_t>(EventKind::kMassDelivery),
+            .slot = static_cast<std::uint8_t>(slot),
+            .node = u.value});
+      }
+    }
+    m.add(ids.mass_deliveries, mass);
+    m.add(ids.clear_slots, clear);
+    if (slot == Slot::Data) {
+      m.record(ids.hist_contention, outcome.transmitters.size());
+      m.record(ids.hist_deliveries, deliveries);
+    }
+    writer.emit(TraceEvent{
+        .round = static_cast<std::uint32_t>(round_),
+        .kind = static_cast<std::uint16_t>(EventKind::kSlotEnd),
+        .slot = static_cast<std::uint8_t>(slot),
+        .node = static_cast<std::uint32_t>(outcome.transmitters.size()),
+        .aux = static_cast<std::uint32_t>(deliveries),
+        .value = (collisions << 32) | mass});
   }
 
   if (recorder_ != nullptr)

@@ -65,6 +65,12 @@ struct EngineConfig {
   bool soa_kernel = true;
   /// Memory budget for the tiled LRU gain table; 0 disables gain caching.
   std::size_t gain_budget_bytes = std::size_t{128} << 20;
+  /// Observability handle (obs/obs.h): counters, histograms and the binary
+  /// round-event trace. Null (the default) disables all instrumentation —
+  /// the off path is a branch on this pointer per site, with zero
+  /// allocation and a bit-identical simulation trace (audited). The handle
+  /// must outlive the engine; one handle may observe several engines.
+  Obs* obs = nullptr;
 };
 
 class Engine {
@@ -134,6 +140,16 @@ class Engine {
   std::vector<NodeId> transmitters_;
   std::vector<std::uint32_t> tx_payload_;
   std::vector<std::uint8_t> is_tx_;
+
+  // Observability (all dormant when config_.obs == nullptr). Trace events
+  // are emitted only from this (the engine) thread, so the event stream is
+  // identical for every thread count and kernel choice. Gain/pool stats are
+  // lifetime counters on their owners; the engine publishes per-round
+  // deltas, tracked by these snapshots.
+  void publish_round_obs(std::uint64_t transitions, std::uint64_t alive);
+  std::vector<std::uint32_t> obs_state_;  // per-node obs_state() last round
+  GainTable::Stats last_gain_stats_;
+  TaskPool::Stats last_pool_stats_;
 };
 
 }  // namespace udwn

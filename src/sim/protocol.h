@@ -66,6 +66,14 @@ class Protocol {
   /// True when the node's task is complete; it transmits no further (the
   /// engine still delivers receive feedback).
   [[nodiscard]] virtual bool finished() const { return false; }
+
+  /// Small integer summarizing the protocol's phase, for observability
+  /// only: when an Obs handle is attached, the engine emits a
+  /// state_transition trace event whenever this value changes between
+  /// rounds. Implementations pick their own encoding (documented per
+  /// protocol); the engine never interprets it. Must be cheap and must not
+  /// mutate state.
+  [[nodiscard]] virtual std::uint32_t obs_state() const { return 0; }
 };
 
 }  // namespace udwn

@@ -16,6 +16,7 @@
 #include "analysis/determinism.h"
 #include "analysis/runner.h"
 #include "analysis/scenario.h"
+#include "obs/obs.h"
 #include "sim/engine.h"
 #include "tests/helpers.h"
 
@@ -124,6 +125,28 @@ TEST(SteadyStateAllocation, UncachedPipelineAlsoSettles) {
   EXPECT_EQ(allocations_during_rounds(engine, 10), 0);
 }
 
+TEST(SteadyStateAllocation, ObservabilityOnAlsoSettles) {
+  // With an Obs handle attached, warm-up creates the metric shard and the
+  // trace ring (both sized up front); steady-state rounds then increment
+  // counters and append into reserved ring storage without touching the
+  // heap — the "cheap enough to leave on" half of the overhead contract.
+  Scenario scenario(test::random_points(64, 6.0, 8101),
+                    test::default_config());
+  auto protocols = make_protocols(scenario.network().size(), [](NodeId) {
+    return std::make_unique<FixedProbabilityProtocol>(0.25);
+  });
+  const CarrierSensing sensing = scenario.sensing_local();
+  Obs obs(ObsConfig{.state_transitions = true});  // the expensive tier too
+  Engine engine(scenario.channel(), scenario.network(), sensing, protocols,
+                EngineConfig{.slots_per_round = 2, .seed = 42, .obs = &obs});
+
+  for (int r = 0; r < 25; ++r) engine.step();
+
+  EXPECT_EQ(allocations_during_rounds(engine, 10), 0)
+      << "obs-enabled steady-state rounds must not allocate";
+  EXPECT_GT(obs.metrics().total(obs.ids().slots), 0u);
+}
+
 TEST(SteadyStateAllocation, SoaTiledTableWithEvictionSettles) {
   // The SoA kernel + tiled gain table under LRU pressure: n = 64 with
   // 16-column tiles is 4 blocks/row and 256 logical tiles, the 10 KiB
@@ -205,6 +228,14 @@ TEST(EngineWorkspace, PipelineConfigurationsShareOneTrace) {
                            EngineConfig{.seed = 3, .soa_kernel = false}));
   EXPECT_EQ(reference, engine_trace_hash(EngineConfig{
                            .seed = 3, .gain_budget_bytes = 0}));
+  // Observability must be a pure observer: attaching an Obs handle (alone
+  // and combined with threads) cannot change the ground-truth trace.
+  Obs obs(ObsConfig{.state_transitions = true});
+  EXPECT_EQ(reference,
+            engine_trace_hash(EngineConfig{.seed = 3, .obs = &obs}));
+  Obs obs_threaded;
+  EXPECT_EQ(reference, engine_trace_hash(EngineConfig{
+                           .seed = 3, .threads = 2, .obs = &obs_threaded}));
 }
 
 }  // namespace

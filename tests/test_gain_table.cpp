@@ -84,6 +84,16 @@ TEST(GainTable, EvictsLeastRecentlyEnsuredRows) {
   EXPECT_NE(gains.row_block(NodeId(1), 0), nullptr);
   EXPECT_NE(gains.row_block(NodeId(2), 0), nullptr);
   EXPECT_EQ(gains.resident_tiles(), 4u);
+
+  // The stats ledger reconstructs the story tile by tile: call one missed
+  // and filled 4 tiles; call two hit row 1's pair and evicted row 0's pair
+  // to make room for row 2's.
+  const GainTable::Stats& stats = gains.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 6u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.fills, 6u);
+  EXPECT_EQ(stats.fallbacks, 0u);
 }
 
 TEST(GainTable, OverCommittedEnsureFailsAndLeavesTableConsistent) {
@@ -103,6 +113,17 @@ TEST(GainTable, OverCommittedEnsureFailsAndLeavesTableConsistent) {
     EXPECT_EQ(*gains.cell(NodeId(3), v),
               pl.signal(metric.distance(NodeId(3), NodeId(v))));
   }
+
+  // Call one misses 5 tiles before running out of slots (rows 0-1 pin all
+  // four; row 2's first tile records the miss, then the fallback) and fills
+  // nothing — queued tiles are rolled back on failure. Call two misses and
+  // fills rows 3-4's four tiles, evicting the four residents.
+  const GainTable::Stats& stats = gains.stats();
+  EXPECT_EQ(stats.fallbacks, 1u);
+  EXPECT_EQ(stats.misses, 9u);
+  EXPECT_EQ(stats.evictions, 4u);
+  EXPECT_EQ(stats.fills, 4u);
+  EXPECT_EQ(stats.hits, 0u);
 }
 
 TEST(GainTable, MovesInvalidateByStampAndRefillExactly) {
@@ -121,6 +142,15 @@ TEST(GainTable, MovesInvalidateByStampAndRefillExactly) {
   const double after = *gains.cell(NodeId(2), 5);
   EXPECT_NE(before, after);
   EXPECT_EQ(after, pl.signal(metric.distance(NodeId(2), NodeId(5))));
+
+  // A resident-but-stale tile is neither a hit nor a miss — it re-enters
+  // the fill list without an eviction. The ledger: one miss + fill from the
+  // first ensure, one refill after the move.
+  const GainTable::Stats& stats = gains.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.fills, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
 }
 
 TEST(GainTable, ParallelFillMatchesSerialFill) {

@@ -34,6 +34,7 @@
 #include "analysis/scenario.h"
 #include "common/rng.h"
 #include "core/broadcast.h"
+#include "obs/obs.h"
 #include "sim/batch.h"
 #include "sim/dynamics.h"
 #include "topo/generators.h"
@@ -57,6 +58,9 @@ struct PipelineConfig {
   bool use_spatial_grid;
   int threads;
   bool soa_kernel;
+  /// Attach an Obs handle for the run: observability must be a pure
+  /// observer, so the trace hash has to match the reference exactly.
+  bool obs = false;
 };
 
 void run_dynamic_broadcast(const Options& options, bool perturb,
@@ -74,13 +78,17 @@ void run_dynamic_broadcast(const Options& options, bool perturb,
                                            id == source);
   });
   const CarrierSensing sensing = scenario.sensing_broadcast();
+  std::unique_ptr<Obs> obs;
+  if (pipeline.obs)
+    obs = std::make_unique<Obs>(ObsConfig{.state_transitions = true});
   Engine engine(scenario.channel(), scenario.network(), sensing, protocols,
                 EngineConfig{.slots_per_round = 2,
                              .seed = options.seed,
                              .threads = pipeline.threads,
                              .cache_topology = pipeline.cache_topology,
                              .use_spatial_grid = pipeline.use_spatial_grid,
-                             .soa_kernel = pipeline.soa_kernel});
+                             .soa_kernel = pipeline.soa_kernel,
+                             .obs = obs.get()});
 
   ChurnDynamics churn({.arrival_rate = 0.05,
                        .departure_rate = 0.05,
@@ -116,6 +124,7 @@ int run_pipeline_matrix(const Options& options) {
       {"cached+grid-serial", true, true, 1, false},
       {"soa-kernel", true, true, 1, true},
       {"cached+grid-threads", true, true, options.threads, true},
+      {"obs-on", true, true, options.threads, true, /*obs=*/true},
   };
   std::vector<TraceHashRecorder> traces(std::size(configs));
   for (std::size_t i = 0; i < std::size(configs); ++i)

@@ -25,6 +25,12 @@ Rules (see docs/TOOLING.md for the full rationale):
                     tolerances; exact comparison silently changes decisions
                     across optimization levels and architectures.
 
+  chrono            Wall-clock reads (std::chrono, <chrono>) outside src/obs
+                    and bench: simulation logic must be a pure function of
+                    the seed, and timing belongs to the observability layer
+                    (obs/clock.h) or the benchmarks. A clock read anywhere
+                    else is either dead weight or a determinism leak.
+
 Suppress a finding by putting `udwn-lint: allow(<rule>)` in a comment on the
 same line, with a reason:   // udwn-lint: allow(float-eq): exact sentinel
 
@@ -44,6 +50,12 @@ RNG_HOME = re.compile(r"src/common/rng\.(h|cpp)$")
 
 # float-eq applies only where numerics decide physics.
 FLOAT_EQ_DIRS = ("src/phy", "src/metric")
+
+# chrono is allowed only in the observability layer (the blessed obs_now_ns
+# wrapper lives in src/obs/clock.h) and in benchmark/experiment code.
+CHRONO_HOMES = ("src/obs", "bench")
+
+CHRONO_BANNED = re.compile(r"std::chrono\b|#\s*include\s*<chrono>")
 
 SUPPRESS = re.compile(r"udwn-lint:\s*allow\(([a-z-]+)\)")
 
@@ -128,6 +140,7 @@ def lint_file(path: Path, repo_relative: str) -> list[Finding]:
 
     rng_exempt = bool(RNG_HOME.search(repo_relative))
     float_eq_applies = any(repo_relative.startswith(d) for d in FLOAT_EQ_DIRS)
+    chrono_exempt = any(repo_relative.startswith(d) for d in CHRONO_HOMES)
 
     # Identifiers declared as unordered containers anywhere in this file.
     unordered_names = set()
@@ -148,6 +161,14 @@ def lint_file(path: Path, repo_relative: str) -> list[Finding]:
                 "raw-assert",
                 "raw assert(): use UDWN_EXPECT/UDWN_ENSURE (kept in release) "
                 "or UDWN_ASSERT (debug tier) from common/contract.h",
+            )
+        if not chrono_exempt and CHRONO_BANNED.search(line):
+            report(
+                lineno,
+                "chrono",
+                "raw std::chrono outside src/obs and bench: simulation code "
+                "must not read the wall clock; use obs_now_ns (obs/clock.h) "
+                "from instrumentation, or move the timing into bench/",
             )
         if float_eq_applies and FLOAT_EQ.search(line):
             report(
