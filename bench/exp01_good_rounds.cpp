@@ -169,5 +169,5 @@ int main() {
               "stabilization grows sub-polynomially (8x n -> <= ~4x rounds); "
               "slope vs log2(n) = " + format_double(fit.slope, 1) +
                   " rounds/doubling");
-  return 0;
+  return finish();
 }

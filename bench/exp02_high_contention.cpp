@@ -126,5 +126,5 @@ int main() {
   // observability handle attached; the binary trace lands at the env path
   // on exit (udwn_trace reconstructs the contention/delivery timeline).
   if (Obs* obs = trace_obs()) run_cell(256, seeds(2, 1)[0], obs);
-  return 0;
+  return finish();
 }

@@ -129,8 +129,11 @@ int main() {
   std::vector<double> worst;
   for (std::size_t n : sizes) {
     Accumulator mean_frac, worst_frac, low_phases;
-    for (auto seed : seeds(3, 3)) {
-      const Cell cell = run_cell(n, seed);
+    // Trials run concurrently on the shared BatchRunner pool; results come
+    // back in seed order.
+    for (const Cell& cell : run_trials(seeds(3, 3), [n](std::uint64_t seed) {
+           return run_cell(n, seed);
+         })) {
       if (cell.low_phases == 0) continue;
       mean_frac.add(cell.mean_fraction);
       worst_frac.add(cell.worst_fraction);
@@ -150,5 +153,5 @@ int main() {
   for (double w : worst) ok = ok && w >= 0.6;
   shape_check(ok, "worst qualifying fraction >= 3/5 in every low-contention "
                   "phase, at every n");
-  return 0;
+  return finish();
 }

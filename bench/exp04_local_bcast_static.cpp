@@ -159,5 +159,5 @@ int main() {
               "at fixed Delta, 16x more nodes cost < 4x rounds (" +
                   format_double(n_growth, 2) +
                   "x): additive log n, not multiplicative");
-  return 0;
+  return finish();
 }

@@ -131,5 +131,5 @@ int main() {
               "completion never exceeds ~4x the (dynamic degree + log n) "
               "bound at any churn rate (worst ratio " +
                   format_double(worst, 2) + ")");
-  return 0;
+  return finish();
 }

@@ -137,5 +137,5 @@ int main() {
     parity = parity && bcast_times[i] <= 1.6 * decay_times[i];
   shape_check(parity, "non-spontaneous Bcast* stays within 1.6x of the decay "
                       "baseline at every D (constant-factor parity)");
-  return 0;
+  return finish();
 }

@@ -84,15 +84,25 @@ int main() {
   std::vector<double> ds, spont_times, star_times, dom_density;
   for (std::size_t clusters : {4, 8, 16, 32, 64}) {
     Accumulator sp, st1, dom, bs;
-    for (auto seed : seeds(9, 3)) {
-      const Cell c = run_spontaneous(clusters, 6, seed);
+    // One trial = both algorithms on the same seed (each derives its own
+    // instance from the seed); trials run concurrently on the shared
+    // BatchRunner pool and come back in seed order.
+    struct Pair {
+      Cell spont;
+      double star = -1;
+    };
+    for (const Pair& p :
+         run_trials(seeds(9, 3), [clusters](std::uint64_t seed) {
+           return Pair{run_spontaneous(clusters, 6, seed),
+                       run_bcast_star(clusters, 6, seed)};
+         })) {
+      const Cell& c = p.spont;
       if (c.complete) {
         sp.add(c.total_rounds);
         st1.add(c.stage1);
         dom.add(c.dominators);
       }
-      const double b = run_bcast_star(clusters, 6, seed);
-      if (b >= 0) bs.add(b);
+      if (p.star >= 0) bs.add(p.star);
     }
     const double hops = static_cast<double>(clusters - 1);
     ds.push_back(hops);
@@ -116,8 +126,9 @@ int main() {
   std::vector<double> spont_per_hop;
   for (std::size_t k : {3, 6, 12, 24}) {
     Accumulator sp, dom;
-    for (auto seed : seeds(10, 3)) {
-      const Cell c = run_spontaneous(16, k, seed);
+    for (const Cell& c : run_trials(seeds(10, 3), [k](std::uint64_t seed) {
+           return run_spontaneous(16, k, seed);
+         })) {
       if (!c.complete) continue;
       sp.add(c.total_rounds);
       dom.add(c.dominators);
@@ -154,5 +165,5 @@ int main() {
                   format_double(spont_per_hop.front(), 1) + " -> " +
                   format_double(spont_per_hop.back(), 1) +
                   "): only constant-density dominators contend");
-  return 0;
+  return finish();
 }

@@ -127,13 +127,21 @@ int main() {
   std::vector<double> xs, no_ntd, with_ntd, spont;
   for (std::size_t n : sizes) {
     Accumulator nn, wn, sp;
-    for (auto seed : seeds(11, 5)) {
-      const double a = run_no_ntd(n, seed);
-      const double b = run_with_ntd(n, seed);
-      const double c = run_spontaneous_no_ntd(n, seed);
-      if (a >= 0) nn.add(a);
-      if (b >= 0) wn.add(b);
-      if (c >= 0) sp.add(c);
+    // One trial = all three algorithms on the same seed (each builds its
+    // own instance from the seed); trials run concurrently on the shared
+    // BatchRunner pool and come back in seed order.
+    struct Trio {
+      double no_ntd = -1;
+      double with_ntd = -1;
+      double spont = -1;
+    };
+    for (const Trio& t : run_trials(seeds(11, 5), [n](std::uint64_t seed) {
+           return Trio{run_no_ntd(n, seed), run_with_ntd(n, seed),
+                       run_spontaneous_no_ntd(n, seed)};
+         })) {
+      if (t.no_ntd >= 0) nn.add(t.no_ntd);
+      if (t.with_ntd >= 0) wn.add(t.with_ntd);
+      if (t.spont >= 0) sp.add(t.spont);
     }
     xs.push_back(static_cast<double>(n));
     no_ntd.push_back(nn.mean());
@@ -164,5 +172,5 @@ int main() {
   shape_check(pow_spont.slope > 0.7,
               "spontaneous operation does not escape the bound on Fig. 1b "
               "(exponent " + format_double(pow_spont.slope, 2) + ")");
-  return 0;
+  return finish();
 }

@@ -123,9 +123,13 @@ int main() {
   for (auto& row : rows) {
     Accumulator lp, bp;
     bool ok = true;
-    for (auto seed : seeds(12, 3)) {
-      const Cell cell =
-          run_model(row.make(seed, false), row.make(seed, true), seed);
+    // Trials run concurrently on the shared BatchRunner pool; row.make is
+    // a const callable, safe to invoke from several trials at once.
+    for (const Cell& cell :
+         run_trials(seeds(12, 3), [&row](std::uint64_t seed) {
+           return run_model(row.make(seed, false), row.make(seed, true),
+                            seed);
+         })) {
       ok = ok && cell.complete;
       if (cell.complete) {
         lp.add(cell.local_p95);
@@ -152,5 +156,5 @@ int main() {
                   format_double(band, 1) +
                   "x band across the Euclidean models (same asymptotics, "
                   "model-dependent constants)");
-  return 0;
+  return finish();
 }

@@ -129,5 +129,5 @@ int main() {
   shape_check(mobile_ok && mobile_times.back() < mobile_times.front() * 8,
               "completion survives mobility up to 0.01 R/round "
               "(bounded edge-change rate tau)");
-  return 0;
+  return finish();
 }

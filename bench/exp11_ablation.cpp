@@ -182,5 +182,5 @@ int main() {
       std::min(p0_times[2], p0_times[3]);  // 0.15 / 0.25
   shape_check(p0_times.front() > best_mid,
               "p0 traces a U-curve: too-passive flooding wastes rounds");
-  return 0;
+  return finish();
 }

@@ -115,8 +115,12 @@ int main() {
   for (double phi : {1.0, 2.0, 4.0, 6.0, 10.0}) {
     Accumulator m;
     double bound = 0;
-    for (auto seed : seeds(19, 3)) {
-      const Detection d = busy_cell(phi, seed);
+    // Trials run concurrently on the shared BatchRunner pool; results come
+    // back in seed order.
+    for (const Detection& d :
+         run_trials(seeds(19, 3), [phi](std::uint64_t seed) {
+           return busy_cell(phi, seed);
+         })) {
       m.add(d.measured);
       bound = d.bound;
     }
@@ -132,8 +136,10 @@ int main() {
   for (double eta : {0.25, 0.5, 1.0, 2.0, 4.0}) {
     Accumulator m;
     double bound = 0;
-    for (auto seed : seeds(20, 3)) {
-      const Detection d = idle_cell(eta, seed);
+    for (const Detection& d :
+         run_trials(seeds(20, 3), [eta](std::uint64_t seed) {
+           return idle_cell(eta, seed);
+         })) {
       m.add(d.measured);
       bound = d.bound;
     }
@@ -146,8 +152,7 @@ int main() {
   std::cout << "\n(c) ACK soundness and non-vacuity:\n";
   Table tc({"acks", "false_positives", "clear_events", "clear_acked_frac"});
   AckStats total;
-  for (auto seed : seeds(21, 3)) {
-    const AckStats s = ack_cell(seed);
+  for (const AckStats& s : run_trials(seeds(21, 3), ack_cell)) {
     total.acks += s.acks;
     total.false_positive += s.false_positive;
     total.clear_events += s.clear_events;
@@ -170,5 +175,5 @@ int main() {
   shape_check(total.false_positive == 0 && total.acks > 100,
               "ACK: zero false positives over " +
                   std::to_string(total.acks) + " acknowledgments");
-  return 0;
+  return finish();
 }

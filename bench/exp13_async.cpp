@@ -49,15 +49,23 @@ int main() {
                         Cfg{128, 4}}) {
     const double extent = std::sqrt(static_cast<double>(cfg.n) / cfg.density);
     Accumulator sync_t, async_t;
-    for (auto seed : seeds(22, 3)) {
-      const double a = run_local(cfg.n, extent, false, seed);
-      const double b = run_local(cfg.n, extent, true, seed);
-      if (a < 0 || b < 0) {
+    // One trial = the sync and async runs on the same seed; trials run
+    // concurrently on the shared BatchRunner pool, results in seed order.
+    struct Pair {
+      double sync_rounds = -1;
+      double async_rounds = -1;
+    };
+    for (const Pair& p :
+         run_trials(seeds(22, 3), [&cfg, extent](std::uint64_t seed) {
+           return Pair{run_local(cfg.n, extent, false, seed),
+                       run_local(cfg.n, extent, true, seed)};
+         })) {
+      if (p.sync_rounds < 0 || p.async_rounds < 0) {
         all_complete = false;
         continue;
       }
-      sync_t.add(a);
-      async_t.add(b);
+      sync_t.add(p.sync_rounds);
+      async_t.add(p.async_rounds);
     }
     const double ratio = async_t.mean() / sync_t.mean();
     ratios.push_back(ratio);
@@ -76,5 +84,5 @@ int main() {
   shape_check(worst < 3.5,
               "async slowdown bounded (worst " + format_double(worst, 2) +
                   "x; clock-rate bound alone predicts <= 2x)");
-  return 0;
+  return finish();
 }

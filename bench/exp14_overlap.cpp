@@ -102,9 +102,20 @@ int main() {
   bool all_ok = true;
   for (std::size_t clusters : {4, 8, 16, 32}) {
     Accumulator seq, ovl, st1;
-    for (auto seed : seeds(23, 3)) {
-      const SeqCell s = run_sequential(clusters, seed);
-      const OverlapCell o = run_overlapped(clusters, seed);
+    // One trial = the sequential and overlapped runs on the same seed;
+    // trials run concurrently on the shared BatchRunner pool, results in
+    // seed order.
+    struct Pair {
+      SeqCell seq;
+      OverlapCell ovl;
+    };
+    for (const Pair& p :
+         run_trials(seeds(23, 3), [clusters](std::uint64_t seed) {
+           return Pair{run_sequential(clusters, seed),
+                       run_overlapped(clusters, seed)};
+         })) {
+      const SeqCell& s = p.seq;
+      const OverlapCell& o = p.ovl;
       all_ok = all_ok && s.complete && o.complete && o.packing;
       if (s.complete) {
         seq.add(s.rounds);
@@ -142,5 +153,5 @@ int main() {
                   " rounds) recovers a sizeable share of the stage-1 "
                   "barrier (" + format_double(stage1_times.back(), 0) +
                   " rounds)");
-  return 0;
+  return finish();
 }

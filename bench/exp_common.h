@@ -24,6 +24,7 @@
 #include "analysis/recorders.h"
 #include "analysis/runner.h"
 #include "analysis/scenario.h"
+#include "common/env.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -214,17 +215,72 @@ inline std::vector<std::uint64_t> seeds(std::uint64_t base, int reps) {
   return out;
 }
 
-/// Trial-level parallelism for run_trials: UDWN_THREADS overrides, else the
-/// hardware concurrency clamped to [1, 4] (experiment cells are short; more
-/// workers than that just fight over memory bandwidth).
+/// Trial-level parallelism for run_trials: UDWN_THREADS overrides (strictly
+/// parsed — a malformed value warns and is ignored), else the hardware
+/// concurrency clamped to [1, 4] (experiment cells are short; more workers
+/// than that just fight over memory bandwidth).
 inline int trial_threads() {
-  if (const char* env = std::getenv("UDWN_THREADS"); env && env[0] != '\0') {
-    const int v = std::atoi(env);
-    if (v >= 1) return v;
-  }
+  if (const auto v = env_int("UDWN_THREADS", 1, 512))
+    return static_cast<int>(*v);
   const unsigned hw = std::thread::hardware_concurrency();
   return static_cast<int>(std::clamp(hw, 1u, 4u));
 }
+
+/// Batch configuration for run_trials: thread count plus the optional
+/// per-trial budgets UDWN_TRIAL_MAX_ROUNDS (engine rounds) and
+/// UDWN_TRIAL_DEADLINE_MS (wall clock). Budgets cancel a runaway trial at
+/// its next round boundary and record it as a timeout instead of hanging
+/// the whole sweep; unset = unlimited (the default, bit-identical path).
+inline BatchConfig batch_config() {
+  BatchConfig config{.threads = trial_threads()};
+  if (const auto rounds =
+          env_int("UDWN_TRIAL_MAX_ROUNDS", 1, 1'000'000'000'000))
+    config.max_rounds = static_cast<std::uint64_t>(*rounds);
+  if (const auto ms = env_int("UDWN_TRIAL_DEADLINE_MS", 1, 1'000'000'000))
+    config.trial_deadline_ns = static_cast<std::uint64_t>(*ms) * 1'000'000;
+  return config;
+}
+
+namespace detail {
+
+/// Process-wide record of failed / timed-out trials across every run_trials
+/// batch in the binary. finish() prints the collected table and turns it
+/// into a nonzero exit code, so one bad trial mid-sweep no longer aborts
+/// the binary (and can no longer hide in a green exit status either).
+class TrialFailureLog {
+ public:
+  static TrialFailureLog& instance() {
+    static TrialFailureLog log;
+    return log;
+  }
+
+  void add(std::vector<TrialError> errors) {
+    for (TrialError& error : errors) errors_.push_back(std::move(error));
+  }
+
+  [[nodiscard]] bool empty() const { return errors_.empty(); }
+
+  void report() {
+    Table table({"trial", "seed", "outcome", "error"});
+    for (const TrialError& error : errors_) {
+      table.row()
+          .add(error.index)
+          .add(static_cast<std::int64_t>(error.seed))
+          .add(to_string(error.status))
+          .add(error.what);
+    }
+    std::cout << "\nTRIAL FAILURES\n";
+    show(table);
+    JsonSink::instance().add_check(
+        false, std::to_string(errors_.size()) + " trial(s) failed");
+  }
+
+ private:
+  TrialFailureLog() = default;
+  std::vector<TrialError> errors_;
+};
+
+}  // namespace detail
 
 /// Run one trial per seed concurrently on the binary's single shared
 /// BatchRunner pool and return the results in seed order. `fn` must derive
@@ -232,13 +288,34 @@ inline int trial_threads() {
 /// EngineConfig::threads == 1 (trial-level parallelism replaces slot-level
 /// parallelism; the TaskPool is not reentrant). Results are deterministic
 /// and identical to a serial loop for any pool size — see sim/batch.h.
+///
+/// Faults are isolated per trial: a throwing (or contract-violating, or
+/// over-budget) trial becomes a TrialError in the process-wide failure log
+/// — its slot in the returned vector stays default-constructed — while
+/// sibling trials complete. End main() with `return finish();` so recorded
+/// failures surface as a table and a nonzero exit code.
 template <typename Fn>
 auto run_trials(const std::vector<std::uint64_t>& trial_seeds, Fn&& fn)
     -> std::vector<decltype(fn(std::uint64_t{0}))> {
-  static BatchRunner runner{BatchConfig{.threads = trial_threads()}};
-  return runner.run(trial_seeds.size(), [&](std::size_t k) {
-    return fn(trial_seeds[k]);
-  });
+  static BatchRunner runner{batch_config()};
+  auto outcome = runner.run_checked(
+      trial_seeds.size(), [&](std::size_t k) { return fn(trial_seeds[k]); });
+  if (!outcome.ok()) {
+    for (TrialError& error : outcome.errors)
+      error.seed = trial_seeds[error.index];
+    detail::TrialFailureLog::instance().add(std::move(outcome.errors));
+  }
+  return std::move(outcome.results);
+}
+
+/// Exit-code epilogue for every experiment binary: prints the trial-failure
+/// table when any run_trials batch recorded failures and returns the
+/// process exit code (0 = every trial completed).
+inline int finish() {
+  auto& log = detail::TrialFailureLog::instance();
+  if (log.empty()) return 0;
+  log.report();
+  return 1;
 }
 
 }  // namespace udwn::bench

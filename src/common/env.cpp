@@ -1,0 +1,27 @@
+#include "common/env.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace udwn {
+
+std::optional<long long> env_int(const char* name, long long min,
+                                 long long max) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (errno != 0 || end == value || *end != '\0' || parsed < min ||
+      parsed > max) {
+    std::fprintf(stderr,
+                 "%s: ignoring invalid value \"%s\" (want an integer in "
+                 "[%lld, %lld])\n",
+                 name, value, min, max);
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+}  // namespace udwn

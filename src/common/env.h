@@ -1,0 +1,23 @@
+// Strict environment-variable parsing for runtime knobs.
+//
+// Experiment binaries and the observability layer take small integer knobs
+// from the environment (UDWN_THREADS, UDWN_METRICS_TAP, trial budgets).
+// bare atoi() made typos dangerous: "4x" silently ran 4 threads and "abc"
+// silently fell back to the default. env_int() requires the whole string to
+// parse and warns loudly when it rejects a value, so a misconfigured knob
+// is always visible.
+#pragma once
+
+#include <optional>
+
+namespace udwn {
+
+/// Parse environment variable `name` as a base-10 integer with full-string
+/// consumption. Returns nullopt when the variable is unset or empty. When
+/// it is set but malformed or outside [min, max], prints one warning line
+/// to stderr and returns nullopt so the caller falls back to its default —
+/// a typo'd knob must never silently select a different configuration.
+std::optional<long long> env_int(const char* name, long long min,
+                                 long long max);
+
+}  // namespace udwn

@@ -6,6 +6,28 @@
 #include "obs/clock.h"
 
 namespace udwn {
+namespace {
+
+// Pool this thread is currently executing a chunk for. Lets run() fail fast
+// on reentrant use of the *same* pool while still allowing a chunk body to
+// drive a different pool (the marker is saved/restored around each job).
+thread_local const TaskPool* t_executing_pool = nullptr;
+
+class ScopedExecutingPool {
+ public:
+  explicit ScopedExecutingPool(const TaskPool* pool)
+      : prev_(t_executing_pool) {
+    t_executing_pool = pool;
+  }
+  ~ScopedExecutingPool() { t_executing_pool = prev_; }
+  ScopedExecutingPool(const ScopedExecutingPool&) = delete;
+  ScopedExecutingPool& operator=(const ScopedExecutingPool&) = delete;
+
+ private:
+  const TaskPool* prev_;
+};
+
+}  // namespace
 
 TaskPool::TaskPool(int threads) : threads_(threads) {
   UDWN_EXPECT(threads >= 1);
@@ -27,12 +49,16 @@ void TaskPool::run(std::size_t begin, std::size_t end, ChunkFn fn,
                    void* context, std::size_t chunk_size) {
   UDWN_EXPECT(fn != nullptr);
   UDWN_EXPECT(begin <= end);
+  UDWN_EXPECT(t_executing_pool != this &&
+              "TaskPool::run is not reentrant: called from inside a chunk "
+              "of the same pool (the nested join would deadlock)");
   const std::size_t total = end - begin;
   if (total == 0) return;
   if (threads_ == 1) {
     // No workers exist, so the counters are caller-thread-private here.
     ++stats_.jobs;
     ++stats_.chunks;
+    ScopedExecutingPool guard(this);
     fn(context, begin, end);
     return;
   }
@@ -57,6 +83,8 @@ void TaskPool::run(std::size_t begin, std::size_t end, ChunkFn fn,
     }
     next_chunk_ = 0;
     pending_ = chunk_count_;
+    error_ = nullptr;
+    error_chunk_ = chunk_count_;
     ++generation_;
     ++stats_.jobs;
     stats_.chunks += chunk_count_;
@@ -75,26 +103,43 @@ void TaskPool::run(std::size_t begin, std::size_t end, ChunkFn fn,
   }
   fn_ = nullptr;
   context_ = nullptr;
+  if (error_ != nullptr) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void TaskPool::work_off_chunks() {
+  ScopedExecutingPool guard(this);
   for (;;) {
     ChunkFn fn = nullptr;
     void* context = nullptr;
+    std::size_t chunk = 0;
     std::size_t lo = 0;
     std::size_t hi = 0;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (next_chunk_ >= chunk_count_) return;
-      const std::size_t chunk = next_chunk_++;
+      chunk = next_chunk_++;
       fn = fn_;
       context = context_;
       lo = begin_ + chunk * chunk_size_;
       hi = std::min(end_, lo + chunk_size_);
     }
-    fn(context, lo, hi);
+    std::exception_ptr thrown;
+    try {
+      fn(context, lo, hi);
+    } catch (...) {
+      thrown = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (thrown != nullptr && chunk < error_chunk_) {
+        error_ = thrown;
+        error_chunk_ = chunk;
+      }
       if (--pending_ == 0) done_.notify_all();
     }
   }

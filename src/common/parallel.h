@@ -18,6 +18,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <mutex>
 #include <thread>
 #include <type_traits>
@@ -43,7 +44,19 @@ class TaskPool {
   /// callers with uneven per-item cost (e.g. BatchRunner trials) claim work
   /// at finer granularity. Either way chunk boundaries depend only on
   /// (begin, end, threads, chunk_size) — never on timing — so results stay
-  /// schedule-independent. Empty ranges return immediately. Not reentrant.
+  /// schedule-independent. Empty ranges return immediately.
+  ///
+  /// Exceptions: a chunk body may throw. Every remaining chunk still runs
+  /// (sibling work completes and the pool stays usable), then run()
+  /// rethrows on the calling thread. When several chunks throw, the one
+  /// with the lowest chunk index wins — the same exception a serial
+  /// in-order execution would surface first — so the escaping error is
+  /// schedule-independent too. With threads == 1 the body runs inline and
+  /// an exception propagates immediately (plain-loop semantics).
+  ///
+  /// Not reentrant: calling run() from inside a chunk of the same pool is
+  /// a contract violation (UDWN_EXPECT, kept in release) — without the
+  /// check the nested join would deadlock silently.
   using ChunkFn = void (*)(void* context, std::size_t lo, std::size_t hi);
   void run(std::size_t begin, std::size_t end, ChunkFn fn, void* context,
            std::size_t chunk_size = 0);
@@ -95,6 +108,11 @@ class TaskPool {
   std::size_t chunk_count_ = 0;
   std::size_t next_chunk_ = 0;
   std::size_t pending_ = 0;
+  // First (lowest-chunk-index) exception thrown by the current job, if any;
+  // rethrown by run() after the join so the error surfaced is the one a
+  // serial in-order execution would have hit first.
+  std::exception_ptr error_;
+  std::size_t error_chunk_ = 0;
   std::uint64_t generation_ = 0;
   bool stop_ = false;
   bool collect_stats_ = false;  // guarded by mutex_

@@ -26,6 +26,15 @@ std::string json_escape(const std::string& s) {
       case '\t':
         out += "\\t";
         break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
@@ -51,6 +60,13 @@ bool find_u64(const std::string& line, const char* key, std::uint64_t& out) {
   return end != p;
 }
 
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
 bool find_string(const std::string& line, const char* key, std::string& out) {
   const std::string needle = std::string("\"") + key + "\":\"";
   const auto start = line.find(needle);
@@ -67,7 +83,41 @@ bool find_string(const std::string& line, const char* key, std::string& out) {
         case 't':
           out += '\t';
           break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          // \uXXXX — the escape json_escape emits for control characters.
+          // Decode the full BMP form: code points past 0x7f re-encode as
+          // UTF-8 so any well-formed escape round-trips, and a malformed
+          // one fails the whole parse instead of importing garbage.
+          if (i + 4 >= line.size()) return false;
+          unsigned code = 0;
+          for (int h = 0; h < 4; ++h) {
+            const int nibble = hex_value(line[++i]);
+            if (nibble < 0) return false;
+            code = (code << 4) | static_cast<unsigned>(nibble);
+          }
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
         default:
+          // "\\", "\"", "\/" and any future passthrough escape.
           out += line[i];
       }
     } else {

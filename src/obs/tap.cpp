@@ -1,0 +1,32 @@
+#include "obs/tap.h"
+
+#include <cinttypes>
+
+#include "common/env.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace udwn {
+
+MetricsTap MetricsTap::from_env() {
+  if (const auto period = env_int("UDWN_METRICS_TAP", 1, 1'000'000'000))
+    return MetricsTap(static_cast<std::uint64_t>(*period));
+  return MetricsTap();
+}
+
+void MetricsTap::on_round(Obs& obs, std::uint64_t rounds_completed) {
+  if (period_ == 0 || rounds_completed % period_ != 0) return;
+  std::FILE* out = out_ != nullptr ? out_ : stderr;
+  const MetricsRegistry::Snapshot snap = obs.metrics().snapshot();
+  std::fprintf(out, "[metrics-tap] round %" PRIu64, rounds_completed);
+  for (const auto& [name, value] : snap.counters) {
+    if (value == 0) continue;
+    std::fprintf(out, " %s=%" PRIu64, name.c_str(), value);
+  }
+  if (obs.trace().dropped() != 0)
+    std::fprintf(out, " trace.dropped=%" PRIu64, obs.trace().dropped());
+  std::fputc('\n', out);
+  std::fflush(out);
+}
+
+}  // namespace udwn

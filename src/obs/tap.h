@@ -1,0 +1,41 @@
+// Live in-run metrics tap: periodic aggregated counter snapshots at round
+// boundaries, so a multi-minute scenario is observable before it finishes.
+//
+// Enabled with UDWN_METRICS_TAP=<period-in-rounds> (strictly parsed; an
+// invalid value warns and disables the tap). Every period-th completed
+// round the engine — at a quiescent point, after the slot kernels joined —
+// prints one line with every nonzero counter to stderr, keeping stdout
+// clean for the experiment tables and UDWN_JSON.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+
+namespace udwn {
+
+class Obs;
+
+class MetricsTap {
+ public:
+  /// Disabled tap: on_round() never fires.
+  MetricsTap() = default;
+  /// Print every `period_rounds` completed rounds to `out` (nullptr =
+  /// stderr, resolved at print time so tests can redirect).
+  explicit MetricsTap(std::uint64_t period_rounds, std::FILE* out = nullptr)
+      : period_(period_rounds), out_(out) {}
+  /// Configure from UDWN_METRICS_TAP; unset or invalid = disabled.
+  [[nodiscard]] static MetricsTap from_env();
+
+  [[nodiscard]] bool enabled() const { return period_ != 0; }
+
+  /// Round-boundary hook. Call only at quiescent points (snapshot()
+  /// aggregates the per-thread shards); `rounds_completed` counts the
+  /// calling engine's completed rounds, 1-based.
+  void on_round(Obs& obs, std::uint64_t rounds_completed);
+
+ private:
+  std::uint64_t period_ = 0;
+  std::FILE* out_ = nullptr;
+};
+
+}  // namespace udwn

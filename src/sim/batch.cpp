@@ -1,9 +1,50 @@
 #include "sim/batch.h"
 
+#include <string>
+
 #include "common/contract.h"
 #include "common/rng.h"
+#include "obs/clock.h"
 
 namespace udwn {
+
+const char* to_string(TrialStatus status) noexcept {
+  switch (status) {
+    case TrialStatus::kOk:
+      return "ok";
+    case TrialStatus::kFailed:
+      return "failed";
+    case TrialStatus::kTimedOut:
+      return "timeout";
+  }
+  return "?";
+}
+
+TrialBudget::TrialBudget(std::uint64_t max_rounds, std::uint64_t deadline_ns)
+    : max_rounds_(max_rounds), deadline_ns_(deadline_ns) {
+  // The clock is read only for deadline budgets: a rounds-only (or
+  // unlimited) budget keeps the trial a pure function of its seed.
+  if (deadline_ns_ != 0) start_ns_ = obs_now_ns();
+}
+
+void TrialBudget::on_round() {
+  ++rounds_;
+  if (max_rounds_ != 0 && rounds_ > max_rounds_)
+    throw TrialTimeout("trial exceeded max_rounds = " +
+                       std::to_string(max_rounds_));
+  if (deadline_ns_ != 0 && obs_now_ns() - start_ns_ > deadline_ns_)
+    throw TrialTimeout("trial exceeded deadline = " +
+                       std::to_string(deadline_ns_) + " ns");
+}
+
+namespace detail {
+
+TrialBudget*& current_trial_budget() noexcept {
+  thread_local TrialBudget* budget = nullptr;
+  return budget;
+}
+
+}  // namespace detail
 
 BatchRunner::BatchRunner(BatchConfig config) : config_(config) {
   UDWN_EXPECT(config.threads >= 1);

@@ -16,6 +16,12 @@
 //     runs which trial is scheduling noise the results cannot observe.
 //   * Deterministic ordering: run() returns results indexed by trial, not by
 //     completion order.
+//   * Survivable long runs: run_checked() isolates per-trial faults
+//     (exceptions and contract violations become TrialError records while
+//     sibling trials complete) and enforces optional per-trial round /
+//     wall-clock budgets via trial_round_checkpoint(), which Engine::step
+//     hits at every round boundary. The fault-free, budget-off path is
+//     bit-identical to run().
 //
 // Trials run whole engines, so each trial must itself be single-threaded
 // (EngineConfig::threads == 1): TaskPool is not reentrant, and nesting
@@ -26,8 +32,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/contract.h"
 #include "common/parallel.h"
 
 namespace udwn {
@@ -36,6 +47,101 @@ struct BatchConfig {
   /// Worker threads shared by all trials (including the caller); 1 runs
   /// trials serially inline (no pool is created).
   int threads = 1;
+  /// Per-trial budgets, enforced by run_checked() at round boundaries:
+  /// Engine::step calls trial_round_checkpoint() once per completed round
+  /// (custom long loops can call it too). 0 = unlimited. A trial past its
+  /// budget is cancelled gracefully via TrialTimeout at the next round
+  /// boundary and recorded as TrialStatus::kTimedOut. max_rounds cancels at
+  /// the first boundary *after* max_rounds rounds completed, so a trial
+  /// that finishes in exactly max_rounds rounds still succeeds. With both
+  /// budgets off the execution path is bit-identical to run(): no clock is
+  /// ever read.
+  std::uint64_t max_rounds = 0;
+  std::uint64_t trial_deadline_ns = 0;
+};
+
+/// Per-trial outcome classification for run_checked().
+enum class TrialStatus : std::uint8_t { kOk = 0, kFailed = 1, kTimedOut = 2 };
+[[nodiscard]] const char* to_string(TrialStatus status) noexcept;
+
+/// Structured record of one failed or timed-out trial. `seed` is 0 unless
+/// the caller maps trial indices back to seeds (bench/exp_common.h does).
+struct TrialError {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  TrialStatus status = TrialStatus::kFailed;
+  std::string what;
+};
+
+/// Thrown by trial_round_checkpoint() when the running trial exceeds its
+/// BatchConfig budget; run_checked() records it as TrialStatus::kTimedOut.
+class TrialTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Round/deadline budget for one trial. run_checked() installs one
+/// thread-locally around each trial body; trial_round_checkpoint() consults
+/// it at round boundaries.
+class TrialBudget {
+ public:
+  TrialBudget(std::uint64_t max_rounds, std::uint64_t deadline_ns);
+  [[nodiscard]] bool limited() const {
+    return max_rounds_ != 0 || deadline_ns_ != 0;
+  }
+  /// Counts one completed round; throws TrialTimeout past a budget. The
+  /// wall clock is read only when a deadline is configured.
+  void on_round();
+
+ private:
+  std::uint64_t max_rounds_;
+  std::uint64_t deadline_ns_;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t start_ns_ = 0;
+};
+
+namespace detail {
+
+/// Thread-local slot holding the running trial's budget; null outside
+/// run_checked() or when no budget is configured.
+[[nodiscard]] TrialBudget*& current_trial_budget() noexcept;
+
+class ScopedTrialBudget {
+ public:
+  explicit ScopedTrialBudget(TrialBudget* budget)
+      : prev_(current_trial_budget()) {
+    current_trial_budget() = budget;
+  }
+  ~ScopedTrialBudget() { current_trial_budget() = prev_; }
+  ScopedTrialBudget(const ScopedTrialBudget&) = delete;
+  ScopedTrialBudget& operator=(const ScopedTrialBudget&) = delete;
+
+ private:
+  TrialBudget* prev_;
+};
+
+}  // namespace detail
+
+/// Round-boundary cancellation point. Engine::step calls this once per
+/// completed round; any custom long loop may call it too. Costs one
+/// thread-local load plus a null test when no budget is installed — and no
+/// budget is ever installed outside run_checked(), so plain runs are
+/// unaffected. Throws TrialTimeout when the running trial is past its
+/// budget.
+inline void trial_round_checkpoint() {
+  if (TrialBudget* budget = detail::current_trial_budget())
+    budget->on_round();
+}
+
+/// Outcome of run_checked(): results in trial order (default-constructed
+/// for trials that did not finish), per-trial status, and one TrialError
+/// per failed/timed-out trial in ascending trial order.
+template <typename R>
+struct BatchResult {
+  std::vector<R> results;
+  std::vector<TrialStatus> status;
+  std::vector<TrialError> errors;
+  [[nodiscard]] bool ok() const { return errors.empty(); }
 };
 
 class BatchRunner {
@@ -51,6 +157,11 @@ class BatchRunner {
   /// trial order. `body` must be callable concurrently from multiple
   /// threads and must derive all randomness from k (see the seed-stream
   /// discipline above). R must be default-constructible and movable.
+  ///
+  /// Strict mode: an exception escaping a trial propagates out of run()
+  /// (sibling trials still complete and the pool stays usable — see
+  /// TaskPool::run; the surfaced exception is the lowest-index one). For
+  /// per-trial fault isolation use run_checked() instead.
   template <typename Body>
   auto run(std::size_t count, Body&& body)
       -> std::vector<decltype(body(std::size_t{0}))> {
@@ -69,6 +180,64 @@ class BatchRunner {
         },
         &ctx);
     return results;
+  }
+
+  /// Fault-isolating variant of run(): every trial executes even when
+  /// siblings fail. An exception escaping trial k — including a
+  /// ContractViolation, because the throwing contract handler is installed
+  /// for the duration of the batch — is captured as a TrialError instead of
+  /// escaping; exceeding a configured budget (BatchConfig::{max_rounds,
+  /// trial_deadline_ns}) is recorded as the distinct kTimedOut outcome.
+  /// The fault-free path runs the same trials in the same chunks as run(),
+  /// so its results are bit-identical.
+  template <typename Body>
+  auto run_checked(std::size_t count, Body&& body)
+      -> BatchResult<decltype(body(std::size_t{0}))> {
+    using R = decltype(body(std::size_t{0}));
+    using Fn = std::remove_reference_t<Body>;
+    BatchResult<R> out;
+    out.results.resize(count);
+    out.status.assign(count, TrialStatus::kOk);
+    std::vector<std::string> what(count);
+    struct Ctx {
+      Fn* body;
+      R* results;
+      TrialStatus* status;
+      std::string* what;
+      const BatchConfig* config;
+    } ctx{&body, out.results.data(), out.status.data(), what.data(),
+          &config_};
+    // Contract failures become catchable exceptions for the batch duration
+    // so one violating trial cannot abort the whole sweep.
+    ScopedContractHandler contracts(&throw_contract_handler);
+    run_items(
+        count,
+        [](void* context, std::size_t k) {
+          auto* c = static_cast<Ctx*>(context);
+          TrialBudget budget(c->config->max_rounds,
+                             c->config->trial_deadline_ns);
+          detail::ScopedTrialBudget guard(budget.limited() ? &budget
+                                                           : nullptr);
+          try {
+            c->results[k] = (*c->body)(k);
+          } catch (const TrialTimeout& timeout) {
+            c->status[k] = TrialStatus::kTimedOut;
+            c->what[k] = timeout.what();
+          } catch (const std::exception& error) {
+            c->status[k] = TrialStatus::kFailed;
+            c->what[k] = error.what();
+          } catch (...) {
+            c->status[k] = TrialStatus::kFailed;
+            c->what[k] = "unknown exception";
+          }
+        },
+        &ctx);
+    for (std::size_t k = 0; k < count; ++k) {
+      if (out.status[k] == TrialStatus::kOk) continue;
+      out.errors.push_back(
+          TrialError{k, 0, out.status[k], std::move(what[k])});
+    }
+    return out;
   }
 
   /// Untemplated core: run `fn(context, k)` for every k in [0, count),

@@ -4,6 +4,7 @@
 
 #include "common/contract.h"
 #include "obs/obs.h"
+#include "sim/batch.h"
 
 namespace udwn {
 
@@ -58,6 +59,9 @@ Engine::Engine(const Channel& channel, Network& network,
     for (std::size_t v = 0; v < n; ++v)
       obs_state_[v] = protocols_[v]->obs_state();
   }
+  // Armed only with an Obs handle attached: the tap reads the registry at
+  // round boundaries, and without a handle there is nothing to read.
+  if (config_.obs != nullptr) tap_ = MetricsTap::from_env();
 }
 
 Protocol& Engine::protocol(NodeId v) const {
@@ -130,10 +134,16 @@ void Engine::step() {
       }
     }
     publish_round_obs(transitions, network_->alive_count());
+    if (tap_.enabled())
+      tap_.on_round(*config_.obs, static_cast<std::uint64_t>(round_) + 1);
   }
 
   ++round_;
   if (recorder_ != nullptr) recorder_->on_round_end(round_, *this);
+  // Budget cancellation point for BatchRunner::run_checked trials: a
+  // thread-local load + null test when no budget is installed (the common
+  // case), so plain runs are unaffected.
+  trial_round_checkpoint();
 }
 
 void Engine::publish_round_obs(std::uint64_t transitions,

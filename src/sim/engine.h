@@ -18,6 +18,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "obs/tap.h"
 #include "phy/channel.h"
 #include "sensing/primitives.h"
 #include "sim/dynamics.h"
@@ -150,6 +151,9 @@ class Engine {
   std::vector<std::uint32_t> obs_state_;  // per-node obs_state() last round
   GainTable::Stats last_gain_stats_;
   TaskPool::Stats last_pool_stats_;
+  // Live metrics tap (UDWN_METRICS_TAP); armed only when an Obs handle is
+  // attached, fires at round boundaries — quiescent points by construction.
+  MetricsTap tap_;
 };
 
 }  // namespace udwn

@@ -87,8 +87,11 @@ TEST(MetricsRegistry, SnapshotPreservesRegistrationOrder) {
 
 TEST(MetricsRegistry, OverflowingTheNameTableReturnsInvalid) {
   MetricsRegistry reg;
-  for (std::size_t i = 0; i < MetricsRegistry::kMaxCounters; ++i)
-    ASSERT_NE(reg.counter("c" + std::to_string(i)), kInvalidMetric);
+  for (std::size_t i = 0; i < MetricsRegistry::kMaxCounters; ++i) {
+    std::string name = "c";
+    name += std::to_string(i);
+    ASSERT_NE(reg.counter(name), kInvalidMetric);
+  }
   EXPECT_EQ(reg.counter("one-too-many"), kInvalidMetric);
   reg.add(kInvalidMetric, 1);  // must be a safe no-op
   EXPECT_EQ(reg.counter_count(), MetricsRegistry::kMaxCounters);
@@ -221,6 +224,48 @@ TEST(TraceExport, JsonlRoundTrip) {
   const auto back = import_jsonl(path);
   ASSERT_TRUE(back.has_value());
   expect_traces_equal(trace, *back);
+}
+
+// Counter and histogram names come from user-registered metrics and may
+// carry any byte: every control character, quotes, and backslashes must
+// survive export_jsonl -> import_jsonl exactly (the \uXXXX escapes the
+// exporter emits for control characters have to decode on the way back).
+TEST(TraceExport, JsonlRoundTripPreservesControlCharacterNames) {
+  Trace trace;
+  std::string all_controls = "ctl:";
+  for (char c = 0x01; c < 0x20; ++c) all_controls += c;
+  const std::vector<std::string> names{
+      "newline\nname", "tab\tname",     "cr\rname",
+      "bell\x07name",  "esc\x1bname",   "quote\"back\\slash",
+      "slash/name",    all_controls,
+  };
+  std::uint64_t value = 1;
+  for (const std::string& name : names)
+    trace.counters.emplace_back(name, value++);
+  MetricsRegistry::HistogramView h;
+  h.name = "hist\r\nwith\x01controls";
+  h.count = 3;
+  h.sum = 12;
+  h.buckets[2] = 3;
+  trace.histograms.push_back(h);
+
+  const std::string path =
+      ::testing::TempDir() + "udwn_obs_control_chars.jsonl";
+  ASSERT_TRUE(export_jsonl(path, trace));
+  const auto back = import_jsonl(path);
+  ASSERT_TRUE(back.has_value());
+  expect_traces_equal(trace, *back);
+}
+
+TEST(TraceExport, ImportRejectsMalformedUnicodeEscape) {
+  const std::string path = ::testing::TempDir() + "udwn_obs_bad_escape.jsonl";
+  {
+    std::ofstream os(path);
+    os << "{\"type\":\"meta\",\"format\":\"udwn-trace\",\"version\":1,"
+          "\"events\":0,\"dropped\":0}\n"
+          "{\"type\":\"counter\",\"name\":\"bad\\u00zzname\",\"value\":1}\n";
+  }
+  EXPECT_FALSE(import_jsonl(path).has_value());
 }
 
 TEST(TraceExport, ChromeEventCountMatches) {

@@ -176,6 +176,34 @@ int run_batch_check(const Options& options) {
     std::cout << failures << " of " << kTrials
               << " trials diverged from serial\n";
   }
+  if (failures != 0) return 1;
+
+  // Fault-isolating path with a generous rounds budget armed: run_checked
+  // installs the throwing contract handler and a per-trial TrialBudget, and
+  // neither may perturb a fault-free trial — same hashes, every status ok.
+  // (The rounds-only budget reads no clock, so this row is as bit-exact a
+  // contract as the strict one above.)
+  BatchConfig budgeted{.threads = options.threads};
+  budgeted.max_rounds =
+      static_cast<std::uint64_t>(options.rounds) * 1000 + 1000;
+  BatchRunner checked_runner(budgeted);
+  const auto outcome = checked_runner.run_checked(kTrials, trial_hash);
+  std::cout << "  batch-checked(budget=" << budgeted.max_rounds
+            << " rounds): ";
+  if (!outcome.ok()) {
+    std::cout << outcome.errors.size() << " of " << kTrials
+              << " fault-free trials reported an error\n";
+    return 1;
+  }
+  for (std::size_t k = 0; k < kTrials; ++k)
+    if (outcome.results[k] != serial[k]) ++failures;
+  if (failures == 0) {
+    std::cout << kTrials << " trials, budgets + fault isolation armed, "
+              << "hashes identical to serial\n";
+  } else {
+    std::cout << failures << " of " << kTrials
+              << " trials diverged from serial\n";
+  }
   return failures == 0 ? 0 : 1;
 }
 

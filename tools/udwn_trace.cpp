@@ -12,8 +12,9 @@
 //
 // --verify-roundtrip exports to both text formats (temp files next to the
 // trace unless explicit paths are given), re-imports/counts them, and exits
-// nonzero unless both preserve the event count — CI runs this against a
-// fresh exp02 trace.
+// nonzero unless the JSONL round-trip reproduces the events, counters,
+// histograms, and dropped count exactly (chrome must preserve the event
+// count) — CI runs this against a fresh exp02 trace.
 #include <algorithm>
 #include <array>
 #include <cstdint>
@@ -217,6 +218,18 @@ void print_heatmap(const std::vector<RoundAgg>& rounds) {
   }
 }
 
+bool same_histograms(const Trace& a, const Trace& b) {
+  if (a.histograms.size() != b.histograms.size()) return false;
+  for (std::size_t i = 0; i < a.histograms.size(); ++i) {
+    const auto& x = a.histograms[i];
+    const auto& y = b.histograms[i];
+    if (x.name != y.name || x.count != y.count || x.sum != y.sum ||
+        x.buckets != y.buckets)
+      return false;
+  }
+  return true;
+}
+
 int verify_roundtrip(const Options& opt, const Trace& trace) {
   const std::string jsonl = opt.jsonl_path.empty()
                                 ? opt.trace_path + ".jsonl"
@@ -246,6 +259,29 @@ int verify_roundtrip(const Options& opt, const Trace& trace) {
                  reimported->events.size(), trace.events.size());
     return 1;
   }
+  // Metric aggregates must survive too — counter/histogram names can carry
+  // arbitrary bytes, so this exercises the full JSON escape round-trip,
+  // not just the numeric event records.
+  if (reimported->counters != trace.counters) {
+    std::fprintf(stderr,
+                 "roundtrip: jsonl counter mismatch (%zu vs %zu counters)\n",
+                 reimported->counters.size(), trace.counters.size());
+    return 1;
+  }
+  if (!same_histograms(*reimported, trace)) {
+    std::fprintf(stderr,
+                 "roundtrip: jsonl histogram mismatch (%zu vs %zu "
+                 "histograms)\n",
+                 reimported->histograms.size(), trace.histograms.size());
+    return 1;
+  }
+  if (reimported->dropped != trace.dropped) {
+    std::fprintf(stderr,
+                 "roundtrip: jsonl dropped-count mismatch (%llu vs %llu)\n",
+                 static_cast<unsigned long long>(reimported->dropped),
+                 static_cast<unsigned long long>(trace.dropped));
+    return 1;
+  }
   const auto chrome_count = udwn::count_chrome_events(chrome);
   if (!chrome_count.has_value() || *chrome_count != trace.events.size()) {
     std::fprintf(stderr,
@@ -255,8 +291,10 @@ int verify_roundtrip(const Options& opt, const Trace& trace) {
                  trace.events.size());
     return 1;
   }
-  std::printf("roundtrip OK: %zu events in binary == jsonl == chrome\n",
-              trace.events.size());
+  std::printf("roundtrip OK: %zu events, %zu counters, %zu histograms in "
+              "binary == jsonl (events == chrome)\n",
+              trace.events.size(), trace.counters.size(),
+              trace.histograms.size());
   return 0;
 }
 
