@@ -142,3 +142,21 @@ namespace detail {
     (void)sizeof(static_cast<bool>(cond)); \
   } while (false)
 #endif
+
+// ---------------------------------------------------------------------------
+// Hot-path annotation.
+//
+// UDWN_HOT marks the functions whose steady-state cost defines simulator
+// throughput (Engine::run_slot, Channel::resolve_into, the interference
+// kernels, TaskPool::run). tools/udwn_analyze.py treats every UDWN_HOT
+// function as a call-graph root and rejects any reachable allocation — the
+// static counterpart of the counting-allocator test in
+// tests/test_engine_workspace.cpp. The annotate attribute makes the marking
+// visible to libclang; `hot` additionally nudges the optimizer.
+#if defined(__clang__)
+#define UDWN_HOT __attribute__((hot, annotate("udwn_hot")))
+#elif defined(__GNUC__)
+#define UDWN_HOT __attribute__((hot))
+#else
+#define UDWN_HOT
+#endif

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/contract.h"
-#include "obs/clock.h"
 
 namespace udwn {
 namespace {
@@ -94,10 +93,10 @@ void TaskPool::run(std::size_t begin, std::size_t end, ChunkFn fn,
   work_off_chunks();
 
   std::unique_lock<std::mutex> lock(mutex_);
-  if (collect_stats_ && pending_ != 0) {
-    const std::uint64_t t0 = obs_now_ns();
+  if (collect_stats_ && now_ns_ != nullptr && pending_ != 0) {
+    const std::uint64_t t0 = now_ns_();
     done_.wait(lock, [this] { return pending_ == 0; });
-    stats_.caller_wait_ns += obs_now_ns() - t0;
+    stats_.caller_wait_ns += now_ns_() - t0;
   } else {
     done_.wait(lock, [this] { return pending_ == 0; });
   }
@@ -150,12 +149,13 @@ void TaskPool::worker_loop() {
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      if (collect_stats_ && !stop_ && generation_ == seen_generation) {
-        const std::uint64_t t0 = obs_now_ns();
+      if (collect_stats_ && now_ns_ != nullptr && !stop_ &&
+          generation_ == seen_generation) {
+        const std::uint64_t t0 = now_ns_();
         wake_.wait(lock, [&] {
           return stop_ || generation_ != seen_generation;
         });
-        stats_.worker_idle_ns += obs_now_ns() - t0;
+        stats_.worker_idle_ns += now_ns_() - t0;
       } else {
         wake_.wait(lock, [&] {
           return stop_ || generation_ != seen_generation;
@@ -168,9 +168,10 @@ void TaskPool::worker_loop() {
   }
 }
 
-void TaskPool::set_collect_stats(bool collect) {
+void TaskPool::set_collect_stats(bool collect, NowNsFn now_ns) {
   std::lock_guard<std::mutex> lock(mutex_);
   collect_stats_ = collect;
+  now_ns_ = now_ns;
 }
 
 TaskPool::Stats TaskPool::stats() const {

@@ -24,6 +24,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/contract.h"
+
 namespace udwn {
 
 class TaskPool {
@@ -58,8 +60,8 @@ class TaskPool {
   /// a contract violation (UDWN_EXPECT, kept in release) — without the
   /// check the nested join would deadlock silently.
   using ChunkFn = void (*)(void* context, std::size_t lo, std::size_t hi);
-  void run(std::size_t begin, std::size_t end, ChunkFn fn, void* context,
-           std::size_t chunk_size = 0);
+  UDWN_HOT void run(std::size_t begin, std::size_t end, ChunkFn fn,
+                    void* context, std::size_t chunk_size = 0);
 
   /// Convenience adapter for stateless-callable lambdas (captures allowed;
   /// the lambda lives on the caller's stack, so no allocation happens).
@@ -76,16 +78,20 @@ class TaskPool {
 
   /// Lifetime scheduling statistics. Job/chunk counts are always kept (the
   /// increments ride on locks run() takes anyway); the wall-clock fields
-  /// need set_collect_stats(true) because they add obs_now_ns() calls
-  /// around every condition-variable wait. Timing is observability-only —
-  /// it can never influence chunk boundaries (see determinism contract).
+  /// need set_collect_stats(true, now_ns) because they time every
+  /// condition-variable wait. The clock is *injected*: src/common sits at
+  /// the bottom of the layering DAG and must not include src/obs, so the
+  /// observability layer passes its own obs_now_ns when it turns stats on
+  /// (see SlotWorkspace). Timing is observability-only — it can never
+  /// influence chunk boundaries (see determinism contract).
   struct Stats {
     std::uint64_t jobs = 0;            // run() calls that dispatched work
     std::uint64_t chunks = 0;          // chunks executed across all jobs
     std::uint64_t worker_idle_ns = 0;  // workers blocked waiting for a job
     std::uint64_t caller_wait_ns = 0;  // callers blocked in run()'s join
   };
-  void set_collect_stats(bool collect);
+  using NowNsFn = std::uint64_t (*)();
+  void set_collect_stats(bool collect, NowNsFn now_ns = nullptr);
   [[nodiscard]] Stats stats() const;
 
  private:
@@ -116,6 +122,7 @@ class TaskPool {
   std::uint64_t generation_ = 0;
   bool stop_ = false;
   bool collect_stats_ = false;  // guarded by mutex_
+  NowNsFn now_ns_ = nullptr;    // guarded by mutex_; set with collect_stats_
   Stats stats_;                 // guarded by mutex_ (threads > 1)
 };
 

@@ -2,14 +2,16 @@
 //
 // Simulation results must be pure functions of the seed; wall-clock time is
 // observability-only (pool idle time, benchmark harnesses). To keep timing
-// from leaking into simulation decisions, the custom lint
-// (tools/udwn_lint.py, rule `chrono`) flags raw std::chrono outside
-// src/obs/ and bench/ — instrumentation elsewhere must go through this
-// header, which makes every timing call grep-able.
+// from leaking into simulation decisions, the static checkers flag raw
+// std::chrono (tools/udwn_lint.py, rule `chrono`) and obs_now_ns calls
+// (tools/udwn_analyze.py, rule `det-wall-clock`) outside src/obs/ and
+// bench/ — instrumentation elsewhere must go through this header, which
+// makes every timing call grep-able.
 //
-// Header-only on purpose: src/common (TaskPool) can time its idle waits
-// without a link dependency on udwn_obs, so the library layering stays
-// acyclic (udwn_obs depends on udwn_common, never the reverse).
+// Layers below obs never include this header: src/common's TaskPool takes
+// the clock as an injected function pointer (TaskPool::NowNsFn), which the
+// obs-aware caller points at obs_now_ns. That keeps the include DAG strict
+// (udwn_obs depends on udwn_common, never the reverse — see DESIGN.md).
 #pragma once
 
 #include <chrono>

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/contract.h"
+#include "obs/clock.h"
 #include "obs/obs.h"
 #include "phy/interference.h"
 
@@ -41,8 +42,11 @@ SlotWorkspace::SlotWorkspace(SlotWorkspaceConfig config)
   UDWN_EXPECT(config.threads >= 1);
   if (config.threads > 1)
     pool_ = std::make_unique<TaskPool>(config.threads);
+  // The pool lives in src/common, below the observability layer, so it
+  // cannot name obs_now_ns itself; the clock is injected here, where obs
+  // is already a dependency (layering DAG, DESIGN.md).
   if (pool_ != nullptr && config.obs != nullptr)
-    pool_->set_collect_stats(true);
+    pool_->set_collect_stats(true, &obs_now_ns);
 }
 
 double Channel::comm_radius() const { return comm_radius_; }

@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "common/contract.h"
 #include "common/parallel.h"
 #include "common/types.h"
 #include "metric/quasi_metric.h"
@@ -136,11 +137,10 @@ class Channel {
   /// that bumps whenever the alive mask or the metric changes. Transmitter
   /// ids must be unique. Returns workspace.outcome(); the reference is
   /// valid until the next resolve_into on the same workspace.
-  const SlotOutcome& resolve_into(std::span<const NodeId> transmitters,
-                                  std::span<const std::uint8_t> alive,
-                                  double power_scale,
-                                  std::uint64_t topology_epoch,
-                                  SlotWorkspace& workspace) const;
+  UDWN_HOT const SlotOutcome& resolve_into(
+      std::span<const NodeId> transmitters, std::span<const std::uint8_t> alive,
+      double power_scale, std::uint64_t topology_epoch,
+      SlotWorkspace& workspace) const;
 
   /// The power scale that shrinks the SINR clear-channel range by `factor`:
   /// factor^ζ.

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "common/contract.h"
 #include "common/parallel.h"
 #include "common/types.h"
 #include "metric/quasi_metric.h"
@@ -32,11 +33,11 @@ std::vector<double> interference_field(const QuasiMetric& metric,
 /// transmitter order, so the result is bit-for-bit identical to the serial
 /// kernel for any thread count (chunks partition listeners, never a single
 /// listener's sum).
-void interference_field_into(const QuasiMetric& metric,
-                             const PathLoss& pathloss,
-                             std::span<const NodeId> transmitters,
-                             std::vector<double>& field,
-                             TaskPool* pool = nullptr);
+UDWN_HOT void interference_field_into(const QuasiMetric& metric,
+                                      const PathLoss& pathloss,
+                                      std::span<const NodeId> transmitters,
+                                      std::vector<double>& field,
+                                      TaskPool* pool = nullptr);
 
 /// Interference at a single listener from `transmitters` (excluding the
 /// listener itself and `excluded`, typically the intended sender).
@@ -57,10 +58,10 @@ double interference_at(const QuasiMetric& metric, const PathLoss& pathloss,
 /// Scalar reference over the table: one row at a time, listeners chunked.
 /// Kept as the comparison kernel for the `soa_kernel = false` knob and the
 /// determinism-audit matrix.
-void interference_field_rows(const GainTable& gains,
-                             std::span<const NodeId> transmitters,
-                             std::vector<double>& field,
-                             TaskPool* pool = nullptr);
+UDWN_HOT void interference_field_rows(const GainTable& gains,
+                                      std::span<const NodeId> transmitters,
+                                      std::vector<double>& field,
+                                      TaskPool* pool = nullptr);
 
 /// SoA/SIMD kernel: vectorizes across *listeners* (contiguous column blocks
 /// of several transmitter rows accumulate into a register before the field
@@ -69,10 +70,10 @@ void interference_field_rows(const GainTable& gains,
 /// sum, so the result is bit-identical to the scalar kernels. `row_scratch`
 /// is caller-owned reusable storage for the per-(transmitter, block) row
 /// pointers (no steady-state allocation).
-void interference_field_soa(const GainTable& gains,
-                            std::span<const NodeId> transmitters,
-                            std::vector<const double*>& row_scratch,
-                            std::vector<double>& field,
-                            TaskPool* pool = nullptr);
+UDWN_HOT void interference_field_soa(const GainTable& gains,
+                                     std::span<const NodeId> transmitters,
+                                     std::vector<const double*>& row_scratch,
+                                     std::vector<double>& field,
+                                     TaskPool* pool = nullptr);
 
 }  // namespace udwn

@@ -24,7 +24,9 @@ TrialBudget::TrialBudget(std::uint64_t max_rounds, std::uint64_t deadline_ns)
     : max_rounds_(max_rounds), deadline_ns_(deadline_ns) {
   // The clock is read only for deadline budgets: a rounds-only (or
   // unlimited) budget keeps the trial a pure function of its seed.
-  if (deadline_ns_ != 0) start_ns_ = obs_now_ns();
+  if (deadline_ns_ != 0)
+    start_ns_ = obs_now_ns();  // udwn-lint: allow(det-wall-clock): deadline
+                               // budgets are wall-clock by contract
 }
 
 void TrialBudget::on_round() {
@@ -32,9 +34,13 @@ void TrialBudget::on_round() {
   if (max_rounds_ != 0 && rounds_ > max_rounds_)
     throw TrialTimeout("trial exceeded max_rounds = " +
                        std::to_string(max_rounds_));
-  if (deadline_ns_ != 0 && obs_now_ns() - start_ns_ > deadline_ns_)
-    throw TrialTimeout("trial exceeded deadline = " +
-                       std::to_string(deadline_ns_) + " ns");
+  if (deadline_ns_ != 0) {
+    const std::uint64_t now =
+        obs_now_ns();  // udwn-lint: allow(det-wall-clock): deadline check
+    if (now - start_ns_ > deadline_ns_)
+      throw TrialTimeout("trial exceeded deadline = " +
+                         std::to_string(deadline_ns_) + " ns");
+  }
 }
 
 namespace detail {

@@ -16,6 +16,7 @@
 #include <optional>
 #include <span>
 
+#include "common/contract.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "obs/tap.h"
@@ -116,7 +117,7 @@ class Engine {
   [[nodiscard]] bool clock_fired(NodeId v) const;
 
  private:
-  void run_slot(Slot slot);
+  UDWN_HOT void run_slot(Slot slot);
 
   const Channel* channel_;
   Network* network_;

@@ -1,0 +1,5 @@
+// udwn-expect: layering
+// src/common sits at the bottom of the DAG: including upward (src/sim) is
+// a dependency inversion.
+#include "sim/engine.h"
+namespace udwn {}

@@ -1,0 +1,10 @@
+// udwn-expect: none
+// src/obs is the blessed home for the clock.
+#include <chrono>
+#include <cstdint>
+namespace udwn {
+inline std::uint64_t obs_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+}  // namespace udwn

@@ -1,0 +1,8 @@
+// udwn-expect: env-hygiene
+// std::getenv outside src/common/env.cpp bypasses the strict env parser.
+#include <cstdlib>
+namespace udwn {
+inline const char* threads_override() {
+  return std::getenv("UDWN_THREADS");
+}
+}  // namespace udwn

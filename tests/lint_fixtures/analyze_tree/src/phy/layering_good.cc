@@ -1,0 +1,6 @@
+// udwn-expect: none
+// phy may include common, metric and obs (downward edges only).
+#include "common/types.h"
+#include "metric/quasi_metric.h"
+#include "obs/clock.h"
+namespace udwn {}

@@ -1,0 +1,10 @@
+// udwn-expect: bad-suppression det-wall-clock
+// A bare allow() without `: reason` suppresses nothing (and is reported).
+#include <cstdint>
+namespace udwn {
+std::uint64_t obs_now_ns();  // udwn-lint: allow(det-wall-clock): fwd decl
+
+inline std::uint64_t stamp() {
+  return obs_now_ns();  // udwn-lint: allow(det-wall-clock)
+}
+}  // namespace udwn

@@ -1,0 +1,18 @@
+// udwn-expect: hot-path-alloc
+// A UDWN_HOT root reaching an allocating callee must be flagged, with the
+// call chain reported (run_slot -> gather -> push_back).
+#include <vector>
+namespace udwn {
+class Engine {
+ public:
+  UDWN_HOT void run_slot(int slot);
+
+ private:
+  void gather(int slot);
+  std::vector<int> scratch_;
+};
+
+void Engine::run_slot(int slot) { gather(slot); }
+
+void Engine::gather(int slot) { scratch_.push_back(slot); }
+}  // namespace udwn

@@ -1,0 +1,29 @@
+// udwn-expect: none
+// Traversal stops at protocol virtual dispatch (on_slot & friends): a
+// protocol that allocates is the protocol's cost, not the engine's — the
+// counting-allocator test pins the engine with a no-op protocol.
+#include <string>
+namespace udwn {
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+  virtual void on_slot(int feedback) = 0;
+};
+
+class LoggingProtocol final : public Protocol {
+ public:
+  void on_slot(int feedback) override { log_.append(1, 'x'); }
+
+ private:
+  std::string log_;
+};
+
+class Runner {
+ public:
+  UDWN_HOT void drive(Protocol& protocol, int feedback);
+};
+
+void Runner::drive(Protocol& protocol, int feedback) {
+  protocol.on_slot(feedback);
+}
+}  // namespace udwn

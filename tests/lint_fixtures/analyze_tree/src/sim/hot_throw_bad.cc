@@ -1,0 +1,14 @@
+// udwn-expect: hot-path-alloc
+// throw-by-value constructs an exception object: not allowed on hot paths
+// (contract macros route through [[noreturn]] contract_fail instead).
+#include <stdexcept>
+namespace udwn {
+class Stepper {
+ public:
+  UDWN_HOT void advance(int slot);
+};
+
+void Stepper::advance(int slot) {
+  if (slot < 0) throw std::invalid_argument("negative slot");
+}
+}  // namespace udwn

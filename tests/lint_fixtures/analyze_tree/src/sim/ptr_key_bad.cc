@@ -1,0 +1,10 @@
+// udwn-expect: det-ptr-key
+// Ordered container keyed by pointer iterates in address order, which
+// varies between runs.
+#include <map>
+namespace udwn {
+class Registry {
+ private:
+  std::map<const char*, int> by_name_;
+};
+}  // namespace udwn

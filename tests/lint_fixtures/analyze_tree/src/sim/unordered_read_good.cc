@@ -1,0 +1,12 @@
+// udwn-expect: none
+// A read-only membership scan is order-insensitive: the AST-precise rule
+// does not flag it (the regex rule in udwn_lint.py would).
+#include <unordered_map>
+namespace udwn {
+inline bool knows(const std::unordered_map<int, double>& weights, int key) {
+  for (const auto& entry : weights) {
+    if (entry.first == key) return true;
+  }
+  return false;
+}
+}  // namespace udwn

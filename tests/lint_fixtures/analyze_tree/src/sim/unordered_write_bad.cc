@@ -1,0 +1,17 @@
+// udwn-expect: det-unordered-iter
+// Loop over an unordered container whose body writes: iteration order
+// (hash/address dependent) leaks into state.
+#include <unordered_map>
+#include <vector>
+namespace udwn {
+class Collector {
+ public:
+  void drain() {
+    for (const auto& entry : pending_) order_.push_back(entry.first);
+  }
+
+ private:
+  std::unordered_map<int, double> pending_;
+  std::vector<int> order_;
+};
+}  // namespace udwn

@@ -1,0 +1,9 @@
+// udwn-expect: det-wall-clock
+// obs_now_ns outside src/obs and bench: simulation logic must be a pure
+// function of the seed.
+#include <cstdint>
+namespace udwn {
+std::uint64_t obs_now_ns();
+
+inline std::uint64_t slot_jitter() { return obs_now_ns() % 7; }
+}  // namespace udwn

@@ -1,0 +1,10 @@
+// udwn-expect: none
+// A reasoned suppression silences det-wall-clock (deadline-budget pattern).
+#include <cstdint>
+namespace udwn {
+std::uint64_t obs_now_ns();  // udwn-lint: allow(det-wall-clock): fwd decl
+
+inline std::uint64_t deadline_start() {
+  return obs_now_ns();  // udwn-lint: allow(det-wall-clock): deadline budget
+}
+}  // namespace udwn

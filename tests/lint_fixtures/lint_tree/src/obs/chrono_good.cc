@@ -1,0 +1,8 @@
+// udwn-expect: none
+// src/obs is the blessed home for timing, so chrono is allowed here.
+#include <chrono>
+namespace udwn {
+inline long long obs_stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+}  // namespace udwn

@@ -1,0 +1,5 @@
+// udwn-expect: float-eq
+// Exact floating-point comparison in a physics dir must be flagged.
+namespace udwn {
+inline bool at_unit_power(double power_scale) { return power_scale == 1.0; }
+}  // namespace udwn

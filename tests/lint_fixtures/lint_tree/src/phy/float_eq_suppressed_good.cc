@@ -1,0 +1,7 @@
+// udwn-expect: none
+// A reasoned suppression silences the finding.
+namespace udwn {
+inline bool at_unit_power(double power_scale) {
+  return power_scale == 1.0;  // udwn-lint: allow(float-eq): exact sentinel
+}
+}  // namespace udwn

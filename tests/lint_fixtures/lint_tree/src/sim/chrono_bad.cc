@@ -1,0 +1,8 @@
+// udwn-expect: chrono
+// Wall-clock reads outside src/obs and bench are determinism leaks.
+#include <chrono>
+namespace udwn {
+inline long long stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+}  // namespace udwn

@@ -1,0 +1,5 @@
+// udwn-expect: none
+// float-eq is scoped to src/phy and src/metric; src/sim is out of scope.
+namespace udwn {
+inline bool is_default(double value) { return value == 1.0; }
+}  // namespace udwn

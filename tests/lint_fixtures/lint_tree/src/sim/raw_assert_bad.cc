@@ -1,0 +1,6 @@
+// udwn-expect: raw-assert
+// assert() vanishes under NDEBUG; the contract macros must be used instead.
+#include <cassert>
+namespace udwn {
+inline void check_slot(int slot) { assert(slot >= 0); }
+}  // namespace udwn

@@ -1,0 +1,9 @@
+// udwn-expect: rng-source
+// Raw <random> engines outside src/common/rng.* break seed determinism.
+#include <random>
+namespace udwn {
+inline unsigned roll() {
+  std::mt19937 engine(12345);
+  return static_cast<unsigned>(engine());
+}
+}  // namespace udwn

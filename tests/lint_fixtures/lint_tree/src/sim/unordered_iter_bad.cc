@@ -1,0 +1,16 @@
+// udwn-expect: unordered-iter
+// The regex rule flags any iteration over an unordered container.
+#include <unordered_map>
+#include <vector>
+namespace udwn {
+class Router {
+ public:
+  void flush() {
+    for (const auto& entry : pending_) order_.push_back(entry.first);
+  }
+
+ private:
+  std::unordered_map<int, double> pending_;
+  std::vector<int> order_;
+};
+}  // namespace udwn

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Fixture harness for the repo's static checkers.
+
+Each fixture tree mirrors a tiny repo (`<tree>/src/<layer>/...`) so the
+path-scoped rules (float-eq, chrono, layering, env-hygiene) fire exactly as
+they would in the real tree, via the tools' --src-root flag. Every fixture
+file declares its expected finding set on the first line:
+
+    // udwn-expect: rule-a rule-b      (these rules, at least once each,
+                                        and no others)
+    // udwn-expect: none               (must be perfectly clean)
+
+`lint_tree/` runs through udwn_lint.py, `analyze_tree/` through
+udwn_analyze.py (forced fallback frontend, no baseline). The harness
+compares the *set* of rules per file — line numbers are the fixtures'
+business, not the contract. Exit 0 = every fixture behaves.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+TOOLS = HERE.parent.parent / "tools"
+
+EXPECT_PREFIX = "// udwn-expect:"
+
+
+def expected_rules(path: Path) -> set[str]:
+    first = path.read_text(encoding="utf-8").splitlines()[0].strip()
+    if not first.startswith(EXPECT_PREFIX):
+        raise SystemExit(f"{path}: first line must be '{EXPECT_PREFIX} ...'")
+    spec = first[len(EXPECT_PREFIX):].strip()
+    return set() if spec == "none" else set(spec.split())
+
+
+def run_tool(cmd: list[str]) -> dict:
+    proc = subprocess.run(
+        [sys.executable, *cmd], capture_output=True, text=True
+    )
+    if proc.returncode not in (0, 1):
+        raise SystemExit(
+            f"tool crashed (rc={proc.returncode}): {' '.join(cmd)}\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        raise SystemExit(f"non-JSON output from {' '.join(cmd)}:\n{proc.stdout}")
+
+
+def check_tree(name: str, tree: Path, cmd: list[str]) -> int:
+    payload = run_tool(cmd)
+    found: dict[str, set[str]] = {}
+    for finding in payload["findings"]:
+        found.setdefault(finding["path"], set()).add(finding["rule"])
+
+    failures = 0
+    fixtures = sorted(tree.rglob("*.cc")) + sorted(tree.rglob("*.hpp"))
+    for fixture in fixtures:
+        rel = str(fixture.relative_to(tree))
+        want = expected_rules(fixture)
+        got = found.get(rel, set())
+        if got != want:
+            failures += 1
+            print(
+                f"FAIL [{name}] {rel}: expected "
+                f"{sorted(want) or ['none']}, got {sorted(got) or ['none']}"
+            )
+        else:
+            print(f"ok   [{name}] {rel}: {sorted(want) or ['none']}")
+    if not fixtures:
+        print(f"FAIL [{name}] no fixture files under {tree}")
+        failures += 1
+    return failures
+
+
+def main() -> int:
+    lint_tree = HERE / "lint_tree"
+    analyze_tree = HERE / "analyze_tree"
+    failures = 0
+    failures += check_tree(
+        "lint",
+        lint_tree,
+        [
+            str(TOOLS / "udwn_lint.py"),
+            "--json",
+            "--src-root", str(lint_tree),
+            str(lint_tree / "src"),
+        ],
+    )
+    failures += check_tree(
+        "analyze",
+        analyze_tree,
+        [
+            str(TOOLS / "udwn_analyze.py"),
+            "--json",
+            "--frontend", "fallback",
+            "--baseline", "none",
+            "--src-root", str(analyze_tree),
+            str(analyze_tree / "src"),
+        ],
+    )
+    if failures:
+        print(f"lint_fixtures: {failures} fixture(s) FAILED", file=sys.stderr)
+        return 1
+    print("lint_fixtures: all fixtures behave", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,17 +31,29 @@ Rules (see docs/TOOLING.md for the full rationale):
                     (obs/clock.h) or the benchmarks. A clock read anywhere
                     else is either dead weight or a determinism leak.
 
-Suppress a finding by putting `udwn-lint: allow(<rule>)` in a comment on the
-same line, with a reason:   // udwn-lint: allow(float-eq): exact sentinel
+Suppress a finding with `udwn-lint: allow(<rule>): reason` in a comment on
+the same line:   // udwn-lint: allow(float-eq): exact sentinel
+The reason is mandatory — a bare `allow(<rule>)` suppresses nothing and is
+itself reported as `bad-suppression` (see docs/TOOLING.md).
 
-Usage: udwn_lint.py PATH [PATH...]   (files or directories; exit 0 = clean)
+Usage: udwn_lint.py [--json] [--src-root DIR] PATH [PATH...]
+(files or directories; exit 0 = clean, 1 = findings, 2 = usage error)
 """
 
 from __future__ import annotations
 
+import argparse
 import re
 import sys
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from udwn_report import (  # noqa: E402
+    Finding,
+    emit,
+    parse_suppressions,
+    strip_comments_and_strings,
+)
 
 SOURCE_SUFFIXES = {".h", ".hpp", ".cpp", ".cc"}
 
@@ -56,8 +68,6 @@ FLOAT_EQ_DIRS = ("src/phy", "src/metric")
 CHRONO_HOMES = ("src/obs", "bench")
 
 CHRONO_BANNED = re.compile(r"std::chrono\b|#\s*include\s*<chrono>")
-
-SUPPRESS = re.compile(r"udwn-lint:\s*allow\(([a-z-]+)\)")
 
 RNG_BANNED = re.compile(
     r"(?<![\w:])(rand|srand)\s*\("
@@ -79,64 +89,25 @@ RANGE_FOR = re.compile(r"\bfor\s*\([^;)]*?:\s*([^)]+)\)")
 BEGIN_ITER = re.compile(r"(\w+)\s*\.\s*(?:begin|cbegin|rbegin)\s*\(")
 
 
-def strip_comments_and_strings(text: str) -> str:
-    """Blank out comments and string/char literals, preserving line breaks so
-    reported line numbers stay accurate."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            while i < n and text[i] != "\n":
-                i += 1
-        elif c == "/" and nxt == "*":
-            i += 2
-            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
-                if text[i] == "\n":
-                    out.append("\n")
-                i += 1
-            i = min(i + 2, n)
-        elif c in "\"'":
-            quote = c
-            i += 1
-            while i < n and text[i] != quote:
-                if text[i] == "\\":
-                    i += 1
-                elif text[i] == "\n":
-                    out.append("\n")
-                i += 1
-            i += 1
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-class Finding:
-    def __init__(self, path: Path, line: int, rule: str, message: str):
-        self.path, self.line, self.rule, self.message = path, line, rule, message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def lint_file(path: Path, repo_relative: str) -> list[Finding]:
+def lint_file(path: Path, repo_relative: str) -> tuple[list[Finding], int]:
+    """Findings plus the number of validly suppressed hits in this file."""
     raw = path.read_text(encoding="utf-8", errors="replace")
     raw_lines = raw.splitlines()
-    suppressed: dict[int, set[str]] = {}
-    for lineno, line in enumerate(raw_lines, 1):
-        rules = set(SUPPRESS.findall(line))
-        if rules:
-            suppressed[lineno] = rules
+    suppressed, findings = parse_suppressions(raw_lines, repo_relative)
+    suppressed_hits = 0
 
     code_lines = strip_comments_and_strings(raw).splitlines()
-    findings: list[Finding] = []
 
     def report(lineno: int, rule: str, message: str) -> None:
+        nonlocal suppressed_hits
         if rule in suppressed.get(lineno, ()):
+            suppressed_hits += 1
             return
-        findings.append(Finding(path, lineno, rule, message))
+        findings.append(
+            Finding(
+                path=repo_relative, line=lineno, rule=rule, message=message
+            )
+        )
 
     rng_exempt = bool(RNG_HOME.search(repo_relative))
     float_eq_applies = any(repo_relative.startswith(d) for d in FLOAT_EQ_DIRS)
@@ -199,13 +170,15 @@ def lint_file(path: Path, repo_relative: str) -> list[Finding]:
                     "feed simulation decisions",
                 )
 
-    return findings
+    return findings, suppressed_hits
 
 
-def collect_files(arguments: list[str]) -> list[Path]:
+def collect_files(arguments: list[str], src_root: Path) -> list[Path]:
     files: list[Path] = []
     for argument in arguments:
         p = Path(argument)
+        if not p.is_absolute() and not p.exists():
+            p = src_root / argument
         if p.is_dir():
             files.extend(
                 f for f in sorted(p.rglob("*")) if f.suffix in SOURCE_SUFFIXES
@@ -216,31 +189,50 @@ def collect_files(arguments: list[str]) -> list[Path]:
 
 
 def main(argv: list[str]) -> int:
-    if not argv or argv[0] in ("-h", "--help"):
-        print(__doc__)
-        return 0 if argv else 2
+    parser = argparse.ArgumentParser(
+        prog="udwn_lint.py",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("paths", nargs="+")
+    parser.add_argument("--json", action="store_true", dest="json_mode")
+    parser.add_argument(
+        "--src-root",
+        default=None,
+        help="treat DIR as the repo root when computing rule scopes "
+        "(fixture trees); default: the real repo root",
+    )
+    args = parser.parse_args(argv)
 
-    repo_root = Path(__file__).resolve().parent.parent
-    files = collect_files(argv)
+    src_root = (
+        Path(args.src_root).resolve()
+        if args.src_root
+        else Path(__file__).resolve().parent.parent
+    )
+    files = collect_files(args.paths, src_root)
     if not files:
         print("udwn_lint: no C++ sources under the given paths", file=sys.stderr)
         return 2
 
     all_findings: list[Finding] = []
+    suppressed = 0
     for f in files:
         try:
-            relative = str(f.resolve().relative_to(repo_root))
+            relative = str(f.resolve().relative_to(src_root))
         except ValueError:
             relative = str(f)
-        all_findings.extend(lint_file(f, relative))
+        findings, hits = lint_file(f, relative)
+        all_findings.extend(findings)
+        suppressed += hits
 
-    for finding in all_findings:
-        print(finding)
-    print(
-        f"udwn_lint: {len(files)} files, {len(all_findings)} finding(s)",
-        file=sys.stderr,
+    all_findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return emit(
+        "udwn_lint",
+        all_findings,
+        len(files),
+        json_mode=args.json_mode,
+        suppressed=suppressed,
     )
-    return 1 if all_findings else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,237 @@
+"""Shared reporting layer for the repo's static checkers.
+
+`udwn_lint.py` (line regexes) and `udwn_analyze.py` (AST/call-graph passes)
+produce the same `Finding` records and route them through `emit()`, so CI
+gets one machine-readable format (`--json`) and one annotation style instead
+of two tools' worth of stderr grepping.
+
+Conventions enforced here:
+
+  * Suppressions. A finding is silenced by a comment on the same line:
+        // udwn-lint: allow(<rule>): <reason>
+    The reason is mandatory. A bare `allow(<rule>)` with no reason does NOT
+    suppress; it is reported as a `bad-suppression` finding instead, so a
+    typo can never silently disable a rule.
+
+  * Baseline. `udwn_analyze.py` supports a committed JSON baseline for
+    grandfathered findings (e.g. container growth on buffers whose capacity
+    a warm-up run sizes). Baseline entries match on (rule, path, symbol,
+    what) — never on line numbers, which drift.
+
+  * Exit codes. 0 = clean, 1 = unsuppressed findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import re
+import sys
+from pathlib import Path
+from typing import Iterable
+
+#: `udwn-lint: allow(rule): reason` — reason (non-space after the colon)
+#: required; see module docstring.
+SUPPRESS_WITH_REASON = re.compile(r"udwn-lint:\s*allow\(([a-z-]+)\):\s*\S")
+#: Any allow() spelling at all, used to detect reason-less suppressions.
+SUPPRESS_ANY = re.compile(r"udwn-lint:\s*allow\(([a-z-]+)\)(?!\s*:\s*\S)")
+
+
+@dataclasses.dataclass
+class Finding:
+    """One rule violation at a source location.
+
+    `symbol` names the enclosing function (qualified) or include target;
+    `what` is the specific construct (e.g. `push_back`, `std::getenv`,
+    an include path). Both feed baseline matching. `chain` is the hot
+    call path root → ... → offender for hot-path-alloc findings.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    symbol: str = ""
+    what: str = ""
+    chain: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.chain:
+            text += "\n    hot path: " + " -> ".join(self.chain)
+        return text
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line breaks
+    so reported line numbers stay accurate."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i = min(i + 2, n)
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def parse_suppressions(
+    raw_lines: list[str], path: str
+) -> tuple[dict[int, set[str]], list[Finding]]:
+    """Per-line suppressed rule sets, plus `bad-suppression` findings for
+    every allow() that is missing its `: reason` text."""
+    suppressed: dict[int, set[str]] = {}
+    bad: list[Finding] = []
+    for lineno, line in enumerate(raw_lines, 1):
+        rules = set(SUPPRESS_WITH_REASON.findall(line))
+        if rules:
+            suppressed[lineno] = rules
+        for rule in SUPPRESS_ANY.findall(line):
+            bad.append(
+                Finding(
+                    path=path,
+                    line=lineno,
+                    rule="bad-suppression",
+                    message=f"allow({rule}) without a reason: suppressions "
+                    'must read `udwn-lint: allow(rule): reason` — the bare '
+                    "form does not suppress anything",
+                    what=rule,
+                )
+            )
+    return suppressed, bad
+
+
+# --- Baseline ---------------------------------------------------------------
+
+
+def load_baseline(path: Path) -> list[dict]:
+    """Read a baseline file: {"findings": [{rule, path, symbol, what}...]}."""
+    if not path.is_file():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = data.get("findings", [])
+    for entry in entries:
+        entry.setdefault("count", None)  # None = match any number
+    return entries
+
+
+def baseline_entry(finding: Finding) -> dict:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "symbol": finding.symbol,
+        "what": finding.what,
+    }
+
+
+def apply_baseline(
+    findings: list[Finding], entries: list[dict]
+) -> tuple[list[Finding], int, list[dict]]:
+    """Split findings into (kept, baselined_count, stale_entries)."""
+    remaining: list[Finding] = []
+    used = [False] * len(entries)
+    baselined = 0
+    for finding in findings:
+        hit = False
+        for k, entry in enumerate(entries):
+            if (
+                entry.get("rule") == finding.rule
+                and entry.get("path") == finding.path
+                and entry.get("symbol", "") == finding.symbol
+                and entry.get("what", "") == finding.what
+            ):
+                used[k] = True
+                baselined += 1
+                hit = True
+                break
+        if not hit:
+            remaining.append(finding)
+    stale = [entry for k, entry in enumerate(entries) if not used[k]]
+    return remaining, baselined, stale
+
+
+# --- Emission ---------------------------------------------------------------
+
+
+def emit(
+    tool: str,
+    findings: Iterable[Finding],
+    files_scanned: int,
+    *,
+    json_mode: bool = False,
+    suppressed: int = 0,
+    baselined: int = 0,
+    notes: Iterable[str] = (),
+) -> int:
+    """Print findings and the summary; return the process exit code.
+
+    Text mode prints one finding per line (plus hot-path chains) to stdout
+    and a one-line summary to stderr. `--json` mode prints a single JSON
+    object to stdout instead. Under GitHub Actions (GITHUB_ACTIONS=true)
+    both modes additionally emit `::error` workflow commands so findings
+    appear as inline PR annotations without any CI-side grepging.
+    """
+    findings = list(findings)
+    notes = list(notes)
+    if json_mode:
+        payload = {
+            "tool": tool,
+            "files": files_scanned,
+            "clean": not findings,
+            "suppressed": suppressed,
+            "baselined": baselined,
+            "notes": notes,
+            "findings": [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "rule": f.rule,
+                    "message": f.message,
+                    "symbol": f.symbol,
+                    "what": f.what,
+                    "chain": list(f.chain),
+                }
+                for f in findings
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+    if os.environ.get("GITHUB_ACTIONS") == "true":
+        for f in findings:
+            # Workflow-command values must stay on one line.
+            msg = f.message.replace("\n", " ")
+            print(
+                f"::error file={f.path},line={f.line},title={tool}:{f.rule}::{msg}"
+            )
+    for note in notes:
+        print(f"{tool}: {note}", file=sys.stderr)
+    print(
+        f"{tool}: {files_scanned} files, {len(findings)} finding(s), "
+        f"{suppressed} suppressed, {baselined} baselined",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
