@@ -1,0 +1,12 @@
+// udwn-expect: rng-source
+// Regression: C++14 digit separators are not char-literal openers. The
+// odd number of ' on the constant line used to open a phantom literal in
+// strip_comments_and_strings and blank the rest of the file, hiding the
+// rng-source violation below.
+namespace udwn {
+constexpr long kBudget = 1'000'000'000;
+inline unsigned roll() {
+  std::mt19937 engine(static_cast<unsigned>(kBudget));
+  return static_cast<unsigned>(engine());
+}
+}  // namespace udwn

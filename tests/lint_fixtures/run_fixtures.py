@@ -19,6 +19,7 @@ business, not the contract. Exit 0 = every fixture behaves.
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -38,8 +39,12 @@ def expected_rules(path: Path) -> set[str]:
 
 
 def run_tool(cmd: list[str]) -> dict:
+    # Drop GITHUB_ACTIONS so the tools never emit `::error` workflow
+    # commands for fixture files — the annotations would point at paths
+    # that don't exist in the real repo.
+    env = {k: v for k, v in os.environ.items() if k != "GITHUB_ACTIONS"}
     proc = subprocess.run(
-        [sys.executable, *cmd], capture_output=True, text=True
+        [sys.executable, *cmd], capture_output=True, text=True, env=env
     )
     if proc.returncode not in (0, 1):
         raise SystemExit(
@@ -78,10 +83,79 @@ def check_tree(name: str, tree: Path, cmd: list[str]) -> int:
     return failures
 
 
+def unit_checks() -> int:
+    """Direct checks on the shared report layer and the analyzer's
+    frontend merge — behaviors the fixture trees can't reach (the clang
+    frontend may be unavailable; baseline is disabled for fixtures)."""
+    sys.path.insert(0, str(TOOLS))
+    from udwn_analyze import FunctionInfo, merge_frontends
+    from udwn_report import Finding, apply_baseline, strip_comments_and_strings
+
+    failures = 0
+
+    def check(ok: bool, what: str) -> None:
+        nonlocal failures
+        if ok:
+            print(f"ok   [unit] {what}")
+        else:
+            failures += 1
+            print(f"FAIL [unit] {what}")
+
+    # C++14 digit separators are not char-literal openers; an odd number
+    # of them must not blank the rest of the file.
+    stripped = strip_comments_and_strings(
+        "int big = 1'000'000'000;\nauto mask = 0xFFFF'FFFFu;\nmalloc(1);\n"
+    )
+    check("malloc" in stripped, "stripper: digit separators stay inert")
+    # A stray quote must not blank past the line it opened on.
+    stripped = strip_comments_and_strings("int a = b; ' stray\nnew int;\n")
+    check("new int" in stripped, "stripper: unterminated quote is line-bounded")
+    check(
+        "secret" not in strip_comments_and_strings('f("secret"); g(\'x\');'),
+        "stripper: string/char literals still blanked",
+    )
+
+    # Baseline entries absorb at most `count` findings; the excess fails.
+    find = lambda: Finding(
+        path="src/a.cpp", line=1, rule="hot-path-alloc",
+        message="m", symbol="F::g", what="push_back",
+    )
+    entry = {"rule": "hot-path-alloc", "path": "src/a.cpp",
+             "symbol": "F::g", "what": "push_back", "count": 2}
+    kept, baselined, stale = apply_baseline([find(), find(), find()], [entry])
+    check(
+        len(kept) == 1 and baselined == 2 and not stale,
+        "baseline: count caps absorption, excess finding kept",
+    )
+    kept, baselined, stale = apply_baseline([find()], [dict(entry)])
+    check(
+        not kept and baselined == 1 and stale and stale[0]["_matched"] == 1,
+        "baseline: under-matched entry reported stale",
+    )
+
+    # Frontend merge: a fallback entry whose extent overlaps a clang entry
+    # (start line shifted by a multi-line declaration) is dropped; a
+    # header-only fallback entry survives.
+    mk = lambda path, line, body_line, body: FunctionInfo(
+        qname="F::g", name="g", cls="F", path=path, line=line,
+        hot=False, noreturn=False, body=body, body_line=body_line,
+    )
+    merged = merge_frontends(
+        [mk("src/a.cpp", 10, 12, "x;\ny;\nz;")],
+        [mk("src/a.cpp", 12, 12, "x;\ny;\nz;"),   # shifted start, same body
+         mk("src/h.hpp", 3, 3, "w;")],            # header: clang never saw it
+    )
+    check(
+        len(merged) == 2 and {f.path for f in merged} == {"src/a.cpp", "src/h.hpp"},
+        "merge: overlapping fallback entry deduplicated, header kept",
+    )
+    return failures
+
+
 def main() -> int:
     lint_tree = HERE / "lint_tree"
     analyze_tree = HERE / "analyze_tree"
-    failures = 0
+    failures = unit_checks()
     failures += check_tree(
         "lint",
         lint_tree,

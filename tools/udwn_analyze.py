@@ -539,6 +539,37 @@ def parse_functions_clang(
     return functions if parsed_any else None
 
 
+def merge_frontends(
+    clang_fns: list[FunctionInfo], fallback_fns: list[FunctionInfo]
+) -> list[FunctionInfo]:
+    """Clang boundaries win; fallback entries survive only where clang saw
+    nothing (headers aren't TUs in the compdb).
+
+    Deduplication is by *overlapping extent*, not exact start line:
+    multi-line declarations (attributes, templates) shift the recorded
+    start between frontends, and a surviving double entry would analyze
+    the same body twice under two qnames, producing duplicate findings
+    that dodge baseline matching.
+    """
+
+    def extent(fn: FunctionInfo) -> tuple[int, int]:
+        end = fn.body_line + fn.body.count("\n")
+        return fn.line, max(fn.line, end)
+
+    clang_extents: dict[str, list[tuple[int, int]]] = {}
+    for f in clang_fns:
+        clang_extents.setdefault(f.path, []).append(extent(f))
+
+    def clang_covers(fn: FunctionInfo) -> bool:
+        lo, hi = extent(fn)
+        return any(
+            lo <= c_hi and c_lo <= hi
+            for c_lo, c_hi in clang_extents.get(fn.path, ())
+        )
+
+    return clang_fns + [f for f in fallback_fns if not clang_covers(f)]
+
+
 # --- Body analysis (shared by both frontends) --------------------------------
 
 
@@ -932,14 +963,7 @@ def main(argv: list[str]) -> int:
         if compdb_dir.joinpath("compile_commands.json").is_file():
             clang_fns = parse_functions_clang(all_facts, compdb_dir, repo_root)
         if clang_fns is not None:
-            # Keep fallback-only entries (headers aren't TUs in the compdb).
-            clang_locs = {(f.path, f.line) for f in clang_fns}
-            clang_paths = {f.path for f in clang_fns}
-            functions = clang_fns + [
-                f
-                for f in functions
-                if f.path not in clang_paths or (f.path, f.line) not in clang_locs
-            ]
+            functions = merge_frontends(clang_fns, functions)
             for fn in functions:
                 if fn.qname in noreturn_decls:
                     fn.noreturn = True
@@ -1009,13 +1033,18 @@ def main(argv: list[str]) -> int:
         )
         if args.write_baseline:
             entries: list[dict] = []
+            index: dict[tuple[str, str, str, str], int] = {}
             for f in kept:
-                entry = baseline_entry(f)
-                if entry not in entries:
-                    entries.append(entry)
+                key = (f.rule, f.path, f.symbol, f.what)
+                if key in index:
+                    entries[index[key]]["count"] += 1
+                else:
+                    index[key] = len(entries)
+                    entries.append({**baseline_entry(f), "count": 1})
             payload = {
                 "comment": "Grandfathered findings; match on "
-                "(rule, path, symbol, what). Shrink, never grow.",
+                "(rule, path, symbol, what), each entry absorbing at most "
+                "'count' occurrences. Shrink, never grow.",
                 "findings": entries,
             }
             baseline_path.write_text(
@@ -1030,8 +1059,11 @@ def main(argv: list[str]) -> int:
         entries = load_baseline(baseline_path)
         kept, baselined, stale = apply_baseline(kept, entries)
         for entry in stale:
+            got = entry.pop("_matched", 0)
+            want = entry.get("count", 1)
             notes.append(
-                "stale baseline entry (finding no longer occurs): "
+                f"stale baseline entry ({got} of {want} grandfathered "
+                "occurrence(s) still present — lower count or remove): "
                 + json.dumps(entry, sort_keys=True)
             )
 

@@ -16,7 +16,10 @@ Conventions enforced here:
   * Baseline. `udwn_analyze.py` supports a committed JSON baseline for
     grandfathered findings (e.g. container growth on buffers whose capacity
     a warm-up run sizes). Baseline entries match on (rule, path, symbol,
-    what) — never on line numbers, which drift.
+    what) — never on line numbers, which drift. Each entry absorbs at most
+    `count` findings (default 1), so a *new* allocation of an already
+    grandfathered kind in the same function still fails the gate instead of
+    being silently swallowed.
 
   * Exit codes. 0 = clean, 1 = unsuppressed findings, 2 = usage error.
 """
@@ -81,16 +84,28 @@ def strip_comments_and_strings(text: str) -> str:
                     out.append("\n")
                 i += 1
             i = min(i + 2, n)
+        elif c == "'" and out and (out[-1].isalnum() or out[-1] == "_"):
+            # A ' directly after an identifier/number character is a C++14
+            # digit separator (1'000'000, 0xFFFF'FFFF), not a char-literal
+            # opener — entering the literal branch here would blank the rest
+            # of the file on lines with an odd number of separators.
+            # (Encoding-prefixed char literals like L'x' also land here and
+            # are passed through as code; their one-char payload is inert to
+            # every rule.)
+            out.append(c)
+            i += 1
         elif c in "\"'":
             quote = c
             i += 1
-            while i < n and text[i] != quote:
-                if text[i] == "\\":
+            while i < n and text[i] not in (quote, "\n"):
+                if text[i] == "\\" and i + 1 < n and text[i + 1] != "\n":
                     i += 1
-                elif text[i] == "\n":
-                    out.append("\n")
                 i += 1
-            i += 1
+            if i < n and text[i] == quote:
+                i += 1
+            # else: no closing quote on this line — a misparsed quote must
+            # not blank past the line it started on; the newline is handled
+            # by the outer loop.
         else:
             out.append(c)
             i += 1
@@ -127,13 +142,21 @@ def parse_suppressions(
 
 
 def load_baseline(path: Path) -> list[dict]:
-    """Read a baseline file: {"findings": [{rule, path, symbol, what}...]}."""
+    """Read a baseline file: {"findings": [{rule, path, symbol, what,
+    count?}...]}. `count` caps how many findings the entry absorbs
+    (default 1)."""
     if not path.is_file():
         return []
     data = json.loads(path.read_text(encoding="utf-8"))
     entries = data.get("findings", [])
     for entry in entries:
-        entry.setdefault("count", None)  # None = match any number
+        count = entry.get("count", 1)
+        if not isinstance(count, int) or count < 1:
+            raise SystemExit(
+                f"{path}: baseline entry {json.dumps(entry, sort_keys=True)} "
+                "has a non-positive/non-integer 'count'"
+            )
+        entry["count"] = count
     return entries
 
 
@@ -149,26 +172,38 @@ def baseline_entry(finding: Finding) -> dict:
 def apply_baseline(
     findings: list[Finding], entries: list[dict]
 ) -> tuple[list[Finding], int, list[dict]]:
-    """Split findings into (kept, baselined_count, stale_entries)."""
+    """Split findings into (kept, baselined_count, stale_entries).
+
+    Each entry absorbs at most entry["count"] matching findings; the
+    excess stays in `kept`, so adding a new allocation of an already
+    grandfathered kind still fails the gate. Entries that matched fewer
+    findings than their count are returned as stale (with a `_matched`
+    annotation) so the baseline shrinks as code improves.
+    """
     remaining: list[Finding] = []
-    used = [False] * len(entries)
+    matched = [0] * len(entries)
     baselined = 0
     for finding in findings:
         hit = False
         for k, entry in enumerate(entries):
             if (
-                entry.get("rule") == finding.rule
+                matched[k] < entry.get("count", 1)
+                and entry.get("rule") == finding.rule
                 and entry.get("path") == finding.path
                 and entry.get("symbol", "") == finding.symbol
                 and entry.get("what", "") == finding.what
             ):
-                used[k] = True
+                matched[k] += 1
                 baselined += 1
                 hit = True
                 break
         if not hit:
             remaining.append(finding)
-    stale = [entry for k, entry in enumerate(entries) if not used[k]]
+    stale = [
+        {**entry, "_matched": matched[k]}
+        for k, entry in enumerate(entries)
+        if matched[k] < entry.get("count", 1)
+    ]
     return remaining, baselined, stale
 
 
@@ -188,10 +223,13 @@ def emit(
     """Print findings and the summary; return the process exit code.
 
     Text mode prints one finding per line (plus hot-path chains) to stdout
-    and a one-line summary to stderr. `--json` mode prints a single JSON
-    object to stdout instead. Under GitHub Actions (GITHUB_ACTIONS=true)
-    both modes additionally emit `::error` workflow commands so findings
-    appear as inline PR annotations without any CI-side grepging.
+    and a one-line summary to stderr; under GitHub Actions
+    (GITHUB_ACTIONS=true) it additionally emits `::error` workflow commands
+    so findings appear as inline PR annotations without any CI-side
+    grepping. `--json` mode prints a single JSON object to stdout and
+    nothing else there — stdout IS the machine interface, so workflow
+    commands are never mixed in (consumers like the fixture harness
+    `json.loads` the stream).
     """
     findings = list(findings)
     notes = list(notes)
@@ -220,13 +258,14 @@ def emit(
     else:
         for finding in findings:
             print(finding.render())
-    if os.environ.get("GITHUB_ACTIONS") == "true":
-        for f in findings:
-            # Workflow-command values must stay on one line.
-            msg = f.message.replace("\n", " ")
-            print(
-                f"::error file={f.path},line={f.line},title={tool}:{f.rule}::{msg}"
-            )
+        if os.environ.get("GITHUB_ACTIONS") == "true":
+            for f in findings:
+                # Workflow-command values must stay on one line.
+                msg = f.message.replace("\n", " ")
+                print(
+                    f"::error file={f.path},line={f.line},"
+                    f"title={tool}:{f.rule}::{msg}"
+                )
     for note in notes:
         print(f"{tool}: {note}", file=sys.stderr)
     print(
