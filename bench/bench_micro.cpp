@@ -14,6 +14,7 @@
 #include "phy/interference.h"
 #include "metric/packing.h"
 #include "sim/batch.h"
+#include "sim/dynamics.h"
 #include "topo/generators.h"
 
 namespace udwn {
@@ -104,6 +105,75 @@ void BM_EngineRound(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_EngineRound)->Arg(128)->Arg(512)->Arg(2048);
+
+// Engine rounds under bounded mobility, delta vs epoch invalidation.
+// Args: {n, delta_invalidation}. A 1/32 fraction of the nodes drifts each
+// round — the paper's regime of rate-limited edge dynamics — so with delta
+// invalidation the per-round cache work scales with the movers and their
+// neighborhoods, while the epoch path re-derives grid, neighbor lists, and
+// gain tiles for all n nodes after every round's version bump. Narrow gain
+// tiles (1024 columns) localize the column damage of each mover; the
+// delta/epoch ratio at the same n is the headline speedup of the
+// delta-invalidation refactor (recorded in BENCH_micro_deltas.json).
+void BM_EngineRoundMobility(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool delta = state.range(1) != 0;
+  const double extent = std::sqrt(n / 8.0);
+  Rng rng(5);
+  Scenario s(uniform_square(n, extent, rng), ScenarioConfig{});
+  auto protos = make_protocols(n, [&](NodeId) {
+    return std::make_unique<TryAdjustProtocol>(TryAdjust::standard(n, 1.0));
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.seed = 5,
+                             .delta_invalidation = delta,
+                             .gain_tile_cols = 1024});
+  WaypointMobility mobility(*s.euclidean(), {.speed = 0.01,
+                                             .extent = extent,
+                                             .mobile_fraction = 1.0 / 32.0});
+  engine.set_dynamics(&mobility);
+  for (int i = 0; i < 50; ++i) engine.step();  // reach steady state
+  for (auto _ : state) engine.step();
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EngineRoundMobility)
+    ->Args({2048, 0})
+    ->Args({2048, 1})
+    ->Args({8192, 0})
+    ->Args({8192, 1});
+
+// Engine rounds under node churn: one departure and one re-placed arrival
+// per round. Args: {n, delta_invalidation}. The delta path invalidates the
+// toggled nodes' neighborhoods (two grid balls each) instead of all n
+// neighbor lists; the arrival's move is the only gain-column damage.
+void BM_EngineRoundChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool delta = state.range(1) != 0;
+  const double extent = std::sqrt(n / 8.0);
+  Rng rng(6);
+  Scenario s(uniform_square(n, extent, rng), ScenarioConfig{});
+  auto protos = make_protocols(n, [&](NodeId) {
+    return std::make_unique<TryAdjustProtocol>(TryAdjust::standard(n, 1.0));
+  });
+  const CarrierSensing cs = s.sensing_local();
+  Engine engine(s.channel(), s.network(), cs, protos,
+                EngineConfig{.seed = 6,
+                             .delta_invalidation = delta,
+                             .gain_tile_cols = 1024});
+  ChurnDynamics churn({.arrival_rate = 1.0,
+                       .departure_rate = 1.0,
+                       .placement_extent = extent});
+  engine.set_dynamics(&churn);
+  for (int i = 0; i < 50; ++i) engine.step();  // reach steady state
+  for (auto _ : state) engine.step();
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EngineRoundChurn)
+    ->Args({2048, 0})
+    ->Args({2048, 1})
+    ->Args({8192, 0})
+    ->Args({8192, 1});
 
 // Same workload with a live Obs handle: counters, histograms, and trace
 // events all on. The ratio against BM_EngineRound at the same n is the

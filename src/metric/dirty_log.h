@@ -1,0 +1,108 @@
+// Per-node dirty tracking for metric mutations, and the TopologyDelta the
+// simulation layer folds them into.
+//
+// The paper bounds how fast a dynamic network may change (Sec. 2
+// "Dynamicity": a node gains at most τ·|T| new neighbors per Ω(log n)
+// window), so per-round invalidation work should scale with the number of
+// changed nodes, not with n. The global QuasiMetric::version() cannot
+// express that — any mutation makes *everything* look stale. DirtyLog keeps
+// the version counter as the coarse fallback and records, alongside it,
+// WHICH node ids each version tick touched, so epoch consumers keep working
+// unchanged while delta consumers (TopologyCache::apply_delta) invalidate
+// only what moved.
+//
+// Contract for metric implementers (see QuasiMetric::bump_version(NodeId)):
+// a localized mutation that changes d(u,v) must dirty every endpoint whose
+// row or column changed. For non-geometric metrics (MatrixMetric) that
+// means BOTH endpoints of every edited pair — consumers without geometry
+// treat "neither endpoint dirty" as "distance unchanged". EuclideanMetric
+// dirties only the moved node; its consumers recover the affected
+// neighborhood geometrically through the SpatialGrid. Mutations that cannot
+// enumerate their dirty set (whole-matrix swaps, appended points) call the
+// coarse bump_version(), which records a *global* change: collect() then
+// reports the window as non-localizable and consumers fall back to the
+// epoch path. Missing or over-coarse records are therefore safe (slow), a
+// missing version bump is not (stale) — exactly the pre-existing contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace udwn {
+
+/// Bounded ring of (version, node) dirty records. Versions are appended in
+/// non-decreasing order (they mirror QuasiMetric::version()), so a window
+/// query is a binary search plus a contiguous scan. When the ring reaches
+/// its hard cap the oldest records are evicted and the evicted horizon
+/// remembered; windows reaching past it report non-localizable.
+class DirtyLog {
+ public:
+  /// Node v's distances may have changed at version tick `version`.
+  void record(NodeId v, std::uint64_t version);
+
+  /// A non-localizable change (everything dirty) at version tick `version`.
+  void record_global(std::uint64_t version);
+
+  /// Append the ids dirtied in the half-open version window (since, now] to
+  /// `out` (unsorted, may repeat). Returns false — leaving `out` untouched
+  /// beyond its prior contents — when the window is not localizable: a
+  /// global record falls inside it, or eviction lost part of its history.
+  [[nodiscard]] bool collect(std::uint64_t since, std::uint64_t now,
+                             std::vector<NodeId>& out) const;
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+ private:
+  struct Entry {
+    std::uint64_t version;
+    NodeId node;
+  };
+
+  void push(Entry e);
+
+  // Ring storage: logical order oldest..newest = indices
+  // [start_, start_ + count_) mod ring_.size(); versions non-decreasing.
+  std::vector<Entry> ring_;
+  std::size_t start_ = 0;
+  std::size_t count_ = 0;
+  // Highest version ever evicted from the ring (0 = nothing evicted):
+  // windows starting before it may have lost records.
+  std::uint64_t evicted_version_ = 0;
+  // Highest version recorded as a global (non-localizable) change.
+  std::uint64_t global_version_ = 0;
+};
+
+/// One round's worth of topology change, as folded by Network::collect_delta
+/// from the metric's DirtyLog and the alive-flag churn. The epoch/version
+/// fields anchor the delta to the exact states it connects: consumers that
+/// were fresh at `prev_epoch` can advance to `epoch` by refreshing only the
+/// listed nodes; consumers anywhere else ignore the delta and fall back to
+/// lazy epoch invalidation (same bits, more recomputation).
+struct TopologyDelta {
+  /// True when the metric change was not localizable (coarse bump_version,
+  /// or DirtyLog history loss). `moved` is meaningless; consumers must take
+  /// the epoch path.
+  bool coarse = false;
+  /// Metric-dirty node ids in (prev_metric_version, metric_version],
+  /// sorted ascending, deduplicated.
+  std::vector<NodeId> moved;
+  /// Nodes whose alive flag toggled, sorted ascending, deduplicated. A node
+  /// toggled twice (depart + re-arrive in one round) still appears: its
+  /// neighbors' cached lists were computed against an unknown intermediate
+  /// state, so marking it is the conservative choice.
+  std::vector<NodeId> alive_toggled;
+  std::uint64_t prev_metric_version = 0;
+  std::uint64_t metric_version = 0;
+  std::uint64_t prev_epoch = 0;
+  std::uint64_t epoch = 0;
+
+  /// Nothing changed: every consumer may skip the delta entirely.
+  [[nodiscard]] bool empty() const {
+    return !coarse && moved.empty() && alive_toggled.empty();
+  }
+};
+
+}  // namespace udwn

@@ -21,11 +21,14 @@ Vec2 EuclideanMetric::position(NodeId u) const {
 void EuclideanMetric::set_position(NodeId u, Vec2 p) {
   UDWN_EXPECT(u.value < positions_.size());
   positions_[u.value] = p;
-  bump_version();
+  // Localized: only distances involving u changed. Delta consumers resolve
+  // the affected neighborhood geometrically (old/new grid cells).
+  bump_version(u);
 }
 
 NodeId EuclideanMetric::add_point(Vec2 p) {
   positions_.push_back(p);
+  // Coarse: a size change forces consumers to rebind anyway.
   bump_version();
   return NodeId(static_cast<std::uint32_t>(positions_.size() - 1));
 }

@@ -61,7 +61,9 @@ void MatrixMetric::set_distance(NodeId u, NodeId v, double d) {
   UDWN_EXPECT(u.value < n_ && v.value < n_);
   UDWN_EXPECT(u != v ? d > 0 : d == 0);
   d_[static_cast<std::size_t>(u.value) * n_ + v.value] = d;
-  bump_version();
+  // Both endpoints, per the dirty-set contract for non-geometric metrics
+  // (dirty_log.h): row u changed AND column v changed.
+  bump_version({u, v});
 }
 
 }  // namespace udwn

@@ -10,8 +10,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 
+#include "common/contract.h"
 #include "common/types.h"
+#include "metric/dirty_log.h"
 
 namespace udwn {
 
@@ -23,9 +26,29 @@ class QuasiMetric {
   /// (moved point, edited matrix entry, appended point) bumps it. Epoch-
   /// invalidated caches (TopologyCache, Network::topology_epoch) compare
   /// versions instead of re-deriving distances, so every mutable metric
-  /// MUST call bump_version() from its mutators — a missed bump makes a
-  /// cache silently stale.
+  /// MUST call a bump_version overload from its mutators — a missed bump
+  /// makes a cache silently stale. Inside a begin_update()/end_update()
+  /// span the counter advances by exactly one for the whole batch.
   [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  /// Which nodes each version tick touched (dirty_log.h). Delta consumers
+  /// (Network::collect_delta → TopologyCache::apply_delta) read version
+  /// windows out of this; coarse consumers keep comparing version() alone.
+  [[nodiscard]] const DirtyLog& dirty_log() const { return dirty_log_; }
+
+  /// Batch several localized mutations into ONE version tick. Spans nest
+  /// (depth-counted); the outermost end_update() commits the tick, and only
+  /// if a bump was requested inside. Dirty records issued inside the span
+  /// all carry the committed version, so WaypointMobility moving k nodes
+  /// costs coarse consumers one epoch bump, not k.
+  void begin_update() { ++update_depth_; }
+  void end_update() {
+    UDWN_EXPECT(update_depth_ > 0);
+    if (--update_depth_ == 0 && pending_bump_) {
+      ++version_;
+      pending_bump_ = false;
+    }
+  }
 
   /// Number of points (ids are 0..size()-1). Points may be dead in the
   /// surrounding network; the metric itself is total on all ids.
@@ -44,10 +67,48 @@ class QuasiMetric {
   }
 
  protected:
-  void bump_version() { ++version_; }
+  /// Coarse bump: the change is not localizable to named nodes (appended
+  /// point, whole-matrix swap). Records a global dirty mark, so delta
+  /// consumers fall back to the epoch path for the affected window.
+  void bump_version() {
+    dirty_log_.record_global(pending_version());
+    commit_bump();
+  }
+
+  /// Localized bump: only distances involving v may have changed. The
+  /// dirty-set contract (dirty_log.h): a mutation editing d(u,w) must dirty
+  /// every endpoint whose row or column changed — both u and w for a
+  /// directed matrix edit; just the moved node for a Euclidean move, whose
+  /// consumers recover the neighborhood geometrically.
+  void bump_version(NodeId v) {
+    dirty_log_.record(v, pending_version());
+    commit_bump();
+  }
+
+  /// Localized bump naming several nodes, one version tick.
+  void bump_version(std::initializer_list<NodeId> nodes) {
+    const std::uint64_t at = pending_version();
+    for (const NodeId v : nodes) dirty_log_.record(v, at);
+    commit_bump();
+  }
 
  private:
+  /// The version the in-flight mutation will commit as: inside a span the
+  /// whole batch shares one tick.
+  [[nodiscard]] std::uint64_t pending_version() const {
+    return version_ + 1;
+  }
+  void commit_bump() {
+    if (update_depth_ > 0)
+      pending_bump_ = true;
+    else
+      ++version_;
+  }
+
   std::uint64_t version_ = 0;
+  DirtyLog dirty_log_;
+  int update_depth_ = 0;
+  bool pending_bump_ = false;
 };
 
 }  // namespace udwn

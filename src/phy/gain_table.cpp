@@ -56,6 +56,8 @@ void GainTable::bind(const QuasiMetric& metric, const PathLoss& pathloss) {
 
   tile_slot_.assign(n_ * blocks_, kInvalid);
   tile_stamp_.assign(n_ * blocks_, 0);
+  // Sized here, at bind time; steady-state apply_delta only std::fills it.
+  block_dirty_.assign(blocks_, 0);  // udwn-lint: allow(hot-path-alloc): bind
   slot_tile_.reserve(max_tiles_);
   lru_prev_.reserve(max_tiles_);
   lru_next_.reserve(max_tiles_);
@@ -177,6 +179,35 @@ bool GainTable::ensure_rows(std::span<const NodeId> sources, TaskPool* pool) {
     for (const std::size_t tile : fill_tiles_) fill_tile(tile);
   }
   return true;
+}
+
+void GainTable::apply_delta(std::span<const NodeId> dirty,
+                            std::uint64_t prev_version,
+                            std::uint64_t new_version) {
+  if (!enabled_ || prev_version == new_version) return;
+  UDWN_EXPECT(prev_version < new_version);
+  // Per-block dirty flags: a tile's columns touch a dirty node iff its
+  // block is flagged. O(blocks + |dirty|) setup, O(1) per resident tile.
+  std::fill(block_dirty_.begin(), block_dirty_.end(), 0);
+  for (const NodeId v : dirty) {
+    UDWN_ASSERT(v.value < n_);
+    block_dirty_[blocks_ == 1 ? 0 : v.value >> col_shift_] = 1;
+  }
+  const std::uint64_t was_fresh = prev_version + 1;
+  const std::uint64_t now_fresh = new_version + 1;
+  for (std::uint32_t slot = 0; slot < used_slots_; ++slot) {
+    const std::size_t tile = slot_tile_[slot];
+    if (tile_slot_[tile] != slot) continue;  // slot's tile was evicted
+    if (tile_stamp_[tile] != was_fresh) continue;  // already stale
+    const std::size_t u = tile / blocks_;
+    const std::size_t b = tile - u * blocks_;
+    if (block_dirty_[b]) continue;  // a column may involve a dirty node
+    const bool row_dirty = std::binary_search(
+        dirty.begin(), dirty.end(), NodeId(static_cast<std::uint32_t>(u)));
+    if (row_dirty) continue;  // the whole source row is suspect
+    tile_stamp_[tile] = now_fresh;  // provably unchanged: restamp, no fill
+    ++stats_.freshened;
+  }
 }
 
 const double* GainTable::row_block(NodeId u, std::size_t b) const {

@@ -97,6 +97,18 @@ class GainTable {
   /// stored zero as a surprise: callers (decode paths) only query u != v.
   [[nodiscard]] const double* cell(NodeId u, std::uint32_t v) const;
 
+  /// Delta invalidation: advance the freshness stamp of every resident tile
+  /// that was fresh at `prev_version` and whose entries cannot involve a
+  /// dirty node — source row not dirty, column block containing no dirty
+  /// id — to `new_version`, so only tiles actually touching dirty nodes
+  /// refill. `dirty` must be sorted ascending and list every node whose
+  /// distances may have changed in (prev_version, new_version] (the
+  /// TopologyDelta::moved contract). Tiles left behind go stale naturally
+  /// and lazily refill in ensure_rows, exactly as under epoch
+  /// invalidation — skipping this call entirely is always sound.
+  void apply_delta(std::span<const NodeId> dirty, std::uint64_t prev_version,
+                   std::uint64_t new_version);
+
   /// Introspection for tests.
   [[nodiscard]] std::size_t resident_tiles() const { return used_slots_; }
   [[nodiscard]] std::size_t max_tiles() const { return max_tiles_; }
@@ -112,6 +124,7 @@ class GainTable {
     std::uint64_t evictions = 0;   // resident tile displaced for a new one
     std::uint64_t fills = 0;       // tiles (re)computed
     std::uint64_t fallbacks = 0;   // ensure_rows over budget -> uncached path
+    std::uint64_t freshened = 0;   // tiles restamped by apply_delta (no fill)
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -151,6 +164,7 @@ class GainTable {
   std::uint64_t pass_ = 0;
 
   std::vector<std::size_t> fill_tiles_;  // scratch, reused across calls
+  std::vector<std::uint8_t> block_dirty_;  // scratch for apply_delta
   Stats stats_;
 };
 

@@ -1,5 +1,6 @@
 #include "phy/spatial_grid.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/contract.h"
@@ -7,9 +8,13 @@
 namespace udwn {
 
 SpatialGrid::SpatialGrid(std::span<const Vec2> points, double cell_size)
-    : points_(points.begin(), points.end()), cell_size_(cell_size) {
+    : points_(points.begin(), points.end()),
+      cell_size_(cell_size),
+      indexed_(points.size(), 1) {
   UDWN_EXPECT(cell_size > 0);
   cells_.reserve(points_.size());
+  // Ascending-id insertion keeps every cell list sorted by id, the
+  // invariant the incremental mutators maintain.
   for (std::size_t i = 0; i < points_.size(); ++i) {
     const auto [cx, cy] = cell_of(points_[i]);
     cells_[key(cx, cy)].push_back(NodeId(static_cast<std::uint32_t>(i)));
@@ -32,6 +37,58 @@ std::vector<NodeId> SpatialGrid::within(Vec2 q, double r) const {
   std::vector<NodeId> result;
   for_each_within(q, r, [&](NodeId id) { result.push_back(id); });
   return result;
+}
+
+std::uint64_t SpatialGrid::key_of(Vec2 p) const {
+  const auto [cx, cy] = cell_of(p);
+  return key(cx, cy);
+}
+
+Vec2 SpatialGrid::point(NodeId id) const {
+  UDWN_EXPECT(id.value < points_.size() && indexed_[id.value]);
+  return points_[id.value];
+}
+
+void SpatialGrid::cell_remove(std::uint64_t cell_key, NodeId id) {
+  const auto it = cells_.find(cell_key);
+  UDWN_ASSERT(it != cells_.end());
+  std::vector<NodeId>& members = it->second;
+  const auto pos = std::lower_bound(members.begin(), members.end(), id);
+  UDWN_ASSERT(pos != members.end() && *pos == id);
+  members.erase(pos);
+  // A drained cell keeps its empty list: queries skip it, and retaining the
+  // capacity means a node oscillating across a boundary never reallocates.
+}
+
+void SpatialGrid::cell_add(std::uint64_t cell_key, NodeId id) {
+  std::vector<NodeId>& members = cells_[cell_key];
+  // Cell lists (and drained cells' empty lists) retain capacity across
+  // membership churn, so growth past the high-water mark is warm-up only.
+  const auto pos = std::lower_bound(members.begin(), members.end(), id);
+  members.insert(pos, id);  // udwn-lint: allow(hot-path-alloc): warm-up
+}
+
+void SpatialGrid::move(NodeId id, Vec2 p) {
+  UDWN_EXPECT(id.value < points_.size() && indexed_[id.value]);
+  const std::uint64_t old_key = key_of(points_[id.value]);
+  const std::uint64_t new_key = key_of(p);
+  points_[id.value] = p;
+  if (old_key == new_key) return;
+  cell_remove(old_key, id);
+  cell_add(new_key, id);
+}
+
+void SpatialGrid::erase(NodeId id) {
+  UDWN_EXPECT(id.value < points_.size() && indexed_[id.value]);
+  cell_remove(key_of(points_[id.value]), id);
+  indexed_[id.value] = 0;
+}
+
+void SpatialGrid::insert(NodeId id, Vec2 p) {
+  UDWN_EXPECT(id.value < points_.size() && !indexed_[id.value]);
+  points_[id.value] = p;
+  cell_add(key_of(p), id);
+  indexed_[id.value] = 1;
 }
 
 }  // namespace udwn

@@ -41,9 +41,80 @@ void TopologyCache::sync(const QuasiMetric& metric, const PathLoss& pathloss,
   euclid_ = dynamic_cast<const EuclideanMetric*>(&metric);
   neighbor_lists_.resize(n);
   neighbor_stamp_.assign(n, 0);
+  affected_.assign(n, 0);  // udwn-lint: allow(hot-path-alloc): rebind-only
+  // branch — sized once per topology bind, steady-state syncs return above.
   grid_.reset();
   grid_stamp_ = 0;
   gains_.bind(metric, pathloss);
+}
+
+void TopologyCache::apply_delta(const TopologyDelta& delta) {
+  if (metric_ == nullptr) return;    // never synced: nothing cached yet
+  if (delta.empty()) return;         // quiet round: every stamp stays fresh
+  if (delta.coarse) return;          // not localizable: epoch path
+  // The delta freshens prev_epoch-stamped state only; if this cache was
+  // last synced anywhere else (engine just constructed, rounds skipped,
+  // size changed → rebind pending) there is nothing it can prove fresh.
+  if (epoch_ != delta.prev_epoch) return;
+  if (metric_->size() != neighbor_stamp_.size()) return;
+  UDWN_ASSERT(metric_->version() == delta.metric_version);
+
+  // Gains ignore the alive mask: only metric-dirty nodes matter, and the
+  // table's own row/column-tile granularity does the rest.
+  if (delta.metric_version != delta.prev_metric_version)
+    gains_.apply_delta(delta.moved, delta.prev_metric_version,
+                       delta.metric_version);
+
+  // Neighbor lists. A list of node u computed at prev_epoch is still exact
+  // at delta.epoch unless u's ball could have gained or lost a member:
+  // u is itself dirty, or u lies within the comm radius of a changed
+  // node's OLD or NEW position. Resolving "within" needs geometry — the
+  // grid over the old positions for the old balls, over the new for the
+  // new — so the Euclidean fast path below interleaves affected-marking
+  // with incremental grid moves. For non-Euclidean metrics the dirty-set
+  // contract (dirty_log.h) guarantees both endpoints of every changed pair
+  // are dirty, so the affected rows are exactly the dirty nodes; alive
+  // toggles, however, perturb every row within unknown (metric) range of
+  // the toggled node, which nothing can bound without geometry — then we
+  // freshen nothing and let the epoch path refill lazily.
+  const double r = comm_radius_ * kGridInflation;
+  std::fill(affected_.begin(), affected_.end(), 0);
+  const auto mark = [this](NodeId x) { affected_[x.value] = 1; };
+  if (euclid_ != nullptr && config_.use_spatial_grid) {
+    if (grid_stamp_ != delta.prev_metric_version + 1) return;
+    // The grid still holds pre-move positions: for each mover, mark its
+    // old ball, apply the move, then mark its new ball. Interleaving is
+    // sound: a concurrently-moved node found (or missed) by a ball query
+    // is itself in `moved`, hence marked unconditionally, while unmoved
+    // nodes sit at identical positions in both grids.
+    for (const NodeId v : delta.moved) {
+      UDWN_ASSERT(v.value < affected_.size());
+      const Vec2 to = euclid_->position(v);
+      grid_->for_each_within(grid_->point(v), r, mark);
+      grid_->move(v, to);
+      grid_->for_each_within(to, r, mark);
+      affected_[v.value] = 1;
+    }
+    grid_stamp_ = delta.metric_version + 1;
+    for (const NodeId t : delta.alive_toggled) {
+      UDWN_ASSERT(t.value < affected_.size());
+      grid_->for_each_within(euclid_->position(t), r, mark);
+      affected_[t.value] = 1;
+    }
+  } else if (euclid_ == nullptr) {
+    if (!delta.alive_toggled.empty()) return;
+    for (const NodeId v : delta.moved) {
+      UDWN_ASSERT(v.value < affected_.size());
+      affected_[v.value] = 1;
+    }
+  } else {
+    // Euclidean without a grid: no geometry index to resolve balls with.
+    return;
+  }
+  // Everything fresh at prev_epoch and unaffected is fresh at delta.epoch.
+  for (std::size_t u = 0; u < neighbor_stamp_.size(); ++u)
+    if (neighbor_stamp_[u] == delta.prev_epoch && !affected_[u])
+      neighbor_stamp_[u] = delta.epoch;
 }
 
 const SpatialGrid* TopologyCache::grid() {

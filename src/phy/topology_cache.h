@@ -36,8 +36,10 @@
 #include <span>
 #include <vector>
 
+#include "common/contract.h"
 #include "common/parallel.h"
 #include "common/types.h"
+#include "metric/dirty_log.h"
 #include "metric/euclidean.h"
 #include "metric/quasi_metric.h"
 #include "phy/gain_table.h"
@@ -74,6 +76,20 @@ class TopologyCache {
   /// Channel::neighbors(u, alive). Valid until the next sync/mutation.
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId u);
 
+  /// Delta invalidation (the fast path the epoch mechanism falls back
+  /// from): given the per-round TopologyDelta connecting the epoch this
+  /// cache was last synced at to the current one, advance the freshness
+  /// stamps of everything provably untouched — neighbor lists of nodes
+  /// whose neighborhoods cannot contain a changed node, gain tiles whose
+  /// row and columns avoid all dirty ids — and incrementally move the
+  /// SpatialGrid instead of letting it rebuild. Purely a *freshening*
+  /// optimization: it never marks anything stale (staleness falls out of
+  /// the ordinary stamp comparisons), so skipping the call — coarse
+  /// deltas, epoch mismatch after missed rounds, pending rebind — degrades
+  /// to the bit-identical epoch path. Call between the round's topology
+  /// mutations and its first sync().
+  UDWN_HOT void apply_delta(const TopologyDelta& delta);
+
   /// The tiled gain table bound to this topology, or nullptr when gain
   /// caching is disabled (zero budget, or budget below one row of tiles).
   /// Callers ensure_rows() the slot's transmitters, then read row blocks /
@@ -109,6 +125,7 @@ class TopologyCache {
   // Per-node alive neighborhoods; stamp == epoch_ marks a fresh entry.
   std::vector<std::vector<NodeId>> neighbor_lists_;
   std::vector<std::uint64_t> neighbor_stamp_;
+  std::vector<std::uint8_t> affected_;  // apply_delta scratch, sized at sync
 
   // Tiled LRU gain table (freshness tracked internally per tile).
   GainTable gains_;

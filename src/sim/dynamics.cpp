@@ -1,6 +1,8 @@
 #include "sim/dynamics.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 
 #include "common/contract.h"
 
@@ -46,6 +48,9 @@ ChangeSet ChurnDynamics::step(Network& network, Rng& rng, Round /*round*/) {
         euclid->set_position(reborn,
                              {rng.uniform(0, config_.placement_extent),
                               rng.uniform(0, config_.placement_extent)});
+        // Re-placed arrival: reported as a move too, distinguishing it
+        // from the in-place (non-Euclidean / zero-extent) respawn below.
+        changes.moved.push_back(reborn);
       }
     }
     network.set_alive(reborn, true);
@@ -59,6 +64,7 @@ WaypointMobility::WaypointMobility(EuclideanMetric& metric, Config config)
     : metric_(&metric), config_(config) {
   UDWN_EXPECT(config.speed >= 0);
   UDWN_EXPECT(config.extent > 0);
+  UDWN_EXPECT(config.mobile_fraction >= 0 && config.mobile_fraction <= 1);
 }
 
 ChangeSet WaypointMobility::step(Network& network, Rng& rng,
@@ -70,7 +76,16 @@ ChangeSet WaypointMobility::step(Network& network, Rng& rng,
     initialized_ = true;
   }
   if (config_.speed == 0) return {};
+  const auto mobile_count = static_cast<std::uint32_t>(
+      std::ceil(config_.mobile_fraction *
+                static_cast<double>(metric_->size())));
+  ChangeSet changes;
+  // One batched update span for the whole round: k set_position calls
+  // commit as ONE metric version tick (each still dirty-logged per node),
+  // so epoch consumers see one bump per round, not one per mover.
+  metric_->begin_update();
   for (NodeId v : network.alive_nodes()) {
+    if (v.value >= mobile_count) continue;
     Vec2 pos = metric_->position(v);
     Vec2& target = waypoints_[v.value];
     const Vec2 delta = target - pos;
@@ -83,14 +98,32 @@ ChangeSet WaypointMobility::step(Network& network, Rng& rng,
       pos = pos + delta * (config_.speed / dist);
     }
     metric_->set_position(v, pos);
+    changes.moved.push_back(v);
   }
-  return {};
+  metric_->end_update();
+  return changes;
 }
 
 CompositeDynamics::CompositeDynamics(std::vector<Dynamics*> parts)
     : parts_(std::move(parts)) {
   for (const auto* part : parts_) UDWN_EXPECT(part != nullptr);
 }
+
+namespace {
+
+/// Order-preserving dedup: keep the first occurrence of each id. O(n·k)
+/// with tiny k (a round's change lists are short).
+void dedup_stable(std::vector<NodeId>& ids) {
+  std::vector<NodeId> seen;
+  const auto dup = std::remove_if(ids.begin(), ids.end(), [&](NodeId v) {
+    if (std::find(seen.begin(), seen.end(), v) != seen.end()) return true;
+    seen.push_back(v);
+    return false;
+  });
+  ids.erase(dup, ids.end());
+}
+
+}  // namespace
 
 ChangeSet CompositeDynamics::step(Network& network, Rng& rng, Round round) {
   ChangeSet all;
@@ -100,7 +133,20 @@ ChangeSet CompositeDynamics::step(Network& network, Rng& rng, Round round) {
                         changes.arrivals.end());
     all.departures.insert(all.departures.end(), changes.departures.begin(),
                           changes.departures.end());
+    all.moved.insert(all.moved.end(), changes.moved.begin(),
+                     changes.moved.end());
   }
+  dedup_stable(all.arrivals);
+  dedup_stable(all.departures);
+  dedup_stable(all.moved);
+  // A node that moved and then departed within the round is a departure by
+  // the time the merged set is observed: drop it from `moved`.
+  const auto moved_and_gone =
+      std::remove_if(all.moved.begin(), all.moved.end(), [&](NodeId v) {
+        return std::find(all.departures.begin(), all.departures.end(), v) !=
+               all.departures.end();
+      });
+  all.moved.erase(moved_and_gone, all.moved.end());
   return all;
 }
 

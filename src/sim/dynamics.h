@@ -22,6 +22,13 @@ namespace udwn {
 struct ChangeSet {
   std::vector<NodeId> arrivals;
   std::vector<NodeId> departures;
+  /// Nodes whose metric position was mutated this step: mobility movers and
+  /// re-placed churn arrivals. In-place (non-Euclidean, or zero
+  /// placement_extent) arrivals appear in `arrivals` only — that is how
+  /// consumers tell a respawn-in-place from a respawn-elsewhere. Purely
+  /// informational for the engine (cache invalidation reads the metric's
+  /// DirtyLog, not this), but recorders and tests consume it.
+  std::vector<NodeId> moved;
 };
 
 class Dynamics {
@@ -68,6 +75,12 @@ class WaypointMobility final : public Dynamics {
   struct Config {
     double speed = 0;   // distance per round, >= 0
     double extent = 0;  // waypoint domain [0,extent]^2, > 0
+    /// Fraction of the id space that is mobile: ids below
+    /// ceil(mobile_fraction * n) drift, the rest sit still. 1 = everyone
+    /// (the classic random-waypoint model); small fractions model a mostly
+    /// static deployment with a few movers — the regime where delta
+    /// invalidation shines (work per round scales with the movers).
+    double mobile_fraction = 1.0;
   };
 
   /// `metric` must be the metric the target network runs on.
@@ -83,6 +96,10 @@ class WaypointMobility final : public Dynamics {
 };
 
 /// Runs several dynamics in sequence each round (e.g. churn + mobility).
+/// The merged ChangeSet preserves part order, deduplicates each list
+/// (first occurrence wins), and drops departed nodes from `moved` — a node
+/// that drifted and then left the network this round is a departure, not a
+/// move, by the time anyone observes the round.
 class CompositeDynamics final : public Dynamics {
  public:
   explicit CompositeDynamics(std::vector<Dynamics*> parts);

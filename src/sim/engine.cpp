@@ -22,6 +22,7 @@ Engine::Engine(const Channel& channel, Network& network,
           .cache_topology = config.cache_topology,
           .use_spatial_grid = config.use_spatial_grid,
           .gain_budget_bytes = config.gain_budget_bytes,
+          .gain_tile_cols = config.gain_tile_cols,
           .soa_kernel = config.soa_kernel,
           .threads = config.threads,
           .obs = config.obs}) {
@@ -30,6 +31,12 @@ Engine::Engine(const Channel& channel, Network& network,
               config_.slots_per_round <= static_cast<int>(kSlotsPerRound));
   UDWN_EXPECT(config_.drift_bound >= 1);
   UDWN_EXPECT(config_.threads >= 1);
+
+  // Delta invalidation needs the network to accumulate per-round change
+  // sets; tracking is records-only (no rng, no trace effect), so arming it
+  // cannot perturb the simulation.
+  if (config_.delta_invalidation && config_.cache_topology)
+    network.set_track_changes(true);
 
   const std::size_t n = network.size();
   transmitters_.reserve(n);
@@ -87,6 +94,13 @@ void Engine::step() {
     // Arrivals restart from the protocol's initial configuration (Sec. 2).
     for (NodeId v : changes.arrivals) protocols_[v.value]->on_start();
   }
+
+  // Delta fast path: hand the round's TopologyDelta to the caches while
+  // the previous round's stamps are still comparable (before any slot
+  // syncs the new epoch). Quiet rounds produce an empty delta and the call
+  // is a handful of compares — the static-scenario trace is untouched.
+  if (config_.delta_invalidation && config_.cache_topology)
+    workspace_.cache().apply_delta(network_->collect_delta());
 
   // Advance local clocks.
   for (std::size_t v = 0; v < n; ++v) {

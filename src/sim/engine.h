@@ -59,6 +59,15 @@ struct EngineConfig {
   /// Serve neighborhoods/gains from the epoch-invalidated TopologyCache.
   /// Off = brute-force re-derivation per slot (same bits, slower).
   bool cache_topology = true;
+  /// Per-node delta invalidation on top of cache_topology: each round the
+  /// engine folds the metric's DirtyLog and the alive churn into a
+  /// TopologyDelta and freshens everything the delta proves untouched
+  /// (TopologyCache::apply_delta), so invalidation work scales with the
+  /// number of changed nodes instead of n. Off = pure epoch invalidation,
+  /// the bit-exact reference path; both produce identical traces (audited —
+  /// the delta only ever re-certifies values the epoch path would have
+  /// recomputed to the same bits). No effect without cache_topology.
+  bool delta_invalidation = true;
   /// SpatialGrid candidate pruning on Euclidean instances (no effect on
   /// graph/asymmetric metrics, where the grid is never attached).
   bool use_spatial_grid = true;
@@ -67,6 +76,10 @@ struct EngineConfig {
   bool soa_kernel = true;
   /// Memory budget for the tiled LRU gain table; 0 disables gain caching.
   std::size_t gain_budget_bytes = std::size_t{128} << 20;
+  /// Listener columns per gain tile (power of two). Narrower tiles localize
+  /// delta invalidation — a mover dirties only the tiles whose column range
+  /// contains it — at the cost of more tile bookkeeping per slot.
+  std::size_t gain_tile_cols = 4096;
   /// Observability handle (obs/obs.h): counters, histograms and the binary
   /// round-event trace. Null (the default) disables all instrumentation —
   /// the off path is a branch on this pointer per site, with zero

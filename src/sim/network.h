@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "metric/dirty_log.h"
 #include "metric/quasi_metric.h"
 
 namespace udwn {
@@ -46,11 +47,33 @@ class Network {
   [[nodiscard]] QuasiMetric& metric() { return *metric_; }
   [[nodiscard]] const QuasiMetric& metric() const { return *metric_; }
 
+  /// Arm per-round TopologyDelta collection: from here on, alive toggles
+  /// are accumulated and the metric's DirtyLog window is anchored, so
+  /// collect_delta() can report exactly what changed since the last
+  /// collect. Off (the default), set_alive stays a pure flag flip and
+  /// collect_delta must not be called. Arming is idempotent.
+  void set_track_changes(bool on);
+  [[nodiscard]] bool track_changes() const { return track_changes_; }
+
+  /// Fold everything that changed since the previous collect (or since
+  /// arming) into a TopologyDelta: the metric's dirty window — coarse when
+  /// not localizable — plus the accumulated alive toggles, both sorted and
+  /// deduplicated. Resets the window; the returned reference stays valid
+  /// (and its buffers are reused) until the next call.
+  const TopologyDelta& collect_delta();
+
  private:
   QuasiMetric* metric_;
   std::vector<std::uint8_t> alive_;
   std::size_t alive_count_ = 0;
   std::uint64_t alive_epoch_ = 1;
+
+  // Delta collection state (inert until set_track_changes(true)).
+  bool track_changes_ = false;
+  std::vector<NodeId> alive_dirty_;
+  std::uint64_t last_metric_version_ = 0;
+  std::uint64_t last_epoch_ = 0;
+  TopologyDelta delta_;
 };
 
 }  // namespace udwn

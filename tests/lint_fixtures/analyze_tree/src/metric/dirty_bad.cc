@@ -1,0 +1,24 @@
+// udwn-expect: metric-dirty
+// A QuasiMetric subclass mutator that edits distances but neither logs
+// dirty nodes nor bumps the coarse version must be flagged: every cache
+// over the metric would go silently stale.
+#include <vector>
+namespace udwn {
+class QuasiMetric {
+ protected:
+  void bump_version();
+};
+
+class LeakyMetric : public QuasiMetric {
+ public:
+  void set_weight(int u, double w);
+  void add_edge(int u, int v);
+
+ private:
+  std::vector<double> weights_;
+};
+
+void LeakyMetric::set_weight(int u, double w) { weights_[u] = w; }
+
+void LeakyMetric::add_edge(int u, int v) { weights_.push_back(u + v); }
+}  // namespace udwn

@@ -1,0 +1,50 @@
+// udwn-expect: none
+// Mutators that report their change — per-node dirty log or the coarse
+// version bump — pass, as do non-mutator members and free functions.
+#include <vector>
+namespace udwn {
+struct NodeId {
+  unsigned value;
+};
+
+class QuasiMetric {
+ protected:
+  void bump_version();
+  void bump_version(NodeId v);
+};
+
+class HonestMetric : public QuasiMetric {
+ public:
+  void set_weight(NodeId u, double w);
+  void add_point(double w);
+  double distance_sum() const;
+
+ private:
+  std::vector<double> weights_;
+};
+
+// Localized: names the dirty node.
+void HonestMetric::set_weight(NodeId u, double w) {
+  weights_[u.value] = w;
+  bump_version(u);
+}
+
+// Coarse: size change, not localizable.
+void HonestMetric::add_point(double w) {
+  weights_.push_back(w);
+  bump_version();
+}
+
+double HonestMetric::distance_sum() const { return weights_.size(); }
+
+// Not a QuasiMetric: the rule must not fire outside metric subclasses.
+class Workspace {
+ public:
+  void set_budget(int b);
+
+ private:
+  int budget_ = 0;
+};
+
+void Workspace::set_budget(int b) { budget_ = b; }
+}  // namespace udwn

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "metric/euclidean.h"
 #include "tests/helpers.h"
 
@@ -96,6 +99,32 @@ TEST(ChurnDynamics, PinnedNodesNeverLeave) {
   EXPECT_EQ(net.alive_count(), 2u);
 }
 
+TEST(ChurnDynamics, RePlacedArrivalsReportedAsMoved) {
+  EuclideanMetric m(test::random_points(6, 5, 13));
+  Network net(m);
+  for (std::uint32_t v = 0; v < 6; ++v) net.set_alive(NodeId(v), false);
+  ChurnDynamics churn({.arrival_rate = 6.0, .placement_extent = 5.0});
+  Rng rng(13);
+  auto changes = churn.step(net, rng, 0);
+  ASSERT_EQ(changes.arrivals.size(), 6u);
+  // Every re-placed arrival mutated the metric: reported in both lists.
+  std::sort(changes.arrivals.begin(), changes.arrivals.end());
+  std::sort(changes.moved.begin(), changes.moved.end());
+  EXPECT_EQ(changes.moved, changes.arrivals);
+}
+
+TEST(ChurnDynamics, InPlaceArrivalsNotReportedAsMoved) {
+  EuclideanMetric m(test::random_points(6, 5, 14));
+  Network net(m);
+  for (std::uint32_t v = 0; v < 6; ++v) net.set_alive(NodeId(v), false);
+  ChurnDynamics churn({.arrival_rate = 6.0, .placement_extent = 0.0});
+  Rng rng(14);
+  const auto changes = churn.step(net, rng, 0);
+  // Zero extent keeps positions: a respawn-in-place is an arrival only.
+  EXPECT_EQ(changes.arrivals.size(), 6u);
+  EXPECT_TRUE(changes.moved.empty());
+}
+
 TEST(WaypointMobility, SpeedBoundsDisplacementPerRound) {
   EuclideanMetric m(test::random_points(30, 10, 6));
   Network net(m);
@@ -144,6 +173,87 @@ TEST(WaypointMobility, NodesStayInExtent) {
     EXPECT_GE(p.y, -0.3);
     EXPECT_LE(p.y, 5.3);
   }
+}
+
+TEST(WaypointMobility, RoundOfMovesCommitsOneVersionTick) {
+  EuclideanMetric m(test::random_points(30, 10, 15));
+  Network net(m);
+  WaypointMobility mobility(m, {.speed = 0.1, .extent = 10.0});
+  Rng rng(15);
+  mobility.step(net, rng, 0);  // warm-up: draws the initial waypoints
+  const std::uint64_t v0 = m.version();
+  const auto changes = mobility.step(net, rng, 1);
+  EXPECT_EQ(changes.moved.size(), 30u);
+  // The whole round is one begin_update()/end_update() span: 30 moves cost
+  // epoch consumers one version bump, while the dirty log still names every
+  // mover individually for delta consumers.
+  EXPECT_EQ(m.version(), v0 + 1);
+  std::vector<NodeId> dirty;
+  ASSERT_TRUE(m.dirty_log().collect(v0, v0 + 1, dirty));
+  EXPECT_EQ(dirty.size(), 30u);
+}
+
+TEST(WaypointMobility, ZeroSpeedLeavesVersionUntouched) {
+  EuclideanMetric m(test::random_points(10, 5, 16));
+  Network net(m);
+  WaypointMobility mobility(m, {.speed = 0.0, .extent = 5.0});
+  Rng rng(16);
+  const std::uint64_t v0 = m.version();
+  const auto changes = mobility.step(net, rng, 0);
+  EXPECT_TRUE(changes.moved.empty());
+  EXPECT_EQ(m.version(), v0);  // an empty span commits no tick
+}
+
+TEST(WaypointMobility, MobileFractionLimitsMovers) {
+  EuclideanMetric m(test::random_points(30, 10, 17));
+  Network net(m);
+  WaypointMobility mobility(
+      m, {.speed = 0.2, .extent = 10.0, .mobile_fraction = 0.25});
+  // Seed differs from the point seed: a driver replaying the point stream
+  // would draw every waypoint exactly on its node, and nobody would move.
+  Rng rng(99);
+  std::vector<Vec2> before(30);
+  for (std::uint32_t v = 0; v < 30; ++v) before[v] = m.position(NodeId(v));
+  const auto changes = mobility.step(net, rng, 0);
+  // ceil(0.25 * 30) = 8 movers: ids 0..7 drift, the rest are frozen.
+  EXPECT_EQ(changes.moved.size(), 8u);
+  for (std::uint32_t v = 0; v < 30; ++v) {
+    if (v < 8)
+      EXPECT_FALSE(m.position(NodeId(v)) == before[v]) << "node " << v;
+    else
+      EXPECT_EQ(m.position(NodeId(v)), before[v]) << "node " << v;
+  }
+}
+
+// Fixed-output part for merge-semantics tests: what CompositeDynamics does
+// with the lists matters here, not how they were produced.
+class ScriptedDynamics final : public Dynamics {
+ public:
+  explicit ScriptedDynamics(ChangeSet changes) : changes_(std::move(changes)) {}
+  ChangeSet step(Network&, Rng&, Round) override { return changes_; }
+
+ private:
+  ChangeSet changes_;
+};
+
+TEST(CompositeDynamics, MergePreservesOrderDedupsAndDropsMovedDepartures) {
+  EuclideanMetric m(test::random_points(10, 5, 18));
+  Network net(m);
+  ScriptedDynamics first({.arrivals = {NodeId(8)},
+                          .departures = {},
+                          .moved = {NodeId(5), NodeId(3)}});
+  ScriptedDynamics second({.arrivals = {NodeId(8), NodeId(6)},
+                           .departures = {NodeId(3)},
+                           .moved = {NodeId(5), NodeId(1)}});
+  CompositeDynamics combo({&first, &second});
+  Rng rng(18);
+  const auto merged = combo.step(net, rng, 0);
+  // Part order preserved, first occurrence wins.
+  EXPECT_EQ(merged.arrivals, (std::vector<NodeId>{NodeId(8), NodeId(6)}));
+  EXPECT_EQ(merged.departures, std::vector<NodeId>{NodeId(3)});
+  // Node 5 deduped; node 3 moved then departed, so it is a departure by
+  // the time the merged set is observed — dropped from `moved`.
+  EXPECT_EQ(merged.moved, (std::vector<NodeId>{NodeId(5), NodeId(1)}));
 }
 
 TEST(CompositeDynamics, RunsAllPartsAndMergesChanges) {

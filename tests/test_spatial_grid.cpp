@@ -3,11 +3,31 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
 
 #include "common/rng.h"
 #include "tests/helpers.h"
 
 namespace udwn {
+
+// Befriended by SpatialGrid: exposes the cell structure so the property
+// test below can compare a mutated grid with one rebuilt from scratch.
+class SpatialGridTestPeer {
+ public:
+  /// Non-empty cell lists keyed by packed cell coordinate. Drained cells
+  /// retain an empty list by design (capacity reuse); comparisons must
+  /// ignore them, so they are filtered here.
+  static std::map<std::uint64_t, std::vector<NodeId>> occupied_cells(
+      const SpatialGrid& grid) {
+    std::map<std::uint64_t, std::vector<NodeId>> out;
+    for (const auto& [cell_key, members] : grid.cells_)
+      if (!members.empty()) out.emplace(cell_key, members);
+    return out;
+  }
+};
+
 namespace {
 
 std::vector<NodeId> brute_force_within(const std::vector<Vec2>& pts, Vec2 q,
@@ -87,6 +107,77 @@ TEST_P(GridCellSize, ResultsIndependentOfCellSize) {
 
 INSTANTIATE_TEST_SUITE_P(CellSizes, GridCellSize,
                          ::testing::Values(0.1, 0.5, 1.0, 3.0, 10.0));
+
+TEST(SpatialGrid, EraseHidesAndInsertRestores) {
+  std::vector<Vec2> pts{{0.2, 0.2}, {0.4, 0.4}, {3, 3}};
+  SpatialGrid grid(pts, 1.0);
+  grid.erase(NodeId(1));
+  EXPECT_EQ(grid.within({0.3, 0.3}, 1.0).size(), 1u);
+  grid.insert(NodeId(1), {0.25, 0.25});
+  expect_same_set(grid.within({0.3, 0.3}, 1.0), {NodeId(0), NodeId(1)});
+  EXPECT_EQ(grid.point(NodeId(1)).x, 0.25);
+}
+
+TEST(SpatialGrid, MoveWithinCellAndAcrossBoundary) {
+  std::vector<Vec2> pts{{0.1, 0.1}, {0.9, 0.9}};
+  SpatialGrid grid(pts, 1.0);
+  grid.move(NodeId(0), {0.8, 0.8});  // same cell: position-only update
+  expect_same_set(grid.within({0.85, 0.85}, 0.2), {NodeId(0), NodeId(1)});
+  grid.move(NodeId(0), {1.2, 1.2});  // crosses into the neighbor cell
+  expect_same_set(grid.within({1.2, 1.2}, 0.1), {NodeId(0)});
+  expect_same_set(grid.within({0.85, 0.85}, 0.2), {NodeId(1)});
+}
+
+// The incremental-maintenance property TopologyCache::apply_delta relies
+// on: after any interleaving of move/erase/insert — within-cell jitters,
+// boundary crossings, jumps clean out of the original extent, negative
+// coordinates — the grid is cell-for-cell identical (ignoring drained
+// empty cells) to one rebuilt from scratch over the same surviving points.
+TEST(SpatialGrid, MutatedGridMatchesRebuiltFromScratch) {
+  constexpr std::uint32_t n = 120;
+  std::vector<Vec2> pts = test::random_points(n, 6.0, 23);
+  SpatialGrid grid(pts, 0.8);
+  std::vector<std::uint8_t> indexed(n, 1);
+  Rng rng(24);
+  for (int op = 0; op < 600; ++op) {
+    const NodeId id(static_cast<std::uint32_t>(rng.below(n)));
+    if (!indexed[id.value]) {
+      const Vec2 p{rng.uniform(-3.0, 9.0), rng.uniform(-3.0, 9.0)};
+      grid.insert(id, p);
+      pts[id.value] = p;
+      indexed[id.value] = 1;
+    } else if (rng.chance(0.25)) {
+      grid.erase(id);
+      indexed[id.value] = 0;
+    } else {
+      const Vec2 p =
+          rng.chance(0.5)
+              // Small jitter: usually stays within the current cell.
+              ? Vec2{pts[id.value].x + rng.uniform(-0.05, 0.05),
+                     pts[id.value].y + rng.uniform(-0.05, 0.05)}
+              // Jump anywhere, including outside [0,6]² entirely.
+              : Vec2{rng.uniform(-3.0, 9.0), rng.uniform(-3.0, 9.0)};
+      grid.move(id, p);
+      pts[id.value] = p;
+    }
+    if (op % 50 != 49) continue;
+    SpatialGrid rebuilt(pts, 0.8);
+    for (std::uint32_t v = 0; v < n; ++v)
+      if (!indexed[v]) rebuilt.erase(NodeId(v));
+    EXPECT_EQ(SpatialGridTestPeer::occupied_cells(grid),
+              SpatialGridTestPeer::occupied_cells(rebuilt))
+        << "after op " << op;
+  }
+  // Queries over the mutated grid agree with brute force on survivors.
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec2 q{rng.uniform(-3.0, 9.0), rng.uniform(-3.0, 9.0)};
+    const double r = rng.uniform(0.2, 2.5);
+    std::vector<NodeId> expected;
+    for (std::uint32_t v = 0; v < n; ++v)
+      if (indexed[v] && distance(pts[v], q) <= r) expected.push_back(NodeId(v));
+    expect_same_set(grid.within(q, r), expected);
+  }
+}
 
 }  // namespace
 }  // namespace udwn

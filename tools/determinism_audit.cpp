@@ -3,11 +3,13 @@
 //  1. Run-twice: a dynamic-broadcast scenario run twice under the same seed
 //     produces bit-for-bit identical event traces.
 //  2. Pipeline matrix: the same scenario resolved through every slot
-//     pipeline configuration — brute-force uncached, epoch-cached +
-//     grid-pruned, and cached with a multi-threaded kernel — yields one
-//     identical trace. This is the executable form of the resolve_into ≡
-//     resolve contract (docs/ENGINE.md) under full dynamics: churn AND
-//     mobility invalidate the caches every round.
+//     pipeline configuration — brute-force uncached, epoch-invalidated
+//     (delta_invalidation off), delta-invalidated, serial and
+//     multi-threaded kernels — yields one identical trace. This is the
+//     executable form of the resolve_into ≡ resolve contract
+//     (docs/ENGINE.md) under full dynamics: churn AND mobility invalidate
+//     the caches every round, so delta ≡ epoch ≡ uncached is checked where
+//     it matters, not on a static topology.
 //
 // Builds the EXP-10 style workload (cluster chain, node churn + bounded
 // mobility, Bcast(beta) with two slots per round), runs it through
@@ -58,6 +60,9 @@ struct PipelineConfig {
   bool use_spatial_grid;
   int threads;
   bool soa_kernel;
+  /// Per-node delta invalidation (EngineConfig::delta_invalidation);
+  /// false = the pure epoch-invalidation reference path.
+  bool delta_invalidation = true;
   /// Attach an Obs handle for the run: observability must be a pure
   /// observer, so the trace hash has to match the reference exactly.
   bool obs = false;
@@ -86,6 +91,7 @@ void run_dynamic_broadcast(const Options& options, bool perturb,
                              .seed = options.seed,
                              .threads = pipeline.threads,
                              .cache_topology = pipeline.cache_topology,
+                             .delta_invalidation = pipeline.delta_invalidation,
                              .use_spatial_grid = pipeline.use_spatial_grid,
                              .soa_kernel = pipeline.soa_kernel,
                              .obs = obs.get()});
@@ -120,11 +126,13 @@ void run_dynamic_broadcast(const Options& options, bool perturb,
 /// bit-exact equality.
 int run_pipeline_matrix(const Options& options) {
   const PipelineConfig configs[] = {
-      {"uncached-serial", false, false, 1, false},
-      {"cached+grid-serial", true, true, 1, false},
-      {"soa-kernel", true, true, 1, true},
-      {"cached+grid-threads", true, true, options.threads, true},
-      {"obs-on", true, true, options.threads, true, /*obs=*/true},
+      {"uncached-serial", false, false, 1, false, false},
+      {"epoch-serial", true, true, 1, false, /*delta=*/false},
+      {"delta-serial", true, true, 1, false, /*delta=*/true},
+      {"soa-kernel", true, true, 1, true, true},
+      {"epoch-threads", true, true, options.threads, true, /*delta=*/false},
+      {"delta-threads", true, true, options.threads, true, /*delta=*/true},
+      {"obs-on", true, true, options.threads, true, true, /*obs=*/true},
   };
   std::vector<TraceHashRecorder> traces(std::size(configs));
   for (std::size_t i = 0; i < std::size(configs); ++i)

@@ -863,6 +863,65 @@ def unordered_iter_pass(facts: FileFacts) -> list[Finding]:
     return findings
 
 
+# --- Metric dirty-tracking pass ----------------------------------------------
+
+#: Member-function name prefixes that, on a QuasiMetric subclass, signal a
+#: mutator of the distance function.
+METRIC_MUTATOR_RE = re.compile(r"^(set_|add_|remove_|update_|apply_)")
+#: A class in src/metric deriving (however qualified) from QuasiMetric.
+METRIC_BASE_RE = re.compile(
+    r"class\s+(\w+)[^;{]*:[^;{]*\bQuasiMetric\b", re.DOTALL
+)
+#: Evidence the mutator reported its change: a bump_version overload
+#: (coarse or per-node) or a direct DirtyLog record.
+DIRTY_MARK_RE = re.compile(r"\bbump_version\b|\brecord_global\b|\brecord\s*\(")
+
+
+def metric_dirty_pass(
+    functions: list[FunctionInfo], all_facts: dict[str, FileFacts]
+) -> list[Finding]:
+    """Every mutator of a QuasiMetric subclass must report what changed.
+
+    The invalidation stack hangs off QuasiMetric::version() and its
+    DirtyLog (metric/dirty_log.h): a mutator that edits distances without
+    calling a bump_version overload leaves BOTH the epoch and the delta
+    caches silently stale — the exact failure mode quasi_metric.h warns
+    about, now checked instead of trusted. Heuristic scope: member
+    functions named set_*/add_*/remove_*/update_*/apply_* on classes that
+    derive from QuasiMetric, anywhere under src/metric.
+    """
+    metric_classes: set[str] = set()
+    for facts in all_facts.values():
+        if facts.rel.startswith("src/metric/"):
+            metric_classes.update(METRIC_BASE_RE.findall(facts.code))
+    if not metric_classes:
+        return []
+    findings: list[Finding] = []
+    for fn in functions:
+        if not fn.path.startswith("src/metric/"):
+            continue
+        if fn.cls not in metric_classes:
+            continue
+        if not METRIC_MUTATOR_RE.match(fn.name):
+            continue
+        if DIRTY_MARK_RE.search(fn.body):
+            continue
+        findings.append(
+            Finding(
+                path=fn.path,
+                line=fn.line,
+                rule="metric-dirty",
+                message=f"metric mutator '{fn.qname}' neither logs dirty "
+                "nodes (bump_version(node)) nor bumps the coarse version "
+                "(bump_version()) — every cache over this metric goes "
+                "silently stale; see the contract in metric/dirty_log.h",
+                symbol=fn.qname,
+                what=fn.name,
+            )
+        )
+    return findings
+
+
 # --- Driver ------------------------------------------------------------------
 
 
@@ -998,6 +1057,7 @@ def main(argv: list[str]) -> int:
     raw_findings.extend(
         hot_path_pass(functions, hot_decls, noreturn_decls, all_facts)
     )
+    raw_findings.extend(metric_dirty_pass(functions, all_facts))
     for facts in all_facts.values():
         raw_findings.extend(layering_pass(facts))
         raw_findings.extend(env_pass(facts))
