@@ -29,6 +29,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "obs/obs.h"
+#include "phy/simd.h"
 #include "sim/batch.h"
 #include "topo/generators.h"
 
@@ -95,6 +96,7 @@ class JsonSink {
     }
     os << "{\n  \"experiment\": \"" << json_escape(experiment_)
        << "\",\n  \"claim\": \"" << json_escape(claim_)
+       << "\",\n  \"cpu_features\": \"" << json_escape(cpu_features_string())
        << "\",\n  \"tables\": [";
     for (std::size_t t = 0; t < tables_.size(); ++t) {
       const auto& [headers, rows] = tables_[t];

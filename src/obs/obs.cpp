@@ -19,6 +19,7 @@ Obs::Obs(ObsConfig config)
   ids_.gain_evictions = metrics_.counter("gain_table.evictions");
   ids_.gain_fills = metrics_.counter("gain_table.fills");
   ids_.gain_fallbacks = metrics_.counter("gain_table.fallbacks");
+  ids_.gain_disabled_binds = metrics_.counter("gain_table.disabled_binds");
   ids_.pool_jobs = metrics_.counter("task_pool.jobs");
   ids_.pool_chunks = metrics_.counter("task_pool.chunks");
   ids_.pool_idle_ns = metrics_.counter("task_pool.worker_idle_ns");

@@ -36,6 +36,13 @@ struct ObsConfig {
   /// by default; the 5% overhead gate (tools/obs_overhead_check.py) covers
   /// the default tier, and BM_EngineRoundObsStates documents this one.
   bool state_transitions = false;
+  /// Emit a kShardSpan trace event from each pool worker that executes an
+  /// interference-field shard (sharded slot pipeline only). Off by default:
+  /// worker-side events land in per-thread rings whose merge order is
+  /// scheduling-dependent, so the default trace stream stays bit-identical
+  /// across thread counts (the obs-on audit row relies on this). Turn on
+  /// for udwn_trace's per-worker shard-timing view.
+  bool worker_spans = false;
 };
 
 /// Ids of every metric the engine layers write. Registered once in the Obs
@@ -59,6 +66,7 @@ struct EngineCounterIds {
   MetricId gain_evictions = kInvalidMetric;
   MetricId gain_fills = kInvalidMetric;
   MetricId gain_fallbacks = kInvalidMetric;
+  MetricId gain_disabled_binds = kInvalidMetric;
   // TaskPool (published as per-round deltas by the engine).
   MetricId pool_jobs = kInvalidMetric;
   MetricId pool_chunks = kInvalidMetric;

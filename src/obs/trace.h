@@ -51,6 +51,13 @@ enum class EventKind : std::uint16_t {
   /// End of a global round: node = #alive nodes, aux = 0,
   /// value = #state transitions this round.
   kRoundEnd = 5,
+  /// One interference-field shard executed on a pool worker
+  /// (ObsConfig::worker_spans): node = first listener column of the shard,
+  /// aux = #listener blocks, value = wall-clock duration in ns. Emitted
+  /// from worker threads — ring order within a (round, slot) is
+  /// scheduling-dependent (see the determinism contract above), which is
+  /// why the knob is opt-in and the span is a diagnostic, never an input.
+  kShardSpan = 6,
 };
 
 /// One fixed-size trace record. Packed to 24 bytes; written to disk as-is

@@ -28,8 +28,10 @@
 #include "common/parallel.h"
 #include "common/types.h"
 #include "metric/quasi_metric.h"
+#include "phy/far_field.h"
 #include "phy/pathloss.h"
 #include "phy/reception.h"
+#include "phy/simd.h"
 #include "phy/topology_cache.h"
 
 namespace udwn {
@@ -72,6 +74,31 @@ struct SlotWorkspaceConfig {
   /// across listeners). false = scalar row-at-a-time kernel. Either setting
   /// produces bit-identical outcomes (audited).
   bool soa_kernel = true;
+  /// Explicit SIMD intrinsics (AVX2/NEON, runtime CPU dispatch) for the SoA
+  /// kernel; false — or an unsupported CPU — runs the autovectorized
+  /// reference. Bit-identical either way (the intrinsic kernel performs the
+  /// same per-listener adds in the same order; audited). The UDWN_SIMD
+  /// environment knob overrides: 0 forces the autovectorized kernel,
+  /// 1 forces detection. Resolved once at workspace construction.
+  bool simd = true;
+  /// Shard one slot's interference field across the TaskPool by listener
+  /// block, fusing each shard's gain-tile fills with its accumulation
+  /// (plan_rows once on the caller, fill_planned + kernel per worker).
+  /// Takes effect with threads > 1, the SoA kernel, and at least one block
+  /// per pool thread; bit-identical to the unsharded kernels (audited).
+  bool field_sharding = true;
+  /// Certified far-field approximation (see far_field.h): aggregate
+  /// transmitters beyond a derived separation radius per spatial cell, with
+  /// worst-case relative field error <= far_field_eps. 0 (default) = exact.
+  /// Requires cache_topology and a Euclidean metric; non-Euclidean or
+  /// infeasible parameter combinations fall back to the exact kernels.
+  /// Approximate paths are self-deterministic across thread counts but NOT
+  /// bit-identical to the exact reference — only ε-certified against it.
+  double far_field_eps = 0.0;
+  /// Aggregation cell side for the far-field approximation, as a multiple
+  /// of the reception model's max range (smaller cells tighten ρ for a
+  /// given ε at the cost of more cells).
+  double far_field_cell_factor = 2.0;
   /// Worker threads for the interference kernel (including the caller);
   /// 1 = serial. Any value produces bit-identical outcomes.
   int threads = 1;
@@ -101,6 +128,16 @@ class SlotWorkspace {
   /// The kernel pool (null when threads == 1); the engine reads its Stats
   /// to publish per-round scheduling deltas.
   [[nodiscard]] TaskPool* pool() { return pool_.get(); }
+  /// The SIMD level resolved at construction (config knob + UDWN_SIMD
+  /// override + CPU probe); introspection for tests and benchmarks.
+  [[nodiscard]] SimdLevel simd_level() const { return simd_level_; }
+  /// Tag worker-side trace events (shard spans) with the engine's current
+  /// (round, slot). Pure observability — never read by any decision; the
+  /// engine sets it before resolve_into when an Obs handle is attached.
+  void set_obs_slot(std::uint32_t round, std::uint8_t slot) {
+    obs_round_ = round;
+    obs_slot_ = slot;
+  }
 
  private:
   friend class Channel;
@@ -113,6 +150,10 @@ class SlotWorkspace {
   std::vector<const double*> row_scratch_;  // SoA kernel row pointers
   TopologyCache cache_;
   std::unique_ptr<TaskPool> pool_;  // created when threads > 1
+  SimdLevel simd_level_ = SimdLevel::kScalar;  // resolved in the ctor
+  FarFieldWorkspace far_field_;
+  std::uint32_t obs_round_ = 0;  // observability tags for worker spans
+  std::uint8_t obs_slot_ = 0;
 };
 
 class Channel {
@@ -159,6 +200,8 @@ class Channel {
   [[nodiscard]] double epsilon() const { return epsilon_; }
 
  private:
+  void sharded_field(GainTable& gains, std::span<const NodeId> transmitters,
+                     SlotWorkspace& ws) const;
   void decode_scatter(const SlotView& view, const PathLoss& pl,
                       const GainTable* gains,
                       std::span<const std::uint8_t> alive,

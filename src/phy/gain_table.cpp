@@ -1,6 +1,7 @@
 #include "phy/gain_table.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/contract.h"
 
@@ -39,6 +40,21 @@ void GainTable::bind(const QuasiMetric& metric, const PathLoss& pathloss) {
   max_tiles_ = std::min(max_tiles_, n_ * blocks_);
   // Useful only if at least one whole source row can be resident at once.
   enabled_ = blocks_ > 0 && max_tiles_ >= blocks_;
+  if (!enabled_ && blocks_ > 0 && config_.budget_bytes > 0) {
+    // A nonzero budget that cannot hold even one row of tiles would thrash
+    // the LRU on every ensure_rows; stay off, count it, and say so once
+    // (zero budget is a deliberate off switch and stays silent). The slot
+    // pipeline falls back to per-lookup recomputation — same bits, slower.
+    ++stats_.disabled_binds;
+    if (!warned_disabled_) {
+      warned_disabled_ = true;
+      std::fprintf(stderr,
+                   "udwn: gain_budget_bytes=%zu holds %zu tiles but one row "
+                   "of n=%zu needs %zu; gain caching disabled, computing "
+                   "gains per lookup\n",
+                   config_.budget_bytes, max_tiles_, n_, blocks_);
+    }
+  }
 
   tile_slot_.clear();
   tile_stamp_.clear();
@@ -126,13 +142,13 @@ void GainTable::fill_tile(std::size_t tile) {
   if (u >= begin && u < begin + count) dst[u - begin] = 0.0;
 }
 
-bool GainTable::ensure_rows(std::span<const NodeId> sources, TaskPool* pool) {
+bool GainTable::plan_rows(std::span<const NodeId> sources) {
+  fill_tiles_.clear();
   if (!enabled_) return false;
   if (sources.empty()) return true;
   UDWN_ASSERT(metric_ != nullptr && pathloss_ != nullptr);
   const std::uint64_t fresh = metric_->version() + 1;
   ++pass_;
-  fill_tiles_.clear();
   for (const NodeId u : sources) {
     UDWN_ASSERT(u.value < n_);
     for (std::size_t b = 0; b < blocks_; ++b) {
@@ -157,15 +173,28 @@ bool GainTable::ensure_rows(std::span<const NodeId> sources, TaskPool* pool) {
       pin_pass_[slot] = pass_;
       lru_touch(slot);
       if (tile_stamp_[tile] != fresh) {
-        // Stamp now, fill below: sources may repeat across calls but tiles
-        // enter the fill list exactly once, keeping parallel fills disjoint.
+        // Stamp now, fill later (ensure_rows or the caller's fill_planned
+        // shards): sources may repeat across calls but tiles enter the fill
+        // list exactly once, keeping parallel fills disjoint.
         tile_stamp_[tile] = fresh;
         fill_tiles_.push_back(tile);
       }
     }
   }
-  if (fill_tiles_.empty()) return true;
   stats_.fills += fill_tiles_.size();
+  return true;
+}
+
+void GainTable::fill_planned(std::size_t block_lo, std::size_t block_hi) {
+  for (const std::size_t tile : fill_tiles_) {
+    const std::size_t b = tile % blocks_;
+    if (b >= block_lo && b < block_hi) fill_tile(tile);
+  }
+}
+
+bool GainTable::ensure_rows(std::span<const NodeId> sources, TaskPool* pool) {
+  if (!plan_rows(sources)) return false;
+  if (fill_tiles_.empty()) return true;
   if (pool != nullptr && pool->threads() > 1 && fill_tiles_.size() > 1) {
     // Distinct tiles occupy distinct slots, so fills write disjoint storage
     // ranges; contents are pure functions of (metric, pathloss, tile), so

@@ -86,6 +86,25 @@ class GainTable {
   /// callers then fall back to the uncached kernel (same bits, recomputed).
   bool ensure_rows(std::span<const NodeId> sources, TaskPool* pool);
 
+  /// Serial planning half of ensure_rows: acquire/pin slots for every tile
+  /// of every source row, stamp them fresh, and queue the stale ones for
+  /// filling — without filling. Returns false (freshness rolled back,
+  /// fallback counted) when the sources' tiles exceed the budget, exactly
+  /// like ensure_rows. After a true return, row_block pointers are already
+  /// stable (storage never reallocates until the next plan/bind), but tiles
+  /// queued for filling hold stale data until fill_planned covers their
+  /// block. This is the sharded-field entry point: the slot pipeline plans
+  /// once on the caller thread, then workers fill-and-accumulate their own
+  /// listener blocks (see docs/ENGINE.md).
+  bool plan_rows(std::span<const NodeId> sources);
+
+  /// Fill every tile queued by the last plan_rows whose column block lies
+  /// in [block_lo, block_hi). Tiles of disjoint block ranges occupy
+  /// disjoint storage, so concurrent calls over a partition of
+  /// [0, blocks()) are race-free; each tile's contents are a pure function
+  /// of (metric, pathloss, tile), so the result is schedule-independent.
+  void fill_planned(std::size_t block_lo, std::size_t block_hi);
+
   /// Base pointer of row u's column block b, or nullptr unless resident and
   /// fresh. Entry j is the gain from u to listener block_begin(b) + j (with
   /// the diagonal stored as +0.0; see file comment). Valid until the next
@@ -125,6 +144,8 @@ class GainTable {
     std::uint64_t fills = 0;       // tiles (re)computed
     std::uint64_t fallbacks = 0;   // ensure_rows over budget -> uncached path
     std::uint64_t freshened = 0;   // tiles restamped by apply_delta (no fill)
+    std::uint64_t disabled_binds = 0;  // bind() left caching off: the budget
+                                       // cannot hold even one row of tiles
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -165,6 +186,7 @@ class GainTable {
 
   std::vector<std::size_t> fill_tiles_;  // scratch, reused across calls
   std::vector<std::uint8_t> block_dirty_;  // scratch for apply_delta
+  bool warned_disabled_ = false;  // one warning per table instance
   Stats stats_;
 };
 

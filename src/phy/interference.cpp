@@ -130,6 +130,51 @@ void interference_field_soa(const GainTable& gains,
   }
 }
 
+void interference_field_simd(const GainTable& gains,
+                             std::span<const NodeId> transmitters,
+                             std::vector<const double*>& row_scratch,
+                             std::vector<double>& field, SimdLevel level,
+                             TaskPool* pool) {
+  const std::size_t n = gains.size();
+  const std::size_t blocks = gains.blocks();
+  field.assign(n, 0.0);  // udwn-lint: allow(hot-path-alloc): warm-up sizing
+  if (transmitters.empty()) return;
+  const std::size_t count = transmitters.size();
+
+  // Serial prologue, identical to interference_field_soa: collect the
+  // (transmitter, block) → row pointers once so the parallel region below
+  // is pure reads.
+  row_scratch.clear();
+  const std::size_t need = count * blocks;
+  if (row_scratch.capacity() < need)
+    row_scratch.reserve(need);  // udwn-lint: allow(hot-path-alloc): warm-up
+  for (const NodeId u : transmitters)
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const double* row = gains.row_block(u, b);
+      UDWN_ASSERT(row != nullptr);  // caller ran ensure_rows
+      row_scratch.push_back(  // udwn-lint: allow(hot-path-alloc): reserved
+          row);
+    }
+  const double* const* rows = row_scratch.data();
+
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t begin = gains.block_begin(b);
+      const std::size_t s = std::max(lo, begin);
+      const std::size_t e = std::min(hi, begin + gains.block_cols(b));
+      if (s >= e) continue;
+      simd_accumulate_columns(rows + b, blocks, count,
+                              field.data() + begin, s - begin, e - begin,
+                              level);
+    }
+  };
+  if (pool != nullptr) {
+    pool->run_chunks(0, n, body);
+  } else {
+    body(0, n);
+  }
+}
+
 double interference_at(const QuasiMetric& metric, const PathLoss& pathloss,
                        std::span<const NodeId> transmitters, NodeId listener,
                        NodeId excluded) {

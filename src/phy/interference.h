@@ -16,6 +16,7 @@
 #include "metric/quasi_metric.h"
 #include "phy/gain_table.h"
 #include "phy/pathloss.h"
+#include "phy/simd.h"
 
 namespace udwn {
 
@@ -75,5 +76,20 @@ UDWN_HOT void interference_field_soa(const GainTable& gains,
                                      std::vector<const double*>& row_scratch,
                                      std::vector<double>& field,
                                      TaskPool* pool = nullptr);
+
+/// Explicit-intrinsics variant of interference_field_soa: identical row
+/// prologue and block walk, but the inner column sweep dispatches to the
+/// AVX2/NEON accumulator selected at workspace construction (see simd.h).
+/// Bitwise identical to interference_field_soa for every level — SIMD lanes
+/// are listeners, each lane adds gains in exact transmitter order — which
+/// the property tests and the determinism audit enforce. `level == kScalar`
+/// runs the structurally identical scalar fallback (the forced-fallback
+/// dispatch path stays testable on any host).
+UDWN_HOT void interference_field_simd(const GainTable& gains,
+                                      std::span<const NodeId> transmitters,
+                                      std::vector<const double*>& row_scratch,
+                                      std::vector<double>& field,
+                                      SimdLevel level,
+                                      TaskPool* pool = nullptr);
 
 }  // namespace udwn

@@ -1,0 +1,65 @@
+// Runtime-dispatched SIMD intrinsics for the interference kernels.
+//
+// The autovectorized SoA kernel (interference_field_soa) is the bit-exact
+// reference: it vectorizes across *listeners* only, so every listener's sum
+// accumulates in exact transmitter order. The intrinsic kernels here perform
+// the same additions in the same per-lane order — a vertical _mm256_add_pd /
+// vaddq_f64 is four/two independent per-listener scalar adds — so their
+// results are bitwise identical to the reference for every input (enforced
+// by tests/test_simd.cpp property-style and by the determinism audit).
+// Intrinsics buy the guarantee that the unroll stays vectorized at -O2
+// regardless of compiler cost models, plus runtime dispatch: one binary
+// serves AVX2, NEON, and scalar hosts.
+//
+// Dispatch is resolved once per SlotWorkspace (never per slot):
+// `SlotWorkspaceConfig::simd` gated by the UDWN_SIMD environment override
+// (0 forces the autovectorized kernel, 1 forces detection), parsed through
+// the strict env_int path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/contract.h"
+
+namespace udwn {
+
+/// Instruction set the interference kernel dispatches to. kScalar means the
+/// plain autovectorized reference kernel.
+enum class SimdLevel : std::uint8_t {
+  kScalar = 0,
+  kAvx2 = 1,  // x86: 4 double lanes
+  kNeon = 2,  // aarch64: 2 double lanes
+};
+
+/// Human-readable level name ("scalar" / "avx2" / "neon").
+[[nodiscard]] const char* simd_level_name(SimdLevel level);
+
+/// Best level the executing CPU supports (runtime cpuid probe on x86;
+/// compile-time on aarch64, where NEON is architectural).
+[[nodiscard]] SimdLevel detect_simd_level();
+
+/// Effective level for a workspace: `enable` (the config knob) combined
+/// with the UDWN_SIMD override — 0 forces kScalar, 1 forces detection even
+/// when the knob is off. Unset/invalid values fall back to the knob.
+[[nodiscard]] SimdLevel resolve_simd_level(bool enable);
+
+/// Comma-separated list of the ISA features this host reports (e.g.
+/// "sse2,avx,avx2,fma"), for benchmark provenance; "none" when nothing is
+/// probed. Stable across calls.
+[[nodiscard]] std::string cpu_features_string();
+
+/// Accumulate `count` transmitter gain rows into field columns [jlo, jhi):
+/// f[j] += rows[0 * row_stride][j] + ... in exact row order per column.
+/// `rows[i * row_stride]` is transmitter i's row pointer (the SoA kernels
+/// pass row_scratch.data() + block with row_stride = blocks). All levels
+/// produce bitwise-identical results: SIMD lanes are listeners, and no
+/// listener's partial sum is ever reassociated across transmitters.
+UDWN_HOT void simd_accumulate_columns(const double* const* rows,
+                                      std::size_t row_stride,
+                                      std::size_t count, double* f,
+                                      std::size_t jlo, std::size_t jhi,
+                                      SimdLevel level);
+
+}  // namespace udwn

@@ -99,6 +99,11 @@ class TopologyCache {
     return gains_.enabled() ? &gains_ : nullptr;
   }
 
+  /// The gain table regardless of enablement — stats publication and tests
+  /// need it exactly when gains() is null (e.g. the disabled_binds counter
+  /// that records a budget too small for even one row of tiles).
+  [[nodiscard]] const GainTable& gains_storage() const { return gains_; }
+
   /// Spatial grid over all points, or nullptr (non-Euclidean metric, or
   /// grids disabled). Membership pruning only — interference stays exact.
   [[nodiscard]] const SpatialGrid* grid();

@@ -24,6 +24,10 @@ Engine::Engine(const Channel& channel, Network& network,
           .gain_budget_bytes = config.gain_budget_bytes,
           .gain_tile_cols = config.gain_tile_cols,
           .soa_kernel = config.soa_kernel,
+          .simd = config.simd,
+          .field_sharding = config.field_sharding,
+          .far_field_eps = config.far_field_eps,
+          .far_field_cell_factor = config.far_field_cell_factor,
           .threads = config.threads,
           .obs = config.obs}) {
   UDWN_EXPECT(protocols_.size() == network.size());
@@ -170,13 +174,17 @@ void Engine::publish_round_obs(std::uint64_t transitions,
 
   // The gain table and pool keep cheap lifetime counters; the registry gets
   // per-round deltas so several engines can share one Obs.
-  if (GainTable* gains = workspace_.cache().gains()) {
-    const GainTable::Stats cur = gains->stats();
+  {
+    // Read the table whether or not caching is enabled: disabled_binds is
+    // nonzero exactly when gains() is null (budget below one row of tiles).
+    const GainTable::Stats cur = workspace_.cache().gains_storage().stats();
     m.add(ids.gain_hits, cur.hits - last_gain_stats_.hits);
     m.add(ids.gain_misses, cur.misses - last_gain_stats_.misses);
     m.add(ids.gain_evictions, cur.evictions - last_gain_stats_.evictions);
     m.add(ids.gain_fills, cur.fills - last_gain_stats_.fills);
     m.add(ids.gain_fallbacks, cur.fallbacks - last_gain_stats_.fallbacks);
+    m.add(ids.gain_disabled_binds,
+          cur.disabled_binds - last_gain_stats_.disabled_binds);
     last_gain_stats_ = cur;
   }
   if (TaskPool* pool = workspace_.pool()) {
@@ -225,6 +233,11 @@ void Engine::run_slot(Slot slot) {
 
   const double power_scale =
       slot == Slot::Notify ? config_.notify_power_scale : 1.0;
+  // Tag worker-emitted shard spans with this slot's position (pure
+  // observability; resolve_into never reads it for any decision).
+  if (config_.obs != nullptr)
+    workspace_.set_obs_slot(static_cast<std::uint32_t>(round_),
+                            static_cast<std::uint8_t>(slot));
   const SlotOutcome& outcome =
       channel_->resolve_into(transmitters_, network_->alive_mask(),
                              power_scale, network_->topology_epoch(),

@@ -74,6 +74,25 @@ struct EngineConfig {
   /// SoA/SIMD interference kernel over the tiled gain table; false = scalar
   /// row-at-a-time kernel. Bit-identical either way (audited).
   bool soa_kernel = true;
+  /// Explicit SIMD intrinsics (AVX2/NEON, runtime CPU dispatch) for the SoA
+  /// kernel; false — or an unsupported CPU — uses the autovectorized
+  /// reference kernel. Bit-identical either way (audited). Overridable via
+  /// the UDWN_SIMD environment knob (0 forces autovectorized, 1 forces
+  /// detection), resolved once at engine construction.
+  bool simd = true;
+  /// Shard each slot's interference field across the TaskPool by listener
+  /// block, fusing gain-tile fills with accumulation per shard (takes
+  /// effect with threads > 1 and enough blocks). Bit-identical (audited).
+  bool field_sharding = true;
+  /// Certified far-field approximation: aggregate transmitters beyond a
+  /// derived separation radius per spatial cell with worst-case relative
+  /// field error <= far_field_eps (see far_field.h for the bound's
+  /// derivation). 0 (default) = exact. Approximate rounds are
+  /// self-deterministic across thread counts but not bit-identical to the
+  /// exact reference — only ε-certified against it (both audited).
+  double far_field_eps = 0.0;
+  /// Far-field aggregation cell side as a multiple of the model max range.
+  double far_field_cell_factor = 2.0;
   /// Memory budget for the tiled LRU gain table; 0 disables gain caching.
   std::size_t gain_budget_bytes = std::size_t{128} << 20;
   /// Listener columns per gain tile (power of two). Narrower tiles localize

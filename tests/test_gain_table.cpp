@@ -233,5 +233,61 @@ TEST(GainTable, PipelineFallsBackExactlyWhenBudgetTooSmall) {
   EXPECT_EQ(ws.cache().gains(), nullptr);  // disabled at this budget
 }
 
+TEST(GainTable, SubRowBudgetCountsDisabledBindsAndWarnsOnce) {
+  // Nonzero budget that cannot hold one row of tiles: bind leaves caching
+  // off, bumps the disabled_binds stat every time, and prints its stderr
+  // note exactly once per table (zero budget stays silent — it is a
+  // deliberate off switch, covered above).
+  EuclideanMetric metric(test::random_points(67, 7.0, 611));
+  const PathLoss pl(1.0, 3.0, 1e-3);
+  GainTable gains(tiny_tiles(16, 4));  // 4 resident tiles < 5 blocks per row
+
+  ::testing::internal::CaptureStderr();
+  gains.bind(metric, pl);
+  const std::string first = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(first.find("gain caching disabled"), std::string::npos);
+  EXPECT_FALSE(gains.enabled());
+  EXPECT_EQ(gains.stats().disabled_binds, 1u);
+  EXPECT_FALSE(gains.ensure_rows(ids({0, 1}), nullptr));
+  EXPECT_EQ(gains.row_block(NodeId(0), 0), nullptr);
+
+  ::testing::internal::CaptureStderr();
+  gains.bind(metric, pl);  // same table: counted again, not re-warned
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+  EXPECT_EQ(gains.stats().disabled_binds, 2u);
+
+  // Zero budget is silent and uncounted.
+  GainTable off(GainTable::Config{.budget_bytes = 0});
+  ::testing::internal::CaptureStderr();
+  off.bind(metric, pl);
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+  EXPECT_EQ(off.stats().disabled_binds, 0u);
+}
+
+TEST(GainTable, SubRowBudgetPipelineStaysExact) {
+  // End to end: a workspace whose budget holds tiles but never a whole row
+  // runs the uncached kernel and still matches the reference bit for bit.
+  Scenario scenario(test::random_points(67, 7.0, 612),
+                    test::default_config());
+  const Channel& channel = scenario.channel();
+  const Network& network = scenario.network();
+  SlotWorkspace ws({.gain_budget_bytes = 4 * 16 * 8, .gain_tile_cols = 16});
+  Rng rng(613);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<NodeId> txs;
+    for (std::uint32_t v = 0; v < 67; ++v)
+      if (rng.chance(0.2)) txs.push_back(NodeId(v));
+    const SlotOutcome ref = channel.resolve(txs, network.alive_mask());
+    const SlotOutcome& got = channel.resolve_into(
+        txs, network.alive_mask(), 1.0, network.topology_epoch(), ws);
+    for (std::size_t v = 0; v < 67; ++v) {
+      ASSERT_EQ(ref.interference[v], got.interference[v]) << "node " << v;
+      ASSERT_EQ(ref.decoded_from[v], got.decoded_from[v]) << "node " << v;
+    }
+  }
+  EXPECT_EQ(ws.cache().gains(), nullptr);  // n = 67 needs 5 blocks, holds 4
+  EXPECT_GE(ws.cache().gains_storage().stats().disabled_binds, 1u);
+}
+
 }  // namespace
 }  // namespace udwn

@@ -406,5 +406,46 @@ TEST(EngineObs, EventStreamIsIdenticalAcrossThreadsAndKernels) {
                 ->snapshot().events);
 }
 
+// Worker-side shard spans are opt-in (their cross-ring merge order is
+// scheduling-dependent, unlike every default event) and must carry the
+// engine's (round, slot) tags plus the shard geometry.
+TEST(EngineObs, WorkerShardSpansAreOptInAndTagged) {
+  auto shard_spans = [](bool enabled) {
+    Scenario scenario(test::random_points(kNodes, 5.5, 8104),
+                      test::default_config());
+    auto protocols = make_protocols(scenario.network().size(), [](NodeId) {
+      return std::make_unique<PhasedProtocol>();
+    });
+    const CarrierSensing sensing = scenario.sensing_local();
+    Obs obs(ObsConfig{.worker_spans = enabled});
+    // 16-column tiles at n = 56: 4 blocks >= 3 threads, so the sharded
+    // field path (the only shard-span emitter) runs every slot.
+    Engine engine(scenario.channel(), scenario.network(), sensing, protocols,
+                  EngineConfig{.slots_per_round = 2,
+                               .seed = 9,
+                               .threads = 3,
+                               .gain_tile_cols = 16,
+                               .obs = &obs});
+    for (int r = 0; r < 5; ++r) engine.step();
+    std::vector<TraceEvent> spans;
+    for (const TraceEvent& e : obs.snapshot().events)
+      if (static_cast<EventKind>(e.kind) == EventKind::kShardSpan)
+        spans.push_back(e);
+    return spans;
+  };
+
+  EXPECT_TRUE(shard_spans(false).empty());
+
+  const std::vector<TraceEvent> spans = shard_spans(true);
+  ASSERT_FALSE(spans.empty());
+  for (const TraceEvent& e : spans) {
+    EXPECT_LT(e.round, 5u);
+    EXPECT_LT(e.slot, 2u);
+    EXPECT_EQ(e.node % 16, 0u);  // first listener column of the shard
+    EXPECT_GE(e.aux, 1u);        // at least one block per shard
+    EXPECT_LE(e.aux, 4u);
+  }
+}
+
 }  // namespace
 }  // namespace udwn

@@ -66,6 +66,18 @@ struct PipelineConfig {
   /// Attach an Obs handle for the run: observability must be a pure
   /// observer, so the trace hash has to match the reference exactly.
   bool obs = false;
+  /// Explicit SIMD intrinsics for the SoA kernel (EngineConfig::simd);
+  /// false = autovectorized reference. Both must hash identically.
+  bool simd = true;
+  /// Certified far-field approximation (EngineConfig::far_field_eps).
+  /// Nonzero rows are NOT compared against the exact reference — only
+  /// against each other (self-determinism across thread counts).
+  double far_field_eps = 0.0;
+  /// Far-field cell side as a multiple of the model max range.
+  double far_field_cell_factor = 2.0;
+  /// Gain tile width: small values force multi-block rows at audit sizes
+  /// so the sharded field path (threads > 1, blocks >= threads) engages.
+  std::size_t gain_tile_cols = 4096;
 };
 
 void run_dynamic_broadcast(const Options& options, bool perturb,
@@ -94,6 +106,11 @@ void run_dynamic_broadcast(const Options& options, bool perturb,
                              .delta_invalidation = pipeline.delta_invalidation,
                              .use_spatial_grid = pipeline.use_spatial_grid,
                              .soa_kernel = pipeline.soa_kernel,
+                             .simd = pipeline.simd,
+                             .far_field_eps = pipeline.far_field_eps,
+                             .far_field_cell_factor =
+                                 pipeline.far_field_cell_factor,
+                             .gain_tile_cols = pipeline.gain_tile_cols,
                              .obs = obs.get()});
 
   ChurnDynamics churn({.arrival_rate = 0.05,
@@ -133,6 +150,12 @@ int run_pipeline_matrix(const Options& options) {
       {"epoch-threads", true, true, options.threads, true, /*delta=*/false},
       {"delta-threads", true, true, options.threads, true, /*delta=*/true},
       {"obs-on", true, true, options.threads, true, true, /*obs=*/true},
+      {"simd-off", true, true, options.threads, true, true, false,
+       /*simd=*/false},
+      // 8-column tiles: blocks = ceil(n/8) >= threads at audit sizes, so
+      // the fused plan/fill shard path runs every slot.
+      {"sharded", true, true, options.threads, true, true, false, true, 0.0,
+       2.0, /*gain_tile_cols=*/8},
   };
   std::vector<TraceHashRecorder> traces(std::size(configs));
   for (std::size_t i = 0; i < std::size(configs); ++i)
@@ -145,6 +168,36 @@ int run_pipeline_matrix(const Options& options) {
         DeterminismAuditor::compare(traces[0], traces[i]);
     std::cout << "    vs " << configs[i].label << ": " << to_string(report)
               << "\n";
+    if (!report.deterministic) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+/// Far-field group: ε-certified approximate rounds are NOT bit-identical
+/// to the exact reference (only certified against it, see far_field.h), so
+/// the audit here is self-determinism: serial, threaded, and a threaded
+/// repeat must produce one identical trace — the approximation must be a
+/// pure function of the seed, never of scheduling.
+int run_far_field_group(const Options& options) {
+  PipelineConfig serial{"far-field-serial", true, true, 1, true};
+  serial.far_field_eps = 0.5;
+  serial.far_field_cell_factor = 0.25;  // ρ inside the chain extent
+  PipelineConfig threaded = serial;
+  threaded.label = "far-field-threads";
+  threaded.threads = options.threads;
+  const PipelineConfig configs[] = {serial, threaded, threaded};
+  std::vector<TraceHashRecorder> traces(std::size(configs));
+  for (std::size_t i = 0; i < std::size(configs); ++i)
+    run_dynamic_broadcast(options, /*perturb=*/false, configs[i], traces[i]);
+
+  int failures = 0;
+  std::cout << "  far-field self-determinism (eps=0.5, reference: "
+            << configs[0].label << ")\n";
+  for (std::size_t i = 1; i < std::size(configs); ++i) {
+    const DeterminismReport report =
+        DeterminismAuditor::compare(traces[0], traces[i]);
+    std::cout << "    vs " << configs[i].label << (i == 2 ? " (repeat)" : "")
+              << ": " << to_string(report) << "\n";
     if (!report.deterministic) ++failures;
   }
   return failures == 0 ? 0 : 1;
@@ -241,6 +294,7 @@ int run(const Options& options) {
   }
   int rc = report.deterministic ? 0 : 1;
   if (options.matrix && rc == 0) rc = run_pipeline_matrix(options);
+  if (options.matrix && rc == 0) rc = run_far_field_group(options);
   if (options.matrix && rc == 0) rc = run_batch_check(options);
   return rc;
 }

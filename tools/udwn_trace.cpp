@@ -218,6 +218,52 @@ void print_heatmap(const std::vector<RoundAgg>& rounds) {
   }
 }
 
+void print_shard_spans(const Trace& trace) {
+  // Worker-side shard spans (EventKind::kShardSpan, opt-in via
+  // ObsConfig::worker_spans): node = first listener column of the shard,
+  // aux = #blocks, value = wall time in ns on the executing pool thread.
+  // Grouping by shard start shows how evenly the field sharding splits one
+  // slot's work across workers.
+  struct ShardAgg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+    std::uint32_t blocks = 0;
+  };
+  std::vector<std::pair<std::uint32_t, ShardAgg>> shards;
+  for (const TraceEvent& ev : trace.events) {
+    if (static_cast<EventKind>(ev.kind) != EventKind::kShardSpan) continue;
+    auto it = std::find_if(shards.begin(), shards.end(),
+                           [&](const auto& s) { return s.first == ev.node; });
+    if (it == shards.end()) {
+      shards.emplace_back(ev.node, ShardAgg{});
+      it = std::prev(shards.end());
+    }
+    ShardAgg& agg = it->second;
+    ++agg.count;
+    agg.total_ns += ev.value;
+    agg.max_ns = std::max(agg.max_ns, ev.value);
+    agg.blocks = ev.aux;
+  }
+  if (shards.empty()) return;
+  std::sort(shards.begin(), shards.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::printf("\nshard spans (worker-side field sharding):\n");
+  std::printf("  %-14s %8s %8s %12s %12s %12s\n", "first column", "blocks",
+              "spans", "total us", "mean us", "max us");
+  for (const auto& [first_col, agg] : shards) {
+    const double mean_us =
+        agg.count == 0
+            ? 0.0
+            : static_cast<double>(agg.total_ns) /
+                  (1e3 * static_cast<double>(agg.count));
+    std::printf("  %-14u %8u %8llu %12.1f %12.2f %12.2f\n", first_col,
+                agg.blocks, static_cast<unsigned long long>(agg.count),
+                static_cast<double>(agg.total_ns) / 1e3, mean_us,
+                static_cast<double>(agg.max_ns) / 1e3);
+  }
+}
+
 bool same_histograms(const Trace& a, const Trace& b) {
   if (a.histograms.size() != b.histograms.size()) return false;
   for (std::size_t i = 0; i < a.histograms.size(); ++i) {
@@ -331,6 +377,7 @@ int main(int argc, char** argv) {
   print_top_counters(*trace, opt.top_k);
   print_histograms(*trace);
   print_heatmap(rounds);
+  print_shard_spans(*trace);
 
   int status = 0;
   if (opt.verify_roundtrip) {
