@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 
 namespace udwn {
 namespace {
@@ -55,6 +56,32 @@ void abort_contract_handler(const ContractViolationInfo& info) {
 
 void throw_contract_handler(const ContractViolationInfo& info) {
   throw ContractViolation(info);
+}
+
+namespace {
+
+// Refcount for ScopedThrowingContracts. A mutex (not an atomic counter) so
+// the 0→1 install and 1→0 restore are atomic with the count transition —
+// otherwise a scope ending concurrently with one starting could restore the
+// abort handler after the newcomer installed the throwing one.
+std::mutex g_throw_scope_mutex;
+int g_throw_scope_depth = 0;
+ContractHandler g_throw_scope_previous = nullptr;
+
+}  // namespace
+
+ScopedThrowingContracts::ScopedThrowingContracts() {
+  const std::lock_guard<std::mutex> lock(g_throw_scope_mutex);
+  if (g_throw_scope_depth++ == 0) {
+    g_throw_scope_previous = set_contract_handler(&throw_contract_handler);
+  }
+}
+
+ScopedThrowingContracts::~ScopedThrowingContracts() {
+  const std::lock_guard<std::mutex> lock(g_throw_scope_mutex);
+  if (--g_throw_scope_depth == 0) {
+    set_contract_handler(g_throw_scope_previous);
+  }
 }
 
 ContractHandler set_contract_handler(ContractHandler handler) noexcept {

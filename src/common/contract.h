@@ -92,6 +92,23 @@ class ScopedContractHandler {
   ContractHandler previous_;
 };
 
+/// RAII: keep `throw_contract_handler` installed while at least one
+/// instance is alive anywhere in the process. The handler slot is a single
+/// process-wide setting, so two overlapping ScopedContractHandler scopes on
+/// different threads would race: the first scope to end restores the abort
+/// handler underneath the scope still running. Hosts that run checked work
+/// concurrently (BatchRunner batches on independent pools) use this
+/// refcounted form instead: the first scope installs the throwing handler,
+/// the last one restores whatever was installed before.
+class ScopedThrowingContracts {
+ public:
+  ScopedThrowingContracts();
+  ~ScopedThrowingContracts();
+
+  ScopedThrowingContracts(const ScopedThrowingContracts&) = delete;
+  ScopedThrowingContracts& operator=(const ScopedThrowingContracts&) = delete;
+};
+
 /// Violations observed so far (incremented before handler dispatch, so the
 /// counts are accurate under the throwing handler too). Thread-safe.
 [[nodiscard]] std::uint64_t contract_violation_count() noexcept;

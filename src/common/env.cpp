@@ -24,4 +24,45 @@ std::optional<long long> env_int(const char* name, long long min,
   return parsed;
 }
 
+std::optional<std::uint64_t> env_size_bytes(const char* name,
+                                            std::uint64_t min,
+                                            std::uint64_t max) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return std::nullopt;
+  const auto reject = [&]() -> std::optional<std::uint64_t> {
+    std::fprintf(stderr,
+                 "%s: ignoring invalid value \"%s\" (want <bytes>[K|M|G] in "
+                 "[%llu, %llu])\n",
+                 name, value,
+                 static_cast<unsigned long long>(min),
+                 static_cast<unsigned long long>(max));
+    return std::nullopt;
+  };
+  // strtoull skips leading whitespace and silently negates "-1"; a size
+  // knob must start with a digit, full stop.
+  if (value[0] < '0' || value[0] > '9') return reject();
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (errno != 0 || end == value) return reject();
+  std::uint64_t shift = 0;
+  if (*end == 'K' || *end == 'k') shift = 10;
+  else if (*end == 'M' || *end == 'm') shift = 20;
+  else if (*end == 'G' || *end == 'g') shift = 30;
+  if (shift != 0) ++end;
+  if (*end != '\0') return reject();
+  const std::uint64_t base = parsed;
+  if (shift != 0 && base > (std::uint64_t{0xffffffffffffffffull} >> shift))
+    return reject();  // multiplier would overflow uint64
+  const std::uint64_t bytes = base << shift;
+  if (bytes < min || bytes > max) return reject();
+  return bytes;
+}
+
+std::optional<std::string> env_string(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return std::nullopt;
+  return std::string(value);
+}
+
 }  // namespace udwn

@@ -8,7 +8,9 @@
 // is always visible.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <string>
 
 namespace udwn {
 
@@ -19,5 +21,22 @@ namespace udwn {
 /// a typo'd knob must never silently select a different configuration.
 std::optional<long long> env_int(const char* name, long long min,
                                  long long max);
+
+/// Parse environment variable `name` as a byte size: a non-negative base-10
+/// integer with an optional single K/M/G suffix (case-insensitive,
+/// power-of-two multipliers: K = 2^10, M = 2^20, G = 2^30). Same strictness
+/// contract as env_int: the whole string must parse, the multiplied value
+/// must not overflow std::uint64_t and must land in [min, max], and any
+/// rejected value warns once on stderr and returns nullopt so the caller
+/// falls back to its default. "128M", "2G", "4096" are valid; "1.5G",
+/// "128MB", "-1K" and "" are not.
+std::optional<std::uint64_t> env_size_bytes(const char* name,
+                                            std::uint64_t min,
+                                            std::uint64_t max);
+
+/// Raw string knob (e.g. UDWN_SVC_SOCKET). Returns nullopt when unset or
+/// empty. Lives here because src/common/env.cpp is the one blessed getenv
+/// site (tools/udwn_analyze.py, rule env-hygiene).
+std::optional<std::string> env_string(const char* name);
 
 }  // namespace udwn

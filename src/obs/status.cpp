@@ -1,0 +1,45 @@
+#include "obs/status.h"
+
+namespace udwn {
+
+void StatusBoard::add(std::string_view name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, value] : counters_) {
+    if (key == name) {
+      value += delta;
+      return;
+    }
+  }
+  counters_.emplace_back(std::string(name), delta);
+}
+
+std::uint64_t StatusBoard::value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, value] : counters_)
+    if (key == name) return value;
+  return 0;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> StatusBoard::snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+void StatusBoard::fold_registry_delta(
+    const MetricsRegistry::Snapshot& current,
+    MetricsRegistry::Snapshot* previous) {
+  for (const auto& [name, value] : current.counters) {
+    std::uint64_t before = 0;
+    for (const auto& [prev_name, prev_value] : previous->counters) {
+      if (prev_name == name) {
+        before = prev_value;
+        break;
+      }
+    }
+    if (value > before) add(name, value - before);
+  }
+  *previous = current;
+}
+
+}  // namespace udwn

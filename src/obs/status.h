@@ -1,0 +1,63 @@
+// StatusBoard — live-readable named counters for long-lived hosts.
+//
+// MetricsRegistry is built for the engine hot path: per-thread shards,
+// aggregation only at quiescent points. A serving daemon has the opposite
+// profile — counters change at request granularity (cold path) but must be
+// READABLE AT ANY MOMENT, concurrently with writers, because a `status`
+// request can arrive mid-run. StatusBoard is that complement: every
+// operation takes one mutex, so add() and snapshot() are safe from any
+// thread at any time, and the rates involved (requests per second, not
+// events per slot) make the lock irrelevant.
+//
+// The intended wiring (src/svc/service.cpp) keeps both layers honest: each
+// service worker owns a private Obs whose MetricsRegistry the engine writes
+// shard-locally during a request, and at every quiescent point (a completed
+// trial block) the worker folds the registry's counter DELTAS into the
+// shared StatusBoard. The status endpoint then reads the board — live
+// aggregated MetricsRegistry counters without ever violating the
+// registry's quiescence contract.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace udwn {
+
+class StatusBoard {
+ public:
+  StatusBoard() = default;
+  StatusBoard(const StatusBoard&) = delete;
+  StatusBoard& operator=(const StatusBoard&) = delete;
+
+  /// Add `delta` to the counter named `name`, creating it at zero on first
+  /// use. Thread-safe; cold path only (one mutex + one linear name probe).
+  void add(std::string_view name, std::uint64_t delta);
+
+  /// Current value of `name` (0 when never written). Thread-safe.
+  [[nodiscard]] std::uint64_t value(std::string_view name) const;
+
+  /// All counters in first-write order. Safe to call concurrently with
+  /// writers — that is the point of this class.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> snapshot()
+      const;
+
+  /// Fold the counter deltas between `previous` and `current` registry
+  /// snapshots into this board (same counter names), then advance
+  /// `previous` to `current`. Both snapshots must come from the same
+  /// registry at quiescent points; counters are monotonic, so current -
+  /// previous is the per-window contribution.
+  void fold_registry_delta(const MetricsRegistry::Snapshot& current,
+                           MetricsRegistry::Snapshot* previous);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, std::uint64_t>> counters_;
+};
+
+}  // namespace udwn

@@ -16,12 +16,15 @@ const char* to_string(TrialStatus status) noexcept {
       return "failed";
     case TrialStatus::kTimedOut:
       return "timeout";
+    case TrialStatus::kCancelled:
+      return "cancelled";
   }
   return "?";
 }
 
-TrialBudget::TrialBudget(std::uint64_t max_rounds, std::uint64_t deadline_ns)
-    : max_rounds_(max_rounds), deadline_ns_(deadline_ns) {
+TrialBudget::TrialBudget(std::uint64_t max_rounds, std::uint64_t deadline_ns,
+                         const std::atomic<bool>* cancel)
+    : max_rounds_(max_rounds), deadline_ns_(deadline_ns), cancel_(cancel) {
   // The clock is read only for deadline budgets: a rounds-only (or
   // unlimited) budget keeps the trial a pure function of its seed.
   if (deadline_ns_ != 0)
@@ -31,6 +34,8 @@ TrialBudget::TrialBudget(std::uint64_t max_rounds, std::uint64_t deadline_ns)
 
 void TrialBudget::on_round() {
   ++rounds_;
+  if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed))
+    throw TrialCancelled("trial cancelled by host");
   if (max_rounds_ != 0 && rounds_ > max_rounds_)
     throw TrialTimeout("trial exceeded max_rounds = " +
                        std::to_string(max_rounds_));

@@ -29,6 +29,7 @@
 // parallelism within a trial for the experiment workloads.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -58,10 +59,24 @@ struct BatchConfig {
   /// ever read.
   std::uint64_t max_rounds = 0;
   std::uint64_t trial_deadline_ns = 0;
+  /// Cooperative external cancellation, polled by trial_round_checkpoint()
+  /// at the same round boundaries as the budgets. Null (the default) means
+  /// no poll at all; a non-null flag that stays false costs one relaxed
+  /// atomic load per round and cannot perturb results. Once the flag is
+  /// true, every in-flight trial stops at its next round boundary and is
+  /// recorded as TrialStatus::kCancelled — the hook a long-lived host
+  /// (tools/udwnd) uses to hard-stop runaway work during shutdown without
+  /// killing the pool.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Per-trial outcome classification for run_checked().
-enum class TrialStatus : std::uint8_t { kOk = 0, kFailed = 1, kTimedOut = 2 };
+enum class TrialStatus : std::uint8_t {
+  kOk = 0,
+  kFailed = 1,
+  kTimedOut = 2,
+  kCancelled = 3,
+};
 [[nodiscard]] const char* to_string(TrialStatus status) noexcept;
 
 /// Structured record of one failed or timed-out trial. `seed` is 0 unless
@@ -80,22 +95,32 @@ class TrialTimeout : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Round/deadline budget for one trial. run_checked() installs one
-/// thread-locally around each trial body; trial_round_checkpoint() consults
-/// it at round boundaries.
+/// Thrown by trial_round_checkpoint() when BatchConfig::cancel flipped
+/// true; run_checked() records it as TrialStatus::kCancelled.
+class TrialCancelled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Round/deadline budget (plus the optional external cancel flag) for one
+/// trial. run_checked() installs one thread-locally around each trial body;
+/// trial_round_checkpoint() consults it at round boundaries.
 class TrialBudget {
  public:
-  TrialBudget(std::uint64_t max_rounds, std::uint64_t deadline_ns);
+  TrialBudget(std::uint64_t max_rounds, std::uint64_t deadline_ns,
+              const std::atomic<bool>* cancel = nullptr);
   [[nodiscard]] bool limited() const {
-    return max_rounds_ != 0 || deadline_ns_ != 0;
+    return max_rounds_ != 0 || deadline_ns_ != 0 || cancel_ != nullptr;
   }
-  /// Counts one completed round; throws TrialTimeout past a budget. The
-  /// wall clock is read only when a deadline is configured.
+  /// Counts one completed round; throws TrialTimeout past a budget and
+  /// TrialCancelled when the external flag is set. The wall clock is read
+  /// only when a deadline is configured.
   void on_round();
 
  private:
   std::uint64_t max_rounds_;
   std::uint64_t deadline_ns_;
+  const std::atomic<bool>* cancel_;
   std::uint64_t rounds_ = 0;
   std::uint64_t start_ns_ = 0;
 };
@@ -193,6 +218,18 @@ class BatchRunner {
   template <typename Body>
   auto run_checked(std::size_t count, Body&& body)
       -> BatchResult<decltype(body(std::size_t{0}))> {
+    return run_checked_budgeted(count, config_, std::forward<Body>(body));
+  }
+
+  /// run_checked() with per-call budgets: `budgets`' max_rounds /
+  /// trial_deadline_ns / cancel replace the construction-time values for
+  /// this batch only (its `threads` field is ignored — the pool is fixed at
+  /// construction). This is how a long-lived host (tools/udwnd) serves
+  /// requests with different budgets from one shared per-worker pool.
+  template <typename Body>
+  auto run_checked_budgeted(std::size_t count, const BatchConfig& budgets,
+                            Body&& body)
+      -> BatchResult<decltype(body(std::size_t{0}))> {
     using R = decltype(body(std::size_t{0}));
     using Fn = std::remove_reference_t<Body>;
     BatchResult<R> out;
@@ -206,16 +243,21 @@ class BatchRunner {
       std::string* what;
       const BatchConfig* config;
     } ctx{&body, out.results.data(), out.status.data(), what.data(),
-          &config_};
+          &budgets};
     // Contract failures become catchable exceptions for the batch duration
-    // so one violating trial cannot abort the whole sweep.
-    ScopedContractHandler contracts(&throw_contract_handler);
+    // so one violating trial cannot abort the whole sweep. Refcounted: the
+    // handler slot is process-wide, and independent runners (service
+    // workers) overlap batches freely — a plain save/restore here would let
+    // the first batch to finish reinstate the abort handler under a
+    // concurrent batch's violating trial.
+    ScopedThrowingContracts contracts;
     run_items(
         count,
         [](void* context, std::size_t k) {
           auto* c = static_cast<Ctx*>(context);
           TrialBudget budget(c->config->max_rounds,
-                             c->config->trial_deadline_ns);
+                             c->config->trial_deadline_ns,
+                             c->config->cancel);
           detail::ScopedTrialBudget guard(budget.limited() ? &budget
                                                            : nullptr);
           try {
@@ -223,6 +265,9 @@ class BatchRunner {
           } catch (const TrialTimeout& timeout) {
             c->status[k] = TrialStatus::kTimedOut;
             c->what[k] = timeout.what();
+          } catch (const TrialCancelled& cancelled) {
+            c->status[k] = TrialStatus::kCancelled;
+            c->what[k] = cancelled.what();
           } catch (const std::exception& error) {
             c->status[k] = TrialStatus::kFailed;
             c->what[k] = error.what();

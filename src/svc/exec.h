@@ -1,0 +1,43 @@
+// Declarative-request execution: one validated RunRequest + one trial seed
+// -> one engine run -> one TrialRecord.
+//
+// run_trial() is the purity boundary of the service: everything inside it
+// derives from (request, trial_seed) only — topology, protocol draws,
+// engine randomness — so the produced record bytes are identical no matter
+// which worker, pool size, or concurrent load executes the trial (the
+// determinism audit's svc group pins this). The service always calls it
+// under BatchRunner::run_checked, so a throwing, contract-violating, or
+// over-budget trial becomes a structured outcome instead of daemon death.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/obs.h"
+#include "svc/request.h"
+
+namespace udwn::svc {
+
+/// Host-side execution knobs (service configuration, not request fields).
+struct ExecConfig {
+  /// Gain-table budget per engine (daemon knob UDWN_SVC_GAIN_BUDGET).
+  /// Service engines default small: many engines coexist.
+  std::size_t gain_budget_bytes = std::size_t{16} << 20;
+  /// Hard round bound the execution loop never exceeds, regardless of the
+  /// request (the budget in BatchConfig fires first by construction).
+  std::uint64_t round_bound = 0;
+  /// Observability handle counters accumulate into (may be null). Must be
+  /// written only by this worker and its pool at quiescent points — see
+  /// obs/status.h for the fold contract.
+  Obs* obs = nullptr;
+};
+
+/// Execute one trial. Throws (std::runtime_error, ContractViolation,
+/// TrialTimeout via the round checkpoint) on faults, injection, or budget
+/// exhaustion — callers run it under run_checked. On normal return the
+/// record's status field is empty; the caller stamps it from TrialStatus.
+[[nodiscard]] TrialRecord run_trial(const RunRequest& request,
+                                    const ExecConfig& exec,
+                                    std::uint64_t trial_seed,
+                                    std::uint32_t trial_index);
+
+}  // namespace udwn::svc

@@ -1,0 +1,290 @@
+#include "svc/gateway.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+
+namespace udwn::svc {
+
+namespace {
+
+/// Incremental newline framing with a byte cap. Oversized lines are
+/// reported once and their bytes discarded up to the next newline, so one
+/// hostile line cannot buffer unboundedly or kill the connection.
+class LineReader {
+ public:
+  explicit LineReader(std::size_t max_line) : max_line_(max_line) {}
+
+  template <typename OnLine, typename OnOversized>
+  void feed(const char* data, std::size_t size, const OnLine& on_line,
+            const OnOversized& on_oversized) {
+    for (std::size_t i = 0; i < size; ++i) {
+      const char c = data[i];
+      if (c == '\n') {
+        if (skipping_) {
+          skipping_ = false;
+        } else {
+          on_line(std::move(buffer_));
+        }
+        buffer_.clear();
+        continue;
+      }
+      if (skipping_) continue;
+      if (buffer_.size() >= max_line_) {
+        skipping_ = true;
+        buffer_.clear();
+        on_oversized();
+        continue;
+      }
+      buffer_ += c;
+    }
+  }
+
+  /// Bytes after the last newline when the stream ended (a truncated
+  /// request). Oversized-and-skipping counts too: it was never answered.
+  [[nodiscard]] bool partial() const { return skipping_ || !buffer_.empty(); }
+
+ private:
+  std::size_t max_line_;
+  std::string buffer_;
+  bool skipping_ = false;
+};
+
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+}  // namespace
+
+struct Gateway::Connection {
+  explicit Connection(int fd_in) : fd(fd_in), session(fd_in) {}
+  int fd;
+  Session session;
+  std::thread thread;
+};
+
+Gateway::Gateway(ScenarioService& service, GatewayConfig config)
+    : service_(service), config_(std::move(config)) {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) == 0) {
+    wake_read_ = fds[0];
+    wake_write_ = fds[1];
+    set_cloexec(wake_read_);
+    set_cloexec(wake_write_);
+    // Non-blocking write end: a signal handler must never block on a full
+    // pipe (a full pipe already means "stop was requested many times").
+    ::fcntl(wake_write_, F_SETFL, O_NONBLOCK);
+  }
+}
+
+Gateway::~Gateway() {
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+}
+
+void Gateway::request_stop() noexcept {
+  if (wake_write_ < 0) return;
+  const char byte = 's';
+  // Best effort by design; EAGAIN means a stop is already pending.
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_, &byte, 1);
+}
+
+void Gateway::handle_line(const std::shared_ptr<Session>& session,
+                          std::string line) {
+  if (line.empty()) return;  // blank lines are keep-alive noise, not errors
+  const ParsedRequest parsed = parse_request(line);
+  session->add_pending();
+  service_.submit(
+      parsed,
+      [session](const std::string& response) { session->emit_line(response); },
+      [session] { session->complete_one(); });
+}
+
+void Gateway::connection_loop(const std::shared_ptr<Connection>& connection) {
+  LineReader reader(config_.max_line_bytes);
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(connection->fd, buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error: stop reading, drain what we owe
+    reader.feed(buf, static_cast<std::size_t>(n),
+                [&](std::string line) {
+                  handle_line(
+                      std::shared_ptr<Session>(connection,
+                                               &connection->session),
+                      std::move(line));
+                },
+                [&] {
+                  connection->session.emit_line(encode_rejected(
+                      "", RequestError{ErrorCode::kLineTooLong,
+                                       "line exceeds " +
+                                           std::to_string(
+                                               config_.max_line_bytes) +
+                                           " bytes"}));
+                });
+  }
+  if (reader.partial())
+    connection->session.emit_line(encode_rejected(
+        "", RequestError{ErrorCode::kTruncated,
+                         "input ended mid-line (missing newline)"}));
+  // Every request submitted from this connection flushes its terminal line
+  // before the descriptor closes.
+  connection->session.wait_idle();
+  ::close(connection->fd);
+  connection->fd = -1;
+  active_connections_.fetch_sub(1, std::memory_order_release);
+}
+
+void Gateway::enter_drain() {
+  if (draining_) return;
+  draining_ = true;
+  service_.begin_shutdown();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Unblock every connection reader: read() returns 0, the thread drains
+  // its pending responses and closes. New data from those peers is lost by
+  // declaration — we are shutting down.
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (const auto& connection : connections_)
+    if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RD);
+}
+
+int Gateway::run() {
+  if (config_.socket_path.empty() && !config_.serve_stdin) {
+    std::fprintf(stderr, "gateway: no transport configured\n");
+    return 1;
+  }
+  if (!config_.socket_path.empty()) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      std::perror("gateway: socket");
+      return 1;
+    }
+    set_cloexec(listen_fd_);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.socket_path.size() >= sizeof addr.sun_path) {
+      std::fprintf(stderr, "gateway: socket path too long: %s\n",
+                   config_.socket_path.c_str());
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return 1;
+    }
+    std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    ::unlink(config_.socket_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+      std::perror("gateway: bind/listen");
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return 1;
+    }
+  }
+
+  auto stdout_session = std::make_shared<Session>(STDOUT_FILENO);
+  LineReader stdin_reader(config_.max_line_bytes);
+  bool stdin_open = config_.serve_stdin;
+
+  while (true) {
+    pollfd fds[3];
+    nfds_t nfds = 0;
+    const int wake_slot = static_cast<int>(nfds);
+    fds[nfds++] = pollfd{wake_read_, POLLIN, 0};
+    int listen_slot = -1;
+    if (listen_fd_ >= 0 && !draining_) {
+      listen_slot = static_cast<int>(nfds);
+      fds[nfds++] = pollfd{listen_fd_, POLLIN, 0};
+    }
+    int stdin_slot = -1;
+    if (stdin_open && !draining_) {
+      stdin_slot = static_cast<int>(nfds);
+      fds[nfds++] = pollfd{STDIN_FILENO, POLLIN, 0};
+    }
+    // Serving: block until traffic. Draining: poke every 50 ms to test the
+    // all-idle exit condition (and stay responsive to an escalated stop).
+    const int timeout_ms = draining_ ? 50 : -1;
+    const int ready = ::poll(fds, nfds, timeout_ms);
+    if (ready < 0 && errno != EINTR) break;
+
+    if (ready > 0 && (fds[wake_slot].revents & POLLIN) != 0) {
+      char bytes[64];
+      const ssize_t n = ::read(wake_read_, bytes, sizeof bytes);
+      for (ssize_t i = 0; i < n; ++i) {
+        if (!draining_)
+          enter_drain();
+        else
+          service_.cancel_inflight();
+      }
+    }
+
+    if (listen_slot >= 0 && (fds[listen_slot].revents & POLLIN) != 0) {
+      const int client = ::accept(listen_fd_, nullptr, nullptr);
+      if (client >= 0) {
+        set_cloexec(client);
+        auto connection = std::make_shared<Connection>(client);
+        active_connections_.fetch_add(1, std::memory_order_acquire);
+        {
+          std::lock_guard<std::mutex> lock(connections_mutex_);
+          connections_.push_back(connection);
+        }
+        connection->thread =
+            std::thread([this, connection] { connection_loop(connection); });
+      }
+    }
+
+    if (stdin_slot >= 0 && (fds[stdin_slot].revents & (POLLIN | POLLHUP)) !=
+                               0) {
+      char buf[4096];
+      const ssize_t n = ::read(STDIN_FILENO, buf, sizeof buf);
+      if (n > 0) {
+        stdin_reader.feed(
+            buf, static_cast<std::size_t>(n),
+            [&](std::string line) {
+              handle_line(stdout_session, std::move(line));
+            },
+            [&] {
+              stdout_session->emit_line(encode_rejected(
+                  "", RequestError{ErrorCode::kLineTooLong,
+                                   "line exceeds " +
+                                       std::to_string(
+                                           config_.max_line_bytes) +
+                                       " bytes"}));
+            });
+      } else if (n == 0 || (n < 0 && errno != EINTR)) {
+        stdin_open = false;
+        if (stdin_reader.partial())
+          stdout_session->emit_line(encode_rejected(
+              "", RequestError{ErrorCode::kTruncated,
+                               "input ended mid-line (missing newline)"}));
+        enter_drain();
+      }
+    }
+
+    if (draining_ &&
+        active_connections_.load(std::memory_order_acquire) == 0 &&
+        stdout_session->idle())
+      break;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const auto& connection : connections_)
+      if (connection->thread.joinable()) connection->thread.join();
+    connections_.clear();
+  }
+  service_.begin_shutdown();
+  service_.join();
+  if (!config_.socket_path.empty()) ::unlink(config_.socket_path.c_str());
+  return 0;
+}
+
+}  // namespace udwn::svc

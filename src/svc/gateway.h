@@ -1,0 +1,82 @@
+// Gateway — the transport in front of ScenarioService (docs/SERVICE.md).
+//
+// Two request sources, both speaking the same one-JSON-object-per-line
+// protocol: a Unix domain socket (thread-per-connection, responses written
+// back on the same connection) and stdin (responses on stdout — the mode CI
+// smoke tests and shell pipelines use). The main loop is a poll() over the
+// listening socket, stdin, and a wake pipe; request_stop() is
+// async-signal-safe (one write() to the pipe), so tools/udwnd's SIGINT /
+// SIGTERM handlers can trigger the drain sequence without touching
+// non-reentrant state:
+//
+//   stop #1  -> graceful drain: stop accepting connections, reject new run
+//               requests (kShuttingDown), let queued + in-flight requests
+//               finish, flush every response, exit 0.
+//   stop #2+ -> additionally cancel in-flight trials at their next round
+//               boundary (TrialStatus::kCancelled) — still a structured,
+//               flushed, exit-0 shutdown, just faster.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "svc/service.h"
+#include "svc/session.h"
+
+namespace udwn::svc {
+
+struct GatewayConfig {
+  /// Unix-domain socket path to listen on; empty = no socket listener.
+  std::string socket_path;
+  /// Read request lines from stdin, answer on stdout. EOF on stdin starts
+  /// the graceful drain (so `printf '...' | udwnd` terminates cleanly).
+  bool serve_stdin = false;
+  /// Byte cap per request line (UDWN_SVC_MAX_LINE). Longer lines are
+  /// answered with kLineTooLong and skipped; the connection survives.
+  std::size_t max_line_bytes = std::size_t{1} << 20;
+};
+
+class Gateway {
+ public:
+  /// `service` must outlive the gateway. The wake pipe is created here so
+  /// request_stop() is valid as soon as the constructor returns (signal
+  /// handlers are installed before run()).
+  Gateway(ScenarioService& service, GatewayConfig config);
+  ~Gateway();
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  /// Serve until drained (see file comment). Returns 0 on a clean drain,
+  /// 1 on transport setup failure (bad socket path and no stdin mode).
+  int run();
+
+  /// Async-signal-safe shutdown request; callable from signal handlers and
+  /// from other threads. Each call escalates (see file comment).
+  void request_stop() noexcept;
+
+ private:
+  struct Connection;
+
+  void handle_line(const std::shared_ptr<Session>& session,
+                   std::string line);
+  void connection_loop(const std::shared_ptr<Connection>& connection);
+  void enter_drain();
+
+  ScenarioService& service_;
+  GatewayConfig config_;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  int listen_fd_ = -1;
+
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::atomic<std::size_t> active_connections_{0};
+  bool draining_ = false;
+};
+
+}  // namespace udwn::svc

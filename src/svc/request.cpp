@@ -1,0 +1,374 @@
+#include "svc/request.h"
+
+#include <cmath>
+#include <utility>
+
+namespace udwn::svc {
+
+const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kNotObject: return "not_object";
+    case ErrorCode::kMissingField: return "missing_field";
+    case ErrorCode::kBadType: return "bad_type";
+    case ErrorCode::kUnknownField: return "unknown_field";
+    case ErrorCode::kBadValue: return "bad_value";
+    case ErrorCode::kLineTooLong: return "line_too_long";
+    case ErrorCode::kTruncated: return "truncated";
+    case ErrorCode::kQueueFull: return "queue_full";
+    case ErrorCode::kTrialsExceeded: return "trials_exceeded";
+    case ErrorCode::kNodesExceeded: return "nodes_exceeded";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kFaultInjectionOff: return "fault_injection_disabled";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Builder for the one-failure-at-a-time validation walk: the first error
+/// sticks (reported errors stay deterministic — schema order, not map
+/// order) and every subsequent check short-circuits.
+struct Check {
+  std::optional<RequestError> error;
+
+  [[nodiscard]] bool failed() const { return error.has_value(); }
+
+  void fail(ErrorCode code, std::string detail) {
+    if (!error.has_value())
+      error = RequestError{code, std::move(detail)};
+  }
+};
+
+/// Typed field access over one JSON object with strict-schema accounting:
+/// every get_* marks its key as known; unknown_fields() reports the first
+/// key the walk never asked about.
+class Fields {
+ public:
+  Fields(const Json& object, Check& check, std::string scope)
+      : object_(object), check_(check), scope_(std::move(scope)) {}
+
+  [[nodiscard]] const Json* known(std::string_view key) {
+    known_.emplace_back(key);
+    return object_.find(key);
+  }
+
+  std::string qualify(std::string_view key) const {
+    return scope_.empty() ? std::string(key) : scope_ + "." + std::string(key);
+  }
+
+  void get_string(std::string_view key, std::string* out) {
+    const Json* v = known(key);
+    if (v == nullptr || check_.failed()) return;
+    if (!v->is_string()) {
+      check_.fail(ErrorCode::kBadType, qualify(key) + " must be a string");
+      return;
+    }
+    *out = v->as_string();
+  }
+
+  void get_double(std::string_view key, double* out, double min, double max) {
+    const Json* v = known(key);
+    if (v == nullptr || check_.failed()) return;
+    if (!v->is_number()) {
+      check_.fail(ErrorCode::kBadType, qualify(key) + " must be a number");
+      return;
+    }
+    const double value = v->as_double();
+    if (!(value >= min && value <= max) || std::isnan(value)) {
+      check_.fail(ErrorCode::kBadValue,
+                  qualify(key) + " out of range [" + std::to_string(min) +
+                      ", " + std::to_string(max) + "]");
+      return;
+    }
+    *out = value;
+  }
+
+  template <typename UInt>
+  void get_uint(std::string_view key, UInt* out, std::uint64_t min,
+                std::uint64_t max) {
+    const Json* v = known(key);
+    if (v == nullptr || check_.failed()) return;
+    if (!v->is_number()) {
+      check_.fail(ErrorCode::kBadType, qualify(key) + " must be a number");
+      return;
+    }
+    const auto value = v->as_uint64();
+    if (!value.has_value() || *value < min || *value > max) {
+      check_.fail(ErrorCode::kBadValue,
+                  qualify(key) + " must be an integer in [" +
+                      std::to_string(min) + ", " + std::to_string(max) + "]");
+      return;
+    }
+    *out = static_cast<UInt>(*value);
+  }
+
+  /// Report the first key the schema walk never asked about.
+  void reject_unknown() {
+    if (check_.failed()) return;
+    for (const auto& [key, value] : object_.members()) {
+      bool matched = false;
+      for (const std::string& k : known_)
+        if (k == key) {
+          matched = true;
+          break;
+        }
+      if (!matched) {
+        check_.fail(ErrorCode::kUnknownField,
+                    "unknown field \"" + qualify(key) + "\"");
+        return;
+      }
+    }
+  }
+
+ private:
+  const Json& object_;
+  Check& check_;
+  std::string scope_;
+  std::vector<std::string> known_;
+};
+
+void parse_topology(const Json& spec, Check& check, TopologySpec* out) {
+  Fields fields(spec, check, "topology");
+  std::string kind = "uniform_square";
+  fields.get_string("kind", &kind);
+  if (check.failed()) return;
+  if (kind == "uniform_square") {
+    out->kind = TopologyKind::kUniformSquare;
+    out->n = 32;
+    fields.get_uint("n", &out->n, 2, std::uint64_t{1} << 24);
+    fields.get_double("extent", &out->extent, 1e-6, 1e6);
+  } else if (kind == "lattice") {
+    out->kind = TopologyKind::kLattice;
+    out->rows = 4;
+    out->cols = 4;
+    fields.get_uint("rows", &out->rows, 1, 1u << 12);
+    fields.get_uint("cols", &out->cols, 1, 1u << 12);
+    fields.get_double("spacing", &out->spacing, 1e-6, 1e6);
+    out->n = out->rows * out->cols;
+    if (!check.failed() && out->n < 2)
+      check.fail(ErrorCode::kBadValue, "topology rows*cols must be >= 2");
+  } else if (kind == "cluster_chain") {
+    out->kind = TopologyKind::kClusterChain;
+    out->clusters = 4;
+    out->per_cluster = 6;
+    fields.get_uint("clusters", &out->clusters, 1, 1u << 12);
+    fields.get_uint("per_cluster", &out->per_cluster, 1, 1u << 12);
+    fields.get_double("spacing", &out->spacing, 1e-6, 1e6);
+    fields.get_double("cluster_radius", &out->cluster_radius, 0.0, 1e6);
+    out->n = out->clusters * out->per_cluster;
+    if (!check.failed() && out->n < 2)
+      check.fail(ErrorCode::kBadValue,
+                 "topology clusters*per_cluster must be >= 2");
+  } else {
+    check.fail(ErrorCode::kBadValue, "topology.kind \"" + kind +
+                                         "\" is not one of uniform_square, "
+                                         "lattice, cluster_chain");
+    return;
+  }
+  fields.reject_unknown();
+}
+
+void parse_dynamics(const Json& spec, Check& check, DynamicsSpec* out) {
+  Fields fields(spec, check, "dynamics");
+  fields.get_double("churn_rate", &out->churn_rate, 0.0, 1.0);
+  fields.get_double("mobility_speed", &out->mobility_speed, 0.0, 1e3);
+  fields.reject_unknown();
+}
+
+void parse_run(const Json& object, Check& check, RunRequest* out) {
+  Fields fields(object, check, "");
+  fields.known("id");
+  fields.known("type");
+
+  std::string protocol = "local_bcast";
+  fields.get_string("protocol", &protocol);
+  if (!check.failed()) {
+    if (protocol == "local_bcast") out->protocol = ProtocolKind::kLocalBcast;
+    else if (protocol == "bcast") out->protocol = ProtocolKind::kBcast;
+    else if (protocol == "decay") out->protocol = ProtocolKind::kDecay;
+    else if (protocol == "aloha") out->protocol = ProtocolKind::kAloha;
+    else
+      check.fail(ErrorCode::kBadValue,
+                 "protocol \"" + protocol +
+                     "\" is not one of local_bcast, bcast, decay, aloha");
+  }
+
+  std::string model = "sinr";
+  fields.get_string("model", &model);
+  if (!check.failed()) {
+    if (model == "sinr") out->model = ModelName::kSinr;
+    else if (model == "udg") out->model = ModelName::kUdg;
+    else if (model == "qudg") out->model = ModelName::kQudg;
+    else if (model == "protocol") out->model = ModelName::kProtocol;
+    else if (model == "succ_clear") out->model = ModelName::kSuccClear;
+    else
+      check.fail(ErrorCode::kBadValue,
+                 "model \"" + model +
+                     "\" is not one of sinr, udg, qudg, protocol, succ_clear");
+  }
+
+  fields.get_double("epsilon", &out->epsilon, 1e-3, 0.99);
+  fields.get_double("zeta", &out->zeta, 1.0, 10.0);
+
+  if (const Json* topo = fields.known("topology")) {
+    if (!topo->is_object())
+      check.fail(ErrorCode::kBadType, "topology must be an object");
+    else
+      parse_topology(*topo, check, &out->topology);
+  } else {
+    out->topology.n = 32;  // default uniform_square
+  }
+
+  if (const Json* dyn = fields.known("dynamics")) {
+    if (!dyn->is_object())
+      check.fail(ErrorCode::kBadType, "dynamics must be an object");
+    else
+      parse_dynamics(*dyn, check, &out->dynamics);
+  }
+
+  fields.get_uint("trials", &out->trials, 1, 1u << 20);
+  fields.get_uint("seed", &out->seed, 0,
+                  std::uint64_t{0xffffffffffffffffull});
+  fields.get_uint("max_rounds", &out->max_rounds, 0,
+                  std::uint64_t{1} << 40);
+  fields.get_uint("deadline_ms", &out->deadline_ms, 0, 86'400'000);
+
+  std::string inject;
+  fields.get_string("inject", &inject);
+  if (!check.failed() && !inject.empty()) {
+    if (inject == "throw") out->inject = FaultInjection::kThrow;
+    else if (inject == "contract") out->inject = FaultInjection::kContract;
+    else if (inject == "hang") out->inject = FaultInjection::kHang;
+    else
+      check.fail(ErrorCode::kBadValue,
+                 "inject \"" + inject +
+                     "\" is not one of throw, contract, hang");
+  }
+
+  fields.reject_unknown();
+}
+
+}  // namespace
+
+ParsedRequest parse_request(std::string_view line) {
+  ParsedRequest out;
+  std::string json_error;
+  const auto parsed = Json::parse(line, &json_error);
+  if (!parsed.has_value()) {
+    out.error = RequestError{ErrorCode::kParseError, json_error};
+    return out;
+  }
+  if (!parsed->is_object()) {
+    out.error =
+        RequestError{ErrorCode::kNotObject, "request must be a JSON object"};
+    return out;
+  }
+  // Recover the id first so even rejected requests stay correlatable.
+  if (const Json* id = parsed->find("id"); id != nullptr && id->is_string())
+    out.id = id->as_string();
+
+  Check check;
+  if (const Json* id = parsed->find("id");
+      id != nullptr && !id->is_string())
+    check.fail(ErrorCode::kBadType, "id must be a string");
+
+  std::string type;
+  if (const Json* t = parsed->find("type"); t == nullptr) {
+    check.fail(ErrorCode::kMissingField, "type is required");
+  } else if (!t->is_string()) {
+    check.fail(ErrorCode::kBadType, "type must be a string");
+  } else {
+    type = t->as_string();
+  }
+
+  if (!check.failed() && type == "run") {
+    RunRequest run;
+    run.id = out.id;
+    parse_run(*parsed, check, &run);
+    if (!check.failed()) out.run = std::move(run);
+  } else if (!check.failed() && type == "status") {
+    Fields fields(*parsed, check, "");
+    fields.known("id");
+    fields.known("type");
+    fields.reject_unknown();
+    if (!check.failed()) out.status = StatusRequest{out.id};
+  } else if (!check.failed()) {
+    check.fail(ErrorCode::kBadValue,
+               "type \"" + type + "\" is not one of run, status");
+  }
+
+  out.error = std::move(check.error);
+  return out;
+}
+
+// --- Response encoding ------------------------------------------------------
+
+namespace {
+
+std::string head(std::string_view id, const char* event) {
+  std::string out = "{\"id\":\"";
+  out += Json::escape(id);
+  out += "\",\"event\":\"";
+  out += event;
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string encode_accepted(std::string_view id, std::size_t queue_depth) {
+  std::string out = head(id, "accepted");
+  out += ",\"queue_depth\":" + std::to_string(queue_depth) + "}";
+  return out;
+}
+
+std::string encode_rejected(std::string_view id, const RequestError& error) {
+  std::string out = head(id, "rejected");
+  out += ",\"error\":\"";
+  out += to_string(error.code);
+  out += "\",\"detail\":\"";
+  out += Json::escape(error.detail);
+  out += "\"}";
+  return out;
+}
+
+std::string encode_progress(std::string_view id, std::uint32_t done,
+                            std::uint32_t trials) {
+  std::string out = head(id, "progress");
+  out += ",\"done\":" + std::to_string(done) +
+         ",\"trials\":" + std::to_string(trials) + "}";
+  return out;
+}
+
+std::string encode_trial(std::string_view id, const TrialRecord& record) {
+  // Integer fields only: the bytes of this line are the determinism-audit
+  // svc group's contract (identical request+seed => identical record,
+  // regardless of worker/pool threading).
+  std::string out = head(id, "trial");
+  out += ",\"trial\":" + std::to_string(record.trial);
+  out += ",\"seed\":" + std::to_string(record.seed);
+  out += ",\"status\":\"" + Json::escape(record.status) + "\"";
+  out += ",\"rounds\":" + std::to_string(record.rounds);
+  out += ",\"completed\":" + std::to_string(record.completed);
+  out += ",\"delivered\":" + std::to_string(record.delivered);
+  out += std::string(",\"all_done\":") + (record.all_done ? "true" : "false");
+  if (!record.error.empty())
+    out += ",\"error\":\"" + Json::escape(record.error) + "\"";
+  out += "}";
+  return out;
+}
+
+std::string encode_summary(std::string_view id, const RunSummary& summary) {
+  std::string out = head(id, "summary");
+  out += ",\"ok\":" + std::to_string(summary.ok);
+  out += ",\"failed\":" + std::to_string(summary.failed);
+  out += ",\"timeout\":" + std::to_string(summary.timeout);
+  out += ",\"cancelled\":" + std::to_string(summary.cancelled);
+  out += ",\"rounds_total\":" + std::to_string(summary.rounds_total);
+  out += "}";
+  return out;
+}
+
+}  // namespace udwn::svc

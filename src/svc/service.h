@@ -1,0 +1,156 @@
+// ScenarioService — the admission-controlled execution core of the udwnd
+// daemon (docs/SERVICE.md).
+//
+// Transport (src/svc/gateway.h) hands every parsed request line to
+// submit(); the service decides admission under one mutex — so the
+// `accepted`/`rejected` line is always emitted before any worker output for
+// the same request — and executes admitted runs on a fixed set of worker
+// threads. Each worker owns a private BatchRunner (its TaskPool lives as
+// long as the daemon: no per-request pool churn) and a private Obs handle;
+// every trial runs under BatchRunner::run_checked_budgeted, so a throwing,
+// contract-violating, hanging, or over-budget trial becomes a structured
+// per-trial outcome and the pool survives (the ISSUE's "faults never poison
+// pools" requirement — the soak test hammers this).
+//
+// Determinism: per-trial record BYTES are a pure function of (request,
+// seed). Trials derive all randomness from their trial seed
+// (BatchRunner::trial_seeds), run single-threaded engines, and are emitted
+// in trial order — so worker count, trial-pool width, block partitioning
+// and concurrent load are all invisible in the output (determinism audit,
+// svc group).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/status.h"
+#include "svc/request.h"
+
+namespace udwn::svc {
+
+struct ServiceConfig {
+  /// Worker threads consuming the request queue (each request is owned by
+  /// exactly one worker start to finish).
+  int workers = 2;
+  /// TaskPool width of each worker's BatchRunner: trial-level parallelism
+  /// within one request. 1 = serial trials.
+  int trial_threads = 1;
+  /// Admission queue capacity; a full queue rejects with kQueueFull
+  /// (backpressure, never unbounded buffering).
+  std::size_t queue_capacity = 64;
+  /// Per-request caps (kTrialsExceeded / kNodesExceeded above them).
+  std::uint32_t max_trials = 4096;
+  std::size_t max_nodes = 65536;
+  /// Per-trial round budget applied when a request leaves max_rounds at 0,
+  /// and the ceiling a request's own max_rounds is clamped to. Never 0 in a
+  /// daemon: an unbudgeted hostile request could spin a worker forever.
+  std::uint64_t default_max_rounds = 200000;
+  /// Ceiling on a request's deadline_ms (0 = no per-trial deadline by
+  /// default; requests may set one up to this cap).
+  std::uint64_t max_deadline_ms = 600000;
+  /// Gain-table budget per trial engine (UDWN_SVC_GAIN_BUDGET).
+  std::size_t gain_budget_bytes = std::size_t{16} << 20;
+  /// Honor the `inject` request field (tools/udwnd --enable-test-faults);
+  /// off = such requests are rejected with kFaultInjectionOff.
+  bool allow_fault_injection = false;
+  /// Emit a progress event after every block of this many trials (in
+  /// addition to the per-trial records). 0 = only the implicit final one.
+  std::uint32_t progress_every = 32;
+};
+
+/// Sink for one encoded response line (no trailing newline; the transport
+/// appends it). Called from service workers and from inside submit();
+/// implementations must be thread-safe (src/svc/session.h is).
+using Emit = std::function<void(const std::string& line)>;
+
+class ScenarioService {
+ public:
+  explicit ScenarioService(ServiceConfig config);
+  /// Drains gracefully: begin_shutdown() + join() if the host did not.
+  ~ScenarioService();
+
+  ScenarioService(const ScenarioService&) = delete;
+  ScenarioService& operator=(const ScenarioService&) = delete;
+
+  /// Handle one parsed request line end to end: parse errors and admission
+  /// rejections emit a `rejected` line, `status` requests emit their
+  /// snapshot, admitted runs emit `accepted` and are enqueued. `done` fires
+  /// exactly once, after the request's final line has been emitted (the
+  /// transport uses it to count in-flight work per connection); for
+  /// immediately-answered requests it fires inside submit().
+  void submit(const ParsedRequest& request, Emit emit,
+              std::function<void()> done);
+
+  /// Stop admitting run requests (kShuttingDown) and wake idle workers;
+  /// queued and in-flight requests still run to completion. Idempotent.
+  void begin_shutdown();
+
+  /// begin_shutdown() plus cooperative cancellation of in-flight trials:
+  /// every running trial stops at its next round boundary with a
+  /// `cancelled` outcome (sim/batch.h TrialCancelled). Queued-but-unstarted
+  /// requests still get their summary (all trials cancelled). Idempotent.
+  void cancel_inflight();
+
+  /// Wait for the queue to drain and all workers to exit. Call after
+  /// begin_shutdown(); returns once every admitted request has emitted its
+  /// terminal line.
+  void join();
+
+  /// Encode a `status` response: uptime, queue depth, in-flight and
+  /// lifetime request counts, plus every StatusBoard counter (engine
+  /// metrics folded in at quiescent points + service counters), sorted by
+  /// name. Safe from any thread at any time.
+  [[nodiscard]] std::string status_line(std::string_view id) const;
+
+  /// One-line human summary for the daemon's exit path.
+  [[nodiscard]] std::string final_stats() const;
+
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+  [[nodiscard]] StatusBoard& board() { return board_; }
+
+  /// Derived node count of a validated topology spec (admission uses it;
+  /// tests reuse it to build matching expectations).
+  [[nodiscard]] static std::size_t topology_nodes(const TopologySpec& spec);
+
+ private:
+  struct Job {
+    RunRequest request;
+    Emit emit;
+    std::function<void()> done;
+  };
+
+  /// Per-worker long-lived state; workers are created in the constructor
+  /// and only torn down in join().
+  struct Worker;
+
+  void worker_loop(Worker& worker);
+  void process(Worker& worker, const Job& job);
+  void reject(const ParsedRequest& request, const Emit& emit,
+              ErrorCode code, std::string detail);
+
+  ServiceConfig config_;
+  StatusBoard board_;
+  std::uint64_t start_ns_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool shutting_down_ = false;
+  std::atomic<bool> cancel_{false};
+  std::size_t in_flight_ = 0;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  bool joined_ = false;
+};
+
+}  // namespace udwn::svc

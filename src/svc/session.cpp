@@ -1,0 +1,76 @@
+#include "svc/session.h"
+
+#include <cerrno>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace udwn::svc {
+
+namespace {
+
+/// Write without ever raising SIGPIPE: sockets take send(MSG_NOSIGNAL),
+/// pipes/files fall back to write() (their EPIPE only signals when the host
+/// did not ignore SIGPIPE — tools/udwnd does, as any daemon must).
+ssize_t write_nosignal(int fd, const char* data, std::size_t size) {
+  const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+  if (n >= 0 || errno != ENOTSOCK) return n;
+  return ::write(fd, data, size);
+}
+
+}  // namespace
+
+void Session::emit_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (broken_) {
+    ++dropped_;
+    return;
+  }
+  std::string framed = line;
+  framed += '\n';
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n =
+        write_nosignal(fd_, framed.data() + off, framed.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // EPIPE/ECONNRESET: the peer is gone. Mark the session broken so the
+    // remaining responses are counted, not retried.
+    broken_ = true;
+    ++dropped_;
+    return;
+  }
+}
+
+void Session::add_pending() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++pending_;
+}
+
+void Session::complete_one() {
+  // Notify while holding the lock: wait_idle() returning is the signal that
+  // the session may be torn down, so the worker must not touch idle_cv_
+  // after releasing the mutex.
+  std::lock_guard<std::mutex> lock(mutex_);
+  --pending_;
+  if (pending_ == 0) idle_cv_.notify_all();
+}
+
+void Session::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool Session::idle() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_ == 0;
+}
+
+std::size_t Session::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+}  // namespace udwn::svc

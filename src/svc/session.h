@@ -1,0 +1,55 @@
+// Session — one client connection's response channel.
+//
+// Service workers and the transport thread both write lines; a mutex per
+// session keeps lines whole (the protocol's only framing is the newline).
+// The pending counter tracks requests submitted from this connection whose
+// terminal line has not been emitted yet, so the reader thread can close
+// the descriptor only after every in-flight response has been flushed —
+// the gateway's drain-then-close shutdown and normal EOF handling both
+// hinge on wait_idle().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace udwn::svc {
+
+class Session {
+ public:
+  /// Writes lines to `fd` (a connected socket, or stdout in stdin mode).
+  /// Does not own the descriptor.
+  explicit Session(int fd) : fd_(fd) {}
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Write `line` + '\n' atomically with respect to other emitters. A
+  /// client that hung up (EPIPE) silently drops further output — requests
+  /// keep running; only the delivery is gone.
+  void emit_line(const std::string& line);
+
+  /// One request from this connection entered the service.
+  void add_pending();
+  /// One request from this connection emitted its terminal line.
+  void complete_one();
+  /// Block until no request from this connection is pending.
+  void wait_idle();
+  /// Non-blocking pending == 0 probe (the gateway's drain loop polls it
+  /// alongside the wake pipe so a cancel signal stays serviceable).
+  [[nodiscard]] bool idle() const;
+
+  /// Lines dropped because the peer disappeared (tests/diagnostics).
+  [[nodiscard]] std::size_t dropped() const;
+
+ private:
+  int fd_;
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  std::size_t pending_ = 0;
+  std::size_t dropped_ = 0;
+  bool broken_ = false;
+};
+
+}  // namespace udwn::svc

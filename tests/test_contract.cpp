@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 namespace udwn {
 namespace {
 
@@ -90,6 +92,23 @@ TEST_F(ContractTest, ScopedHandlerRestoresPrevious) {
     ScopedContractHandler guard(&throw_contract_handler);
     EXPECT_EQ(contract_handler(), &throw_contract_handler);
   }
+  EXPECT_EQ(contract_handler(), &abort_contract_handler);
+}
+
+TEST_F(ContractTest, ThrowingScopeIsRefcountedAcrossOverlaps) {
+  ASSERT_EQ(contract_handler(), &abort_contract_handler);
+  auto outer = std::make_unique<ScopedThrowingContracts>();
+  EXPECT_EQ(contract_handler(), &throw_contract_handler);
+  {
+    // Model two overlapping batches: the inner scope both starts and ends
+    // while the outer is live. Its exit must NOT reinstate the abort
+    // handler — that is exactly the race a plain save/restore scope has.
+    ScopedThrowingContracts inner;
+    EXPECT_EQ(contract_handler(), &throw_contract_handler);
+  }
+  EXPECT_EQ(contract_handler(), &throw_contract_handler);
+  EXPECT_THROW(UDWN_EXPECT(false), ContractViolation);
+  outer.reset();
   EXPECT_EQ(contract_handler(), &abort_contract_handler);
 }
 

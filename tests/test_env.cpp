@@ -1,0 +1,100 @@
+// Strict environment-knob parsing (src/common/env.h). The contract under
+// test: a malformed knob NEVER silently selects a different configuration —
+// it warns on stderr and falls back to the caller's default (nullopt).
+#include "common/env.h"
+
+#include <cstdlib>
+#include <gtest/gtest.h>
+
+namespace udwn {
+namespace {
+
+constexpr const char* kVar = "UDWN_TEST_ENV_KNOB";
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv(kVar); }
+  void set(const char* value) { ::setenv(kVar, value, 1); }
+};
+
+TEST_F(EnvTest, IntUnsetAndEmptyAreNullopt) {
+  ::unsetenv(kVar);
+  EXPECT_FALSE(env_int(kVar, 0, 100).has_value());
+  set("");
+  EXPECT_FALSE(env_int(kVar, 0, 100).has_value());
+}
+
+TEST_F(EnvTest, IntParsesAndRangeChecks) {
+  set("42");
+  EXPECT_EQ(env_int(kVar, 0, 100), 42);
+  set("101");
+  EXPECT_FALSE(env_int(kVar, 0, 100).has_value());
+  set("4x");
+  EXPECT_FALSE(env_int(kVar, 0, 100).has_value());
+}
+
+TEST_F(EnvTest, SizePlainBytes) {
+  set("4096");
+  EXPECT_EQ(env_size_bytes(kVar, 0, std::uint64_t{1} << 40), 4096u);
+  set("0");
+  EXPECT_EQ(env_size_bytes(kVar, 0, std::uint64_t{1} << 40), 0u);
+}
+
+TEST_F(EnvTest, SizeSuffixesArePowerOfTwo) {
+  const std::uint64_t max = std::uint64_t{1} << 60;
+  set("1K");
+  EXPECT_EQ(env_size_bytes(kVar, 0, max), std::uint64_t{1} << 10);
+  set("128M");
+  EXPECT_EQ(env_size_bytes(kVar, 0, max), std::uint64_t{128} << 20);
+  set("2G");
+  EXPECT_EQ(env_size_bytes(kVar, 0, max), std::uint64_t{2} << 30);
+  // Suffixes are case-insensitive.
+  set("128m");
+  EXPECT_EQ(env_size_bytes(kVar, 0, max), std::uint64_t{128} << 20);
+  set("2g");
+  EXPECT_EQ(env_size_bytes(kVar, 0, max), std::uint64_t{2} << 30);
+}
+
+TEST_F(EnvTest, SizeRejectsGarbage) {
+  const std::uint64_t max = std::uint64_t{1} << 60;
+  for (const char* bad :
+       {"", "abc", "1.5G", "128MB", "-1K", "+2G", "K", "12KK", "12K3",
+        " 12K", "0x10"}) {
+    set(bad);
+    EXPECT_FALSE(env_size_bytes(kVar, 0, max).has_value())
+        << "accepted garbage: \"" << bad << '"';
+  }
+}
+
+TEST_F(EnvTest, SizeRejectsOverflow) {
+  const std::uint64_t max = ~std::uint64_t{0};
+  // 2^34 * 2^30 = 2^64: one past the top of uint64.
+  set("17179869184G");
+  EXPECT_FALSE(env_size_bytes(kVar, 0, max).has_value());
+  set("18446744073709551616");  // 2^64 as plain digits
+  EXPECT_FALSE(env_size_bytes(kVar, 0, max).has_value());
+  // The largest representable suffixed value still parses.
+  set("17179869183G");
+  EXPECT_EQ(env_size_bytes(kVar, 0, max), std::uint64_t{17179869183} << 30);
+}
+
+TEST_F(EnvTest, SizeRangeClampRejects) {
+  set("512");
+  EXPECT_FALSE(env_size_bytes(kVar, 1024, 4096).has_value());
+  set("8K");
+  EXPECT_FALSE(env_size_bytes(kVar, 1024, 4096).has_value());
+  set("2K");
+  EXPECT_EQ(env_size_bytes(kVar, 1024, 4096), 2048u);
+}
+
+TEST_F(EnvTest, StringKnob) {
+  ::unsetenv(kVar);
+  EXPECT_FALSE(env_string(kVar).has_value());
+  set("");
+  EXPECT_FALSE(env_string(kVar).has_value());
+  set("/tmp/udwnd.sock");
+  EXPECT_EQ(env_string(kVar), "/tmp/udwnd.sock");
+}
+
+}  // namespace
+}  // namespace udwn

@@ -1,0 +1,236 @@
+// Service soak (ISSUE satellite 3): >=2000 mixed requests from >=4
+// concurrent submitters against one ScenarioService — clean runs, injected
+// throws/contract violations, forced timeouts, status probes, parse errors
+// and admission violations interleaved. Every request must be answered with
+// a terminal line, the worker pools must survive every fault (no
+// poisoning), and resident memory must not drift unboundedly (the RSS
+// assertion is gated off under sanitizers, whose allocators and quarantines
+// make RSS meaningless).
+#include <gtest/gtest.h>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/json.h"
+#include "svc/request.h"
+#include "svc/service.h"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define UDWN_SOAK_RSS_GATED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define UDWN_SOAK_RSS_GATED 1
+#endif
+#endif
+
+namespace udwn::svc {
+namespace {
+
+constexpr int kSubmitters = 4;
+constexpr int kRequestsPerSubmitter = 520;  // 2080 total, >= 2000
+
+/// VmRSS in bytes, or 0 where /proc is unavailable.
+std::uint64_t rss_bytes() {
+#if defined(__linux__)
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  char line[256];
+  std::uint64_t kib = 0;
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      std::sscanf(line + 6, "%llu", reinterpret_cast<unsigned long long*>(&kib));
+      break;
+    }
+  }
+  std::fclose(status);
+  return kib * 1024;
+#else
+  return 0;
+#endif
+}
+
+/// Per-submitter tallies, merged after the threads join.
+struct Tally {
+  std::uint64_t answered = 0;
+  std::uint64_t trials_ok = 0;
+  std::uint64_t trials_failed = 0;
+  std::uint64_t trials_timeout = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t status = 0;
+  std::uint64_t invalid_json = 0;
+};
+
+/// One connection's worth of traffic: a request mix chosen so every
+/// structured outcome in the vocabulary occurs many times per submitter.
+const char* request_line(int i) {
+  switch (i % 8) {
+    case 0:
+      return "{\"type\":\"run\",\"id\":\"ok\",\"trials\":2,\"topology\":"
+             "{\"kind\":\"uniform_square\",\"n\":8},\"seed\":11}";
+    case 1:
+      return "{\"type\":\"run\",\"id\":\"boom\",\"inject\":\"throw\"}";
+    case 2:
+      return "{\"type\":\"run\",\"id\":\"ctr\",\"inject\":\"contract\"}";
+    case 3:
+      return "{\"type\":\"run\",\"id\":\"hang\",\"inject\":\"hang\","
+             "\"max_rounds\":8}";
+    case 4:
+      return "{\"type\":\"status\",\"id\":\"s\"}";
+    case 5:
+      return "this is not json";
+    case 6:
+      return "{\"type\":\"run\",\"id\":\"big\",\"trials\":100}";
+    default:
+      return "{\"type\":\"run\",\"id\":\"grid\",\"topology\":"
+             "{\"kind\":\"lattice\",\"rows\":3,\"cols\":3},\"seed\":3}";
+  }
+}
+
+void submitter(ScenarioService& service, int requests, Tally& tally) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  int done = 0;
+  std::vector<std::string> lines;
+  const Emit emit = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mutex);
+    lines.push_back(line);
+  };
+  // Notify under the lock throughout this file: the waiter owns the
+  // condition variable on its stack and may destroy it the moment the
+  // predicate holds, so the service thread must not touch it unlocked.
+  const std::function<void()> on_done = [&]() {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++done;
+    cv.notify_all();
+  };
+  for (int i = 0; i < requests; ++i) {
+    service.submit(parse_request(request_line(i)), emit, on_done);
+    // One request in flight per submitter: 4-way concurrency against the
+    // workers without unbounded queue growth (the gateway applies the same
+    // per-connection discipline through session pending counts).
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return done == i + 1; });
+  }
+  tally.answered = static_cast<std::uint64_t>(done);
+  for (const std::string& line : lines) {
+    std::string error;
+    if (!Json::parse(line, &error).has_value()) ++tally.invalid_json;
+    if (line.find("\"event\":\"rejected\"") != std::string::npos)
+      ++tally.rejected;
+    if (line.find("\"event\":\"status\"") != std::string::npos)
+      ++tally.status;
+    if (line.find("\"status\":\"ok\"") != std::string::npos)
+      ++tally.trials_ok;
+    if (line.find("\"status\":\"failed\"") != std::string::npos)
+      ++tally.trials_failed;
+    if (line.find("\"status\":\"timeout\"") != std::string::npos)
+      ++tally.trials_timeout;
+  }
+}
+
+TEST(SvcSoak, MixedFaultStormLeavesServiceHealthy) {
+  ScenarioService service({.workers = 4,
+                           .trial_threads = 2,
+                           .queue_capacity = 16,
+                           .max_trials = 64,
+                           .allow_fault_injection = true,
+                           .progress_every = 1});
+
+  // Warm up (first engines allocate gain tables, pools spin up), then
+  // baseline RSS so the drift measurement sees steady-state only.
+  {
+    std::mutex m;
+    std::condition_variable cv;
+    bool ready = false;
+    service.submit(parse_request(request_line(0)),
+                   [](const std::string&) {}, [&]() {
+                     std::lock_guard<std::mutex> lock(m);
+                     ready = true;
+                     cv.notify_all();
+                   });
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return ready; });
+  }
+  const std::uint64_t rss_before = rss_bytes();
+
+  std::vector<Tally> tallies(kSubmitters);
+  std::vector<std::thread> threads;
+  threads.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s)
+    threads.emplace_back([&service, &tallies, s] {
+      submitter(service, kRequestsPerSubmitter, tallies[s]);
+    });
+  for (std::thread& t : threads) t.join();
+
+  Tally total;
+  for (const Tally& tally : tallies) {
+    total.answered += tally.answered;
+    total.trials_ok += tally.trials_ok;
+    total.trials_failed += tally.trials_failed;
+    total.trials_timeout += tally.trials_timeout;
+    total.rejected += tally.rejected;
+    total.status += tally.status;
+    total.invalid_json += tally.invalid_json;
+  }
+  const std::uint64_t expected =
+      std::uint64_t{kSubmitters} * kRequestsPerSubmitter;
+  EXPECT_EQ(total.answered, expected);
+  EXPECT_EQ(total.invalid_json, 0u);
+  // 2/8 of the mix is a guaranteed rejection (parse error + trials cap).
+  EXPECT_EQ(total.rejected, expected / 4);
+  EXPECT_EQ(total.status, expected / 8);
+  EXPECT_GT(total.trials_ok, 0u);
+  EXPECT_GT(total.trials_failed, 0u);
+  EXPECT_GT(total.trials_timeout, 0u);
+
+  // The pools survived ~780 faulting/hanging trials: a fresh clean request
+  // must still come back all-ok on the same workers.
+  {
+    std::mutex m;
+    std::condition_variable cv;
+    bool ready = false;
+    std::vector<std::string> lines;
+    service.submit(parse_request(request_line(0)),
+                   [&](const std::string& line) {
+                     std::lock_guard<std::mutex> lock(m);
+                     lines.push_back(line);
+                   },
+                   [&]() {
+                     std::lock_guard<std::mutex> lock(m);
+                     ready = true;
+                     cv.notify_all();
+                   });
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return ready; });
+    bool summary_ok = false;
+    for (const std::string& line : lines)
+      if (line.find("\"event\":\"summary\"") != std::string::npos &&
+          line.find("\"ok\":2") != std::string::npos)
+        summary_ok = true;
+    EXPECT_TRUE(summary_ok);
+  }
+
+#if !defined(UDWN_SOAK_RSS_GATED)
+  const std::uint64_t rss_after = rss_bytes();
+  if (rss_before != 0 && rss_after > rss_before) {
+    // Steady-state drift across ~2000 requests must stay far below one
+    // request's working set times the request count — i.e. nothing per
+    // request leaks. 64 MiB allows allocator slack and pool growth.
+    EXPECT_LT(rss_after - rss_before, std::uint64_t{64} << 20)
+        << "RSS drifted from " << rss_before << " to " << rss_after;
+  }
+#endif
+
+  service.begin_shutdown();
+  service.join();
+  const std::string stats = service.final_stats();
+  EXPECT_NE(stats.find("accepted="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace udwn::svc

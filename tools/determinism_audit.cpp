@@ -31,6 +31,9 @@
 #include <memory>
 #include <string>
 
+#include <condition_variable>
+#include <mutex>
+
 #include "analysis/determinism.h"
 #include "analysis/runner.h"
 #include "analysis/scenario.h"
@@ -39,6 +42,9 @@
 #include "obs/obs.h"
 #include "sim/batch.h"
 #include "sim/dynamics.h"
+#include "svc/exec.h"
+#include "svc/request.h"
+#include "svc/service.h"
 #include "topo/generators.h"
 
 namespace udwn {
@@ -268,6 +274,83 @@ int run_batch_check(const Options& options) {
   return failures == 0 ? 0 : 1;
 }
 
+/// Service group (docs/SERVICE.md): the scenario service promises that
+/// per-trial record BYTES are a pure function of (request, seed). Audit it
+/// the same way the engine matrix is audited — one serial run_trial
+/// reference, then the full ScenarioService at several worker/pool/block
+/// shapes, all required to emit identical trial lines in identical order.
+int run_svc_group(const Options& options) {
+  svc::RunRequest request;
+  request.id = "audit";
+  request.protocol = svc::ProtocolKind::kBcast;
+  request.topology.kind = svc::TopologyKind::kClusterChain;
+  request.topology.clusters = 4;
+  request.topology.per_cluster = 5;
+  request.dynamics.churn_rate = 0.02;
+  request.trials = 4;
+  request.seed = options.seed;
+
+  const auto seeds = BatchRunner::trial_seeds(request.seed, request.trials);
+  std::vector<std::string> reference;
+  for (std::uint32_t k = 0; k < request.trials; ++k) {
+    svc::TrialRecord record =
+        svc::run_trial(request, svc::ExecConfig{}, seeds[k], k);
+    record.status = "ok";
+    reference.push_back(svc::encode_trial(request.id, record));
+  }
+
+  struct Shape {
+    const char* label;
+    int workers;
+    int trial_threads;
+    std::uint32_t progress_every;
+  };
+  const Shape shapes[] = {
+      {"svc(workers=1,pool=1,block=32)", 1, 1, 32},
+      {"svc(workers=2,pool=4,block=1)", 2, options.threads, 1},
+      {"svc(workers=4,pool=2,block=3)", 4, 2, 3},
+  };
+
+  int failures = 0;
+  std::cout << "  service record bytes (reference: serial run_trial)\n";
+  for (const Shape& shape : shapes) {
+    svc::ScenarioService service({.workers = shape.workers,
+                                  .trial_threads = shape.trial_threads,
+                                  .progress_every = shape.progress_every});
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool finished = false;
+    std::vector<std::string> trial_lines;
+    svc::ParsedRequest parsed;
+    parsed.id = request.id;
+    parsed.run = request;
+    service.submit(
+        parsed,
+        [&](const std::string& line) {
+          if (line.find("\"event\":\"trial\"") == std::string::npos) return;
+          std::lock_guard<std::mutex> lock(mutex);
+          trial_lines.push_back(line);
+        },
+        [&]() {
+          // Notify under the lock: the waiter owns cv on its stack and may
+          // destroy it as soon as the predicate holds.
+          std::lock_guard<std::mutex> lock(mutex);
+          finished = true;
+          cv.notify_all();
+        });
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return finished; });
+    }
+    const bool identical = trial_lines == reference;
+    std::cout << "    vs " << shape.label << ": "
+              << (identical ? "identical" : "DIVERGED") << " ("
+              << trial_lines.size() << " records)\n";
+    if (!identical) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int run(const Options& options) {
   const PipelineConfig reference{"cached+grid-serial", true, true, 1, true};
   int call = 0;
@@ -296,6 +379,7 @@ int run(const Options& options) {
   if (options.matrix && rc == 0) rc = run_pipeline_matrix(options);
   if (options.matrix && rc == 0) rc = run_far_field_group(options);
   if (options.matrix && rc == 0) rc = run_batch_check(options);
+  if (options.matrix && rc == 0) rc = run_svc_group(options);
   return rc;
 }
 

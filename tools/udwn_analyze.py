@@ -91,10 +91,22 @@ LAYER_DEPS: dict[str, set[str]] = {
         "common", "metric", "topo", "obs", "phy", "sensing", "sim", "core",
         "baselines",
     },
+    # Scenario-service gateway (docs/SERVICE.md): the topmost layer — it
+    # orchestrates full scenarios, so it may see everything below; nothing
+    # below may reach back into it.
+    "svc": {
+        "common", "metric", "topo", "obs", "phy", "sensing", "sim", "core",
+        "baselines", "analysis",
+    },
 }
 
 ENV_HOME = "src/common/env.cpp"
-CLOCK_HOMES = ("src/obs", "bench")
+# Prefix-matched files/dirs where wall-clock reads are legitimate. The svc
+# entry is deliberately one FILE, not the layer: ScenarioService reports
+# uptime in `status` responses (operational telemetry, docs/SERVICE.md),
+# while svc/exec.cpp stays clock-free — trial records must remain a pure
+# function of (request, seed), and this gate is what enforces that.
+CLOCK_HOMES = ("src/obs", "bench", "src/svc/service.cpp")
 
 HOT_MACRO = "UDWN_HOT"
 

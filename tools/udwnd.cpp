@@ -1,0 +1,144 @@
+// udwnd — the long-lived scenario-service daemon (docs/SERVICE.md).
+//
+// Accepts JSONL scenario/trial requests over a Unix domain socket
+// (--socket / UDWN_SVC_SOCKET) and/or stdin (--stdin; the default when no
+// socket is configured), validates them against the declarative schema
+// (src/svc/request.h), and executes admitted runs on shared worker pools
+// with admission control — bounded queue, per-request trial/node caps,
+// structured backpressure. Responses stream back as JSONL:
+// accepted -> progress -> per-trial records -> summary; a `status` request
+// answers with live aggregated counters, queue depth, in-flight count and
+// uptime at any moment.
+//
+// Shutdown: SIGINT/SIGTERM (or stdin EOF) drains — new run requests are
+// rejected with `shutting_down`, queued and in-flight work completes, every
+// response is flushed, the process exits 0 after printing one final stats
+// line to stderr. A second signal additionally cancels in-flight trials at
+// their next round boundary (`cancelled` outcomes, still exit 0).
+//
+// Knobs (CLI overrides environment; all environment values strict-parsed
+// via src/common/env.h):
+//   --socket PATH | UDWN_SVC_SOCKET        listen on a Unix socket
+//   --stdin                                also serve stdin/stdout
+//   --workers N | UDWN_SVC_WORKERS         request workers (default 2)
+//   --trial-threads N | UDWN_SVC_TRIAL_THREADS   trial pool per worker (1)
+//   --queue N | UDWN_SVC_QUEUE             admission queue capacity (64)
+//   --max-trials N | UDWN_SVC_MAX_TRIALS   per-request trial cap (4096)
+//   --max-nodes N | UDWN_SVC_MAX_NODES     topology size cap (65536)
+//   --max-rounds N | UDWN_SVC_MAX_ROUNDS   per-trial round budget ceiling
+//   --max-line BYTES | UDWN_SVC_MAX_LINE   request line cap (1M; K/M/G ok)
+//   --gain-budget BYTES | UDWN_SVC_GAIN_BUDGET   gain table per engine (16M)
+//   --enable-test-faults                   honor the `inject` field (soak/CI)
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/env.h"
+#include "svc/gateway.h"
+#include "svc/service.h"
+
+namespace {
+
+udwn::svc::Gateway* g_gateway = nullptr;
+
+void on_stop_signal(int /*sig*/) {
+  if (g_gateway != nullptr) g_gateway->request_stop();
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--socket PATH] [--stdin] [--workers N]\n"
+               "  [--trial-threads N] [--queue N] [--max-trials N]\n"
+               "  [--max-nodes N] [--max-rounds N] [--max-line BYTES]\n"
+               "  [--gain-budget BYTES] [--enable-test-faults]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace udwn;
+  svc::ServiceConfig service_config;
+  svc::GatewayConfig gateway_config;
+
+  // Environment first, flags second: a flag always wins over a knob.
+  if (const auto s = env_string("UDWN_SVC_SOCKET"))
+    gateway_config.socket_path = *s;
+  if (const auto v = env_int("UDWN_SVC_WORKERS", 1, 256))
+    service_config.workers = static_cast<int>(*v);
+  if (const auto v = env_int("UDWN_SVC_TRIAL_THREADS", 1, 256))
+    service_config.trial_threads = static_cast<int>(*v);
+  if (const auto v = env_int("UDWN_SVC_QUEUE", 1, 1'000'000))
+    service_config.queue_capacity = static_cast<std::size_t>(*v);
+  if (const auto v = env_int("UDWN_SVC_MAX_TRIALS", 1, 1 << 20))
+    service_config.max_trials = static_cast<std::uint32_t>(*v);
+  if (const auto v = env_int("UDWN_SVC_MAX_NODES", 2, 1 << 24))
+    service_config.max_nodes = static_cast<std::size_t>(*v);
+  if (const auto v = env_int("UDWN_SVC_MAX_ROUNDS", 1, 1'000'000'000'000))
+    service_config.default_max_rounds = static_cast<std::uint64_t>(*v);
+  if (const auto v =
+          env_size_bytes("UDWN_SVC_MAX_LINE", 64, std::uint64_t{1} << 30))
+    gateway_config.max_line_bytes = static_cast<std::size_t>(*v);
+  if (const auto v = env_size_bytes("UDWN_SVC_GAIN_BUDGET", 0,
+                                    std::uint64_t{16} << 30))
+    service_config.gain_budget_bytes = static_cast<std::size_t>(*v);
+
+  auto next_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = nullptr;
+    if (arg == "--socket" && (value = next_value(i))) {
+      gateway_config.socket_path = value;
+    } else if (arg == "--stdin") {
+      gateway_config.serve_stdin = true;
+    } else if (arg == "--workers" && (value = next_value(i))) {
+      service_config.workers = std::atoi(value);
+    } else if (arg == "--trial-threads" && (value = next_value(i))) {
+      service_config.trial_threads = std::atoi(value);
+    } else if (arg == "--queue" && (value = next_value(i))) {
+      service_config.queue_capacity =
+          static_cast<std::size_t>(std::atoll(value));
+    } else if (arg == "--max-trials" && (value = next_value(i))) {
+      service_config.max_trials =
+          static_cast<std::uint32_t>(std::atoll(value));
+    } else if (arg == "--max-nodes" && (value = next_value(i))) {
+      service_config.max_nodes = static_cast<std::size_t>(std::atoll(value));
+    } else if (arg == "--max-rounds" && (value = next_value(i))) {
+      service_config.default_max_rounds =
+          static_cast<std::uint64_t>(std::atoll(value));
+    } else if (arg == "--max-line" && (value = next_value(i))) {
+      gateway_config.max_line_bytes =
+          static_cast<std::size_t>(std::atoll(value));
+    } else if (arg == "--gain-budget" && (value = next_value(i))) {
+      service_config.gain_budget_bytes =
+          static_cast<std::size_t>(std::atoll(value));
+    } else if (arg == "--enable-test-faults") {
+      service_config.allow_fault_injection = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (gateway_config.socket_path.empty()) gateway_config.serve_stdin = true;
+
+  svc::ScenarioService service(service_config);
+  svc::Gateway gateway(service, gateway_config);
+  g_gateway = &gateway;
+
+  // A daemon must survive clients that vanish mid-response (Session also
+  // guards with MSG_NOSIGNAL, but stdout is a pipe, not a socket).
+  std::signal(SIGPIPE, SIG_IGN);
+  struct sigaction action {};
+  action.sa_handler = &on_stop_signal;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+
+  const int rc = gateway.run();
+  std::fprintf(stderr, "%s\n", service.final_stats().c_str());
+  return rc;
+}
