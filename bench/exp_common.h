@@ -12,6 +12,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -34,6 +35,17 @@
 #include "topo/generators.h"
 
 namespace udwn::bench {
+
+/// Render a double as a strict JSON value token. Non-finite values (NaN /
+/// ±inf, e.g. a mean over zero deliveries in a degenerate arena cell) become
+/// `null` — "%g" would print bare `nan`/`inf`, which is not JSON and breaks
+/// the CI smoke step's json.load.
+inline std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
 
 namespace detail {
 
@@ -87,6 +99,11 @@ class JsonSink {
     checks_.emplace_back(ok, what);
   }
 
+  void add_metric(const std::string& name, double value) {
+    if (!enabled()) return;
+    metrics_.emplace_back(name, value);
+  }
+
   ~JsonSink() {
     if (!enabled()) return;
     std::ofstream os(path_);
@@ -112,6 +129,12 @@ class JsonSink {
       }
       os << "]}";
     }
+    os << "\n  ],\n  \"metrics\": [";
+    for (std::size_t m = 0; m < metrics_.size(); ++m) {
+      os << (m ? ",\n    {" : "\n    {") << "\"name\": \""
+         << json_escape(metrics_[m].first) << "\", \"value\": "
+         << json_number(metrics_[m].second) << "}";
+    }
     os << "\n  ],\n  \"checks\": [";
     for (std::size_t c = 0; c < checks_.size(); ++c) {
       os << (c ? ",\n    {" : "\n    {") << "\"ok\": "
@@ -134,6 +157,7 @@ class JsonSink {
                         std::vector<std::vector<std::string>>>>
       tables_;
   std::vector<std::pair<bool, std::string>> checks_;
+  std::vector<std::pair<std::string, double>> metrics_;
 };
 
 /// Owns the binary's UDWN_TRACE observability session: when the env var
@@ -206,6 +230,14 @@ inline void banner(const std::string& id, const std::string& claim) {
 inline void shape_check(bool ok, const std::string& what) {
   std::cout << (ok ? "  [OK]   " : "  [FAIL] ") << what << "\n";
   detail::JsonSink::instance().add_check(ok, what);
+}
+
+/// Report a named scalar metric: printed inline and mirrored into the JSON
+/// document's "metrics" array (non-finite values become JSON null — see
+/// json_number).
+inline void metric(const std::string& name, double value) {
+  std::cout << "  " << name << " = " << value << "\n";
+  detail::JsonSink::instance().add_metric(name, value);
 }
 
 inline void shape_header() { std::cout << "\nSHAPE CHECK\n"; }

@@ -1,0 +1,84 @@
+#include "baselines/jks_broadcast.h"
+
+#include "common/contract.h"
+
+namespace udwn {
+namespace {
+
+bool is_prime(std::uint32_t x) {
+  if (x < 2) return false;
+  for (std::uint32_t d = 2; d * d <= x; ++d) {
+    if (x % d == 0) return false;
+  }
+  return true;
+}
+
+std::uint32_t next_prime_at_least(std::uint32_t x) {
+  while (!is_prime(x)) ++x;
+  return x;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> JksBroadcastProtocol::prime_ladder(
+    std::size_t n_bound) {
+  UDWN_EXPECT(n_bound >= 1);
+  const auto n = static_cast<std::uint32_t>(n_bound);
+  std::vector<std::uint32_t> ladder;
+  std::uint32_t target = 2;
+  for (;;) {
+    const std::uint32_t cap = target < n ? target : n;
+    const std::uint32_t p = next_prime_at_least(cap);
+    if (ladder.empty() || ladder.back() < p) ladder.push_back(p);
+    if (p >= n) break;
+    // Doubling with overflow guard; n fits in 32 bits by construction.
+    target = target > n ? n : target * 2;
+  }
+  return ladder;
+}
+
+JksBroadcastProtocol::JksBroadcastProtocol(NodeId id, std::size_t n_bound,
+                                           bool source)
+    : label_(id.value),
+      is_source_(source),
+      ladder_(prime_ladder(n_bound)) {
+  UDWN_EXPECT(static_cast<std::size_t>(id.value) < n_bound);
+  on_start();
+}
+
+void JksBroadcastProtocol::on_start() {
+  informed_ = is_source_;
+  local_rounds_ = 0;
+  informed_round_ = is_source_ ? 0 : -1;
+  phase_index_ = 0;
+  phase_slot_ = 0;
+}
+
+double JksBroadcastProtocol::transmit_probability(Slot slot) {
+  if (slot != Slot::Data || !informed_) return 0.0;
+  // Selector schedule: transmit in slot s of a phase of prime length p iff
+  // label ≡ s (mod p). Exactly 0/1 — never a fractional probability, so the
+  // engine's Rng::chance short-circuits and no randomness is consumed.
+  const std::uint32_t p = ladder_[phase_index_];
+  return label_ % p == phase_slot_ ? 1.0 : 0.0;
+}
+
+void JksBroadcastProtocol::on_slot(const SlotFeedback& feedback) {
+  if (feedback.slot != Slot::Data) return;
+  if (feedback.received && !informed_) {
+    informed_ = true;
+    informed_round_ = local_rounds_ + 1;
+  }
+  if (!feedback.local_round) return;
+  ++local_rounds_;
+  // Advance the schedule cursor regardless of informed state so a node that
+  // learns the message mid-phase stays aligned with its local clock.
+  ++phase_slot_;
+  if (phase_slot_ >= ladder_[phase_index_]) {
+    phase_slot_ = 0;
+    ++phase_index_;
+    if (phase_index_ >= ladder_.size()) phase_index_ = 0;
+  }
+}
+
+}  // namespace udwn

@@ -1,0 +1,50 @@
+#include "baselines/opportunistic.h"
+
+#include "common/contract.h"
+
+namespace udwn {
+
+OpportunisticDisseminationProtocol::OpportunisticDisseminationProtocol(
+    const Config& config, bool source)
+    : config_(config), is_source_(source) {
+  UDWN_EXPECT(config.cap > 0 && config.cap <= 1);
+  UDWN_EXPECT(config.aggressiveness > 0);
+  UDWN_EXPECT(config.revival_period >= 1);
+  on_start();
+}
+
+void OpportunisticDisseminationProtocol::on_start() {
+  informed_ = is_source_;
+  local_rounds_ = 0;
+  informed_round_ = is_source_ ? 0 : -1;
+  age_in_cycle_ = 0;
+}
+
+double OpportunisticDisseminationProtocol::transmit_probability(Slot slot) {
+  if (slot != Slot::Data || !informed_) return 0.0;
+  const double p = config_.aggressiveness /
+                   (config_.aggressiveness + static_cast<double>(age_in_cycle_));
+  return p < config_.cap ? p : config_.cap;
+}
+
+void OpportunisticDisseminationProtocol::on_slot(const SlotFeedback& feedback) {
+  if (feedback.slot != Slot::Data) return;
+  if (feedback.received && !informed_) {
+    informed_ = true;
+    informed_round_ = local_rounds_ + 1;
+    age_in_cycle_ = 0;
+    return;  // offers start on the node's next local round
+  }
+  if (!feedback.local_round) return;
+  ++local_rounds_;
+  if (!informed_) return;
+  ++age_in_cycle_;
+  if (age_in_cycle_ >= config_.revival_period) age_in_cycle_ = 0;
+}
+
+std::uint32_t OpportunisticDisseminationProtocol::obs_state() const {
+  if (!informed_) return 0;
+  return age_in_cycle_ < config_.revival_period / 2 ? 1 : 2;
+}
+
+}  // namespace udwn

@@ -137,6 +137,8 @@ std::uint16_t event_kind_from_name(const std::string& name) {
     return static_cast<std::uint16_t>(EventKind::kStateTransition);
   if (name == "round_end")
     return static_cast<std::uint16_t>(EventKind::kRoundEnd);
+  if (name == "shard_span")
+    return static_cast<std::uint16_t>(EventKind::kShardSpan);
   if (name.rfind("kind_", 0) == 0)
     return static_cast<std::uint16_t>(std::strtoul(name.c_str() + 5, nullptr, 10));
   return 0;
@@ -156,6 +158,8 @@ std::string event_kind_name(std::uint16_t kind) {
       return "state_transition";
     case EventKind::kRoundEnd:
       return "round_end";
+    case EventKind::kShardSpan:
+      return "shard_span";
   }
   return "kind_" + std::to_string(kind);
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <iterator>
+#include <utility>
 
 #include "common/contract.h"
 
@@ -104,6 +106,182 @@ ChangeSet WaypointMobility::step(Network& network, Rng& rng,
   return changes;
 }
 
+TIntervalAdversary::TIntervalAdversary(MatrixMetric& metric, Config config)
+    : metric_(&metric), config_(config) {
+  UDWN_EXPECT(config.interval >= 1);
+  UDWN_EXPECT(config.edge_length > 0);
+  UDWN_EXPECT(config.far_length > config.edge_length);
+}
+
+namespace {
+
+using EdgeList = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+std::pair<std::uint32_t, std::uint32_t> normalized_edge(std::uint32_t a,
+                                                        std::uint32_t b) {
+  return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+
+/// Edges of `a` that are not in `b`; both inputs sorted ascending.
+EdgeList edge_difference(const EdgeList& a, const EdgeList& b) {
+  EdgeList out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+TIntervalAdversary::pick_chain(const Network& network, std::uint64_t epoch) {
+  // Chain order: informed nodes in stable join order, then the uninformed
+  // block rotated by the epoch index — one frontier-crossing edge whose
+  // uninformed endpoint changes every epoch, and an informed prefix path
+  // that consecutive chains share exactly (so the T-1-round union of old
+  // and new chain never adds shortcuts on the informed side). Without an
+  // oracle everything lands in the "uninformed" block and the rotation
+  // alone drives the rewiring.
+  std::vector<std::uint32_t> informed;
+  std::vector<std::uint32_t> rest;
+  for (const NodeId v : network.alive_nodes()) {
+    if (frontier_ && frontier_(v))
+      informed.push_back(v.value);
+    else
+      rest.push_back(v.value);
+  }
+  std::sort(informed.begin(), informed.end());
+  std::sort(rest.begin(), rest.end());
+  // Fold this epoch's frontier reading into the stable join order: drop
+  // nodes no longer informed (protocol restarts, churn), append newcomers.
+  const auto gone = std::remove_if(
+      informed_order_.begin(), informed_order_.end(), [&](std::uint32_t v) {
+        return std::find(informed.begin(), informed.end(), v) ==
+               informed.end();
+      });
+  informed_order_.erase(gone, informed_order_.end());
+  for (const std::uint32_t v : informed) {
+    if (std::find(informed_order_.begin(), informed_order_.end(), v) ==
+        informed_order_.end())
+      informed_order_.push_back(v);
+  }
+  std::vector<std::uint32_t> order = informed_order_;
+  // Near window: the 2T+1 smallest uninformed ids in fixed ascending order.
+  // The frontier wave advances at most one hop per round, so it cannot
+  // cross the window within one epoch — which means the overlap union's
+  // extra edges (old chain ∪ new chain) never open a usable shortcut near
+  // the frontier and spread stays throttled to ~1 node per round. The far
+  // remainder is rotated wholesale every epoch: large-scale rewiring, kept
+  // where the message is not.
+  const std::size_t window = std::min<std::size_t>(
+      rest.size(), 2 * static_cast<std::size_t>(config_.interval) + 1);
+  const auto wbegin = rest.begin() + static_cast<std::ptrdiff_t>(window);
+  order.insert(order.end(), rest.begin(), wbegin);
+  if (rest.size() > window) {
+    const std::size_t shift = epoch % (rest.size() - window);
+    order.insert(order.end(), wbegin + static_cast<std::ptrdiff_t>(shift),
+                 rest.end());
+    order.insert(order.end(), wbegin,
+                 wbegin + static_cast<std::ptrdiff_t>(shift));
+  }
+  EdgeList chain;
+  for (std::size_t i = 0; i + 1 < order.size(); ++i)
+    chain.push_back(normalized_edge(order[i], order[i + 1]));
+  std::sort(chain.begin(), chain.end());
+  return chain;
+}
+
+ChangeSet TIntervalAdversary::step(Network& network, Rng& /*rng*/,
+                                   Round /*round*/) {
+  const std::uint32_t phase =
+      static_cast<std::uint32_t>(rounds_seen_ % config_.interval);
+  const std::uint64_t epoch = rounds_seen_ / config_.interval;
+  ++rounds_seen_;
+
+  EdgeList added;
+  EdgeList removed;
+  const bool first_step = rounds_seen_ == 1;
+  if (phase == 0) {
+    // Epoch boundary: commit the new chain; the old one stays wired for the
+    // overlap window (rounds 0..T-2 of this epoch).
+    prev_chain_ = std::move(chain_);
+    chain_ = pick_chain(network, epoch);
+    added = edge_difference(chain_, prev_chain_);
+  }
+  if (phase == config_.interval - 1) {
+    // Epoch's last round: drop the previous chain's exclusive edges, leaving
+    // exactly the current chain (for T = 1 this runs right after the add).
+    removed = edge_difference(prev_chain_, chain_);
+    prev_chain_.clear();
+  }
+
+  if (added.empty() && removed.empty() && !first_step) return {};
+
+  metric_->begin_update();
+  if (first_step) {
+    // Take ownership of the whole matrix: every off-diagonal pair becomes a
+    // far non-edge before the first chain is wired.
+    const auto n = static_cast<std::uint32_t>(metric_->size());
+    for (std::uint32_t u = 0; u < n; ++u)
+      for (std::uint32_t v = u + 1; v < n; ++v) {
+        metric_->set_distance(NodeId{u}, NodeId{v}, config_.far_length);
+        metric_->set_distance(NodeId{v}, NodeId{u}, config_.far_length);
+      }
+  }
+  for (const auto& [u, v] : added) {
+    metric_->set_distance(NodeId{u}, NodeId{v}, config_.edge_length);
+    metric_->set_distance(NodeId{v}, NodeId{u}, config_.edge_length);
+  }
+  for (const auto& [u, v] : removed) {
+    metric_->set_distance(NodeId{u}, NodeId{v}, config_.far_length);
+    metric_->set_distance(NodeId{v}, NodeId{u}, config_.far_length);
+  }
+  metric_->end_update();
+
+  ChangeSet changes;
+  if (first_step) {
+    for (std::uint32_t v = 0;
+         v < static_cast<std::uint32_t>(metric_->size()); ++v)
+      changes.moved.push_back(NodeId{v});
+    return changes;
+  }
+  std::vector<std::uint32_t> touched;
+  for (const auto& [u, v] : added) {
+    touched.push_back(u);
+    touched.push_back(v);
+  }
+  for (const auto& [u, v] : removed) {
+    touched.push_back(u);
+    touched.push_back(v);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (const std::uint32_t v : touched) changes.moved.push_back(NodeId{v});
+  return changes;
+}
+
+ChurnDynamics::Config oblivious_churn_preset(double extent,
+                                             std::vector<NodeId> pinned) {
+  ChurnDynamics::Config config;
+  // Roughly one departure and one (re)arrival every four rounds — steady
+  // oblivious population noise without emptying the network.
+  config.arrival_rate = 0.25;
+  config.departure_rate = 0.25;
+  config.placement_extent = extent;
+  config.pinned = std::move(pinned);
+  return config;
+}
+
+WaypointMobility::Config oblivious_mobility_preset(double extent) {
+  WaypointMobility::Config config;
+  // A third of the nodes drift at 5% of the nominal radius per round — fast
+  // enough to open and close links within a broadcast, slow enough that the
+  // paper's rate-limited edge-dynamics assumption is respected.
+  config.speed = 0.05;
+  config.extent = extent;
+  config.mobile_fraction = 1.0 / 3.0;
+  return config;
+}
+
 CompositeDynamics::CompositeDynamics(std::vector<Dynamics*> parts)
     : parts_(std::move(parts)) {
   for (const auto* part : parts_) UDWN_EXPECT(part != nullptr);
@@ -147,6 +325,13 @@ ChangeSet CompositeDynamics::step(Network& network, Rng& rng, Round round) {
                all.departures.end();
       });
   all.moved.erase(moved_and_gone, all.moved.end());
+  // Merge invariant: whatever order the children ran in (mover before or
+  // after the churn part), a node that departed this round must end up
+  // departed-only.
+  UDWN_ENSURE(std::none_of(all.moved.begin(), all.moved.end(), [&](NodeId v) {
+    return std::find(all.departures.begin(), all.departures.end(), v) !=
+           all.departures.end();
+  }));
   return all;
 }
 

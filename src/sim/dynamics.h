@@ -8,11 +8,15 @@
 // is derived from the target τ.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
 #include "metric/euclidean.h"
+#include "metric/matrix_metric.h"
 #include "sim/network.h"
 
 namespace udwn {
@@ -94,6 +98,96 @@ class WaypointMobility final : public Dynamics {
   std::vector<Vec2> waypoints_;
   bool initialized_ = false;
 };
+
+/// Worst-case T-interval-connected dynamic graphs in the Haeupler–Kuhn
+/// sense (arXiv:1208.6051, "Lower Bounds on Information Dissemination in
+/// Dynamic Networks"; see PAPERS.md): every window of `interval` consecutive
+/// rounds shares a connected spanning subgraph, yet the adversary is
+/// otherwise free to rewire — and this one rewires *against the message
+/// frontier* when given a frontier oracle.
+///
+/// Construction (the guarantee is checked by property test, not assumed):
+/// time splits into epochs of `interval` rounds. Each epoch k commits a
+/// spanning chain C_k; rounds 0..T-2 of the epoch carry C_{k-1} ∪ C_k and
+/// round T-1 carries C_k alone. Any T-round window therefore contains some
+/// C_k in every one of its rounds (the epoch it starts in), which is the
+/// required stable connected spanning subgraph — while consecutive epochs
+/// may rewire the uninformed side completely. With a frontier oracle
+/// installed, C_k chains the informed nodes first *in the stable order they
+/// joined the frontier* (so consecutive chains share the informed prefix
+/// exactly and the overlap union never adds informed-side shortcuts), then
+/// a fixed ascending window of the 2T+1 nearest uninformed nodes (the wave
+/// cannot cross it within one epoch, so overlap-union edges open no usable
+/// shortcut), then the remaining uninformed nodes rotated by k. Exactly one
+/// chain edge crosses the frontier, the far side is reshuffled every epoch,
+/// and the message is throttled to the one-hop-per-round frontier wave —
+/// completion is forced toward Ω(n) rounds however small the diameter a
+/// friendly generator would offer. Without an oracle the rotation alone
+/// rewires obliviously.
+///
+/// The adversary drives a MatrixMetric (chain edges at `edge_length`, all
+/// other pairs at `far_length`, written symmetrically inside one
+/// begin_update()/end_update() span per round), so the DirtyLog delta path
+/// sees ordinary localized mutations and delta ≡ epoch invalidation holds
+/// under adversarial rewiring too. It is fully deterministic: `step` never
+/// draws from the Rng.
+class TIntervalAdversary final : public Dynamics {
+ public:
+  struct Config {
+    /// The T of T-interval connectivity; 1 = may rewire every round.
+    std::uint32_t interval = 8;
+    /// Distance written for chain edges. The default sits below the default
+    /// ScenarioConfig comm radius (1-ε)R = 0.7, so chain links decode under
+    /// every reception model out of the box.
+    double edge_length = 0.5;
+    /// Distance written for non-edges (pick far outside every model's
+    /// reach; also the value the whole matrix is reset to on round 0).
+    double far_length = 1.0e6;
+  };
+
+  /// Predicate "node v currently holds the message" — read once per node at
+  /// each epoch boundary. Null = oblivious rotation.
+  using FrontierOracle = std::function<bool(NodeId)>;
+
+  /// `metric` must be the metric the target network runs on; the adversary
+  /// overwrites every off-diagonal entry on its first step.
+  TIntervalAdversary(MatrixMetric& metric, Config config);
+
+  void set_frontier(FrontierOracle oracle) { frontier_ = std::move(oracle); }
+
+  ChangeSet step(Network& network, Rng& rng, Round round) override;
+
+  /// The chain committed by the current epoch, as normalized (min,max) id
+  /// pairs — the stable subgraph witness for connectivity property tests.
+  [[nodiscard]] const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
+  backbone() const {
+    return chain_;
+  }
+
+ private:
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>>
+  pick_chain(const Network& network, std::uint64_t epoch);
+
+  MatrixMetric* metric_;
+  Config config_;
+  FrontierOracle frontier_;
+  std::uint64_t rounds_seen_ = 0;
+  /// Informed nodes in the order they joined the frontier — the stable
+  /// informed prefix shared by consecutive chains.
+  std::vector<std::uint32_t> informed_order_;
+  /// Current epoch's chain and the previous epoch's (kept through the
+  /// overlap window, empty after the epoch's last round drops it).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> chain_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> prev_chain_;
+};
+
+/// Oblivious-adversary presets for the EXP-18 arena: fixed churn/mobility
+/// parameter bundles that do not react to protocol state (the random-
+/// dynamics middle ground between a static network and TIntervalAdversary).
+[[nodiscard]] ChurnDynamics::Config oblivious_churn_preset(
+    double extent, std::vector<NodeId> pinned);
+[[nodiscard]] WaypointMobility::Config oblivious_mobility_preset(
+    double extent);
 
 /// Runs several dynamics in sequence each round (e.g. churn + mobility).
 /// The merged ChangeSet preserves part order, deduplicates each list

@@ -1,9 +1,9 @@
 #include "svc/json.h"
 
-#include <cerrno>
+#include <charconv>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
+#include <system_error>
 #include <limits>
 
 namespace udwn::svc {
@@ -223,10 +223,18 @@ class Parser {
       fail("invalid number");
       return false;
     }
-    errno = 0;
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size() || errno == ERANGE) {
+    // std::from_chars, not strtod: strtod reads LC_NUMERIC, so under a
+    // comma-decimal locale (de_DE et al.) it stops at the '.' of "1.5" and
+    // the gateway would reject every fractional number. from_chars is
+    // locale-independent by specification; the grammar gate above already
+    // guarantees the token is a strict RFC 8259 number.
+    const char* const first = token.c_str();
+    const char* const last = first + token.size();
+    double value = 0;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ptr != last || ec != std::errc{}) {
+      // result_out_of_range (over- or underflow) fails here, matching the
+      // old ERANGE rejection.
       pos_ = start;
       fail("unparseable number");
       return false;
@@ -234,15 +242,14 @@ class Parser {
     Json number = Json::number(value);
     if (integral) {
       // Re-parse integral literals exactly so 64-bit seeds survive.
-      errno = 0;
       if (token[0] == '-') {
-        const long long i = std::strtoll(token.c_str(), &end, 10);
-        if (errno == 0 && end == token.c_str() + token.size())
-          number = Json::number_int(i);
+        long long i = 0;
+        const auto [iptr, iec] = std::from_chars(first, last, i, 10);
+        if (iec == std::errc{} && iptr == last) number = Json::number_int(i);
       } else {
-        const unsigned long long u = std::strtoull(token.c_str(), &end, 10);
-        if (errno == 0 && end == token.c_str() + token.size())
-          number = Json::number_uint(u);
+        unsigned long long u = 0;
+        const auto [uptr, uec] = std::from_chars(first, last, u, 10);
+        if (uec == std::errc{} && uptr == last) number = Json::number_uint(u);
       }
     }
     out = std::move(number);

@@ -54,6 +54,10 @@ class Fields {
     return object_.find(key);
   }
 
+  /// Whitelist a key without looking it up (e.g. fields consumed by an
+  /// outer scope before this Fields was built).
+  void allow(std::string_view key) { known_.emplace_back(key); }
+
   std::string qualify(std::string_view key) const {
     return scope_.empty() ? std::string(key) : scope_ + "." + std::string(key);
   }
@@ -179,8 +183,8 @@ void parse_dynamics(const Json& spec, Check& check, DynamicsSpec* out) {
 
 void parse_run(const Json& object, Check& check, RunRequest* out) {
   Fields fields(object, check, "");
-  fields.known("id");
-  fields.known("type");
+  fields.allow("id");
+  fields.allow("type");
 
   std::string protocol = "local_bcast";
   fields.get_string("protocol", &protocol);
@@ -290,8 +294,8 @@ ParsedRequest parse_request(std::string_view line) {
     if (!check.failed()) out.run = std::move(run);
   } else if (!check.failed() && type == "status") {
     Fields fields(*parsed, check, "");
-    fields.known("id");
-    fields.known("type");
+    fields.allow("id");
+    fields.allow("type");
     fields.reject_unknown();
     if (!check.failed()) out.status = StatusRequest{out.id};
   } else if (!check.failed()) {

@@ -137,4 +137,12 @@ std::vector<std::vector<NodeId>> grid_adjacency(std::size_t rows,
   return adj;
 }
 
+std::vector<double> isolated_distances(std::size_t n, double far) {
+  UDWN_EXPECT(n >= 1);
+  UDWN_EXPECT(far > 0);
+  std::vector<double> d(n * n, far);
+  for (std::size_t v = 0; v < n; ++v) d[v * n + v] = 0;
+  return d;
+}
+
 }  // namespace udwn

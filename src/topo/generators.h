@@ -57,4 +57,9 @@ std::vector<std::vector<NodeId>> random_tree_adjacency(std::size_t n,
 std::vector<std::vector<NodeId>> grid_adjacency(std::size_t rows,
                                                 std::size_t cols);
 
+/// Row-major n×n distance table with every off-diagonal entry at `far` —
+/// an edgeless starting matrix for MatrixMetric-driven adversarial dynamic
+/// graphs (TIntervalAdversary wires its chains into this).
+std::vector<double> isolated_distances(std::size_t n, double far);
+
 }  // namespace udwn

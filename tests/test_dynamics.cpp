@@ -7,6 +7,7 @@
 
 #include "metric/euclidean.h"
 #include "tests/helpers.h"
+#include "topo/generators.h"
 
 namespace udwn {
 namespace {
@@ -254,6 +255,34 @@ TEST(CompositeDynamics, MergePreservesOrderDedupsAndDropsMovedDepartures) {
   // Node 5 deduped; node 3 moved then departed, so it is a departure by
   // the time the merged set is observed — dropped from `moved`.
   EXPECT_EQ(merged.moved, (std::vector<NodeId>{NodeId(5), NodeId(1)}));
+}
+
+TEST(CompositeDynamics, AdversaryPlusChurnNeverReportsMovedAndDeparted) {
+  // TIntervalAdversary (moves chain endpoints) before ChurnDynamics
+  // (departs nodes): a node rewired by the adversary and then departed by
+  // churn in the same round must come out departed-only — the merge
+  // invariant the composite asserts internally.
+  const std::size_t n = 12;
+  MatrixMetric metric(n, isolated_distances(n, 1.0e6));
+  Network net(metric);
+  TIntervalAdversary adversary(metric, {.interval = 2});
+  ChurnDynamics churn({.arrival_rate = 0.5, .departure_rate = 1.5});
+  CompositeDynamics combo({&adversary, &churn});
+  Rng rng(19);
+  bool saw_departures = false;
+  for (Round r = 0; r < 40; ++r) {
+    const ChangeSet merged = combo.step(net, rng, r);
+    saw_departures = saw_departures || !merged.departures.empty();
+    for (const NodeId moved : merged.moved) {
+      EXPECT_TRUE(std::find(merged.departures.begin(),
+                            merged.departures.end(),
+                            moved) == merged.departures.end())
+          << "node " << moved.value << " both moved and departed, round "
+          << r;
+    }
+  }
+  // The scenario must actually have exercised the interesting overlap.
+  EXPECT_TRUE(saw_departures);
 }
 
 TEST(CompositeDynamics, RunsAllPartsAndMergesChanges) {

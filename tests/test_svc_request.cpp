@@ -5,6 +5,8 @@
 #include "svc/request.h"
 
 #include <gtest/gtest.h>
+
+#include <clocale>
 #include <string>
 
 #include "svc/json.h"
@@ -181,6 +183,42 @@ TEST(SvcRequest, EncodersEmitValidJsonWithEscapes) {
     EXPECT_TRUE(Json::parse(encoded, &error).has_value())
         << error << ": " << encoded;
   }
+}
+
+TEST(SvcJson, NumberParsingIsLocaleIndependent) {
+  // Regression: number parsing used to go through std::strtod, which reads
+  // LC_NUMERIC — under a comma-decimal locale (de_DE and friends) it stops
+  // at the '.' of "1.5" and the gateway rejected every fractional number.
+  // std::from_chars is locale-independent by specification. The comma
+  // locale is only present on some systems; skip (don't pass vacuously)
+  // when none is installed.
+  const char* previous = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = previous ? previous : "C";
+  const char* comma_locale = nullptr;
+  for (const char* candidate :
+       {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8", "fr_FR.utf8"}) {
+    if (std::setlocale(LC_NUMERIC, candidate) != nullptr) {
+      comma_locale = candidate;
+      break;
+    }
+  }
+  if (comma_locale == nullptr) {
+    std::setlocale(LC_NUMERIC, saved.c_str());
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+
+  std::string error;
+  const auto parsed = Json::parse("{\"radius\": 1.5, \"rate\": -2.5e-1}",
+                                  &error);
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  ASSERT_TRUE(parsed.has_value()) << error << " under " << comma_locale;
+  ASSERT_TRUE(parsed->is_object());
+  const Json* radius = parsed->find("radius");
+  ASSERT_NE(radius, nullptr);
+  EXPECT_DOUBLE_EQ(radius->as_double(), 1.5);
+  const Json* rate = parsed->find("rate");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_DOUBLE_EQ(rate->as_double(), -0.25);
 }
 
 TEST(SvcRequest, ErrorCodeVocabularyIsStable) {

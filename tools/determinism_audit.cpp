@@ -37,8 +37,11 @@
 #include "analysis/determinism.h"
 #include "analysis/runner.h"
 #include "analysis/scenario.h"
+#include "baselines/jks_broadcast.h"
+#include "baselines/opportunistic.h"
 #include "common/rng.h"
 #include "core/broadcast.h"
+#include "metric/matrix_metric.h"
 #include "obs/obs.h"
 #include "sim/batch.h"
 #include "sim/dynamics.h"
@@ -351,6 +354,103 @@ int run_svc_group(const Options& options) {
   return failures == 0 ? 0 : 1;
 }
 
+/// Baselines group (EXP-18 arena): the competitor protocols join the audit
+/// matrix. JKS under the frontier-driven TIntervalAdversary is the strong
+/// row — its {0,1} probabilities short-circuit Rng::chance and consume no
+/// randomness, so beyond the usual pipeline shapes even a DIFFERENT ENGINE
+/// SEED must hash identically. The opportunistic protocol draws real
+/// probabilities under churn, so its contract is the standard one: a pure
+/// function of the seed across delta/epoch invalidation and thread counts.
+int run_baselines_group(const Options& options) {
+  struct Shape {
+    const char* label;
+    int threads;
+    bool delta;
+    std::uint64_t seed;
+  };
+  const std::uint64_t base_seed = options.seed;
+  constexpr Round kRounds = 120;
+
+  auto run_jks = [&](const Shape& shape, TraceHashRecorder& recorder) {
+    constexpr std::size_t n = 24;
+    Scenario scenario(
+        std::make_unique<MatrixMetric>(n, isolated_distances(n, 1.0e6)),
+        ScenarioConfig{});
+    auto* matrix = static_cast<MatrixMetric*>(&scenario.metric());
+    const NodeId source(0);
+    auto protocols = make_protocols(n, [&](NodeId id) {
+      return std::make_unique<JksBroadcastProtocol>(id, n, id == source);
+    });
+    const CarrierSensing sensing = scenario.sensing_local();
+    Engine engine(scenario.channel(), scenario.network(), sensing, protocols,
+                  EngineConfig{.seed = shape.seed,
+                               .threads = shape.threads,
+                               .delta_invalidation = shape.delta});
+    TIntervalAdversary adversary(*matrix, {.interval = 4});
+    adversary.set_frontier([&protocols](NodeId v) {
+      return static_cast<const JksBroadcastProtocol&>(*protocols[v.value])
+          .informed();
+    });
+    engine.set_dynamics(&adversary);
+    engine.set_recorder(&recorder);
+    for (Round r = 0; r < kRounds; ++r) engine.step();
+  };
+
+  auto run_oppo = [&](const Shape& shape, TraceHashRecorder& recorder) {
+    Rng topo_rng(base_seed);
+    Scenario scenario(cluster_chain(4, 5, 0.6, 0.05, topo_rng),
+                      ScenarioConfig{});
+    const std::size_t n = scenario.network().size();
+    const NodeId source(0);
+    auto protocols = make_protocols(n, [&](NodeId id) {
+      return std::make_unique<OpportunisticDisseminationProtocol>(
+          OpportunisticDisseminationProtocol::Config{}, id == source);
+    });
+    const CarrierSensing sensing = scenario.sensing_local();
+    Engine engine(scenario.channel(), scenario.network(), sensing, protocols,
+                  EngineConfig{.seed = shape.seed,
+                               .threads = shape.threads,
+                               .delta_invalidation = shape.delta});
+    ChurnDynamics churn({.arrival_rate = 0.05,
+                         .departure_rate = 0.05,
+                         .pinned = {source}});
+    engine.set_dynamics(&churn);
+    engine.set_recorder(&recorder);
+    for (Round r = 0; r < kRounds; ++r) engine.step();
+  };
+
+  auto audit_rows = [&](const char* name, auto&& runner,
+                        bool seed_invariant) {
+    const Shape reference{"serial-delta", 1, true, base_seed};
+    TraceHashRecorder ref_trace;
+    runner(reference, ref_trace);
+    std::vector<Shape> rows = {
+        {"serial-epoch", 1, false, base_seed},
+        {"threads", options.threads, true, base_seed},
+        {"threads (repeat)", options.threads, true, base_seed},
+    };
+    if (seed_invariant)
+      rows.push_back({"other-engine-seed", 1, true,
+                      base_seed ^ 0x9e3779b97f4a7c15ull});
+    int bad = 0;
+    for (const Shape& shape : rows) {
+      TraceHashRecorder trace;
+      runner(shape, trace);
+      const DeterminismReport report =
+          DeterminismAuditor::compare(ref_trace, trace);
+      std::cout << "    " << name << " vs " << shape.label << ": "
+                << to_string(report) << "\n";
+      if (!report.deterministic) ++bad;
+    }
+    return bad;
+  };
+
+  std::cout << "  baselines (reference: serial-delta)\n";
+  int failures = audit_rows("jks+adversary", run_jks, /*seed_invariant=*/true);
+  failures += audit_rows("opportunistic+churn", run_oppo, false);
+  return failures == 0 ? 0 : 1;
+}
+
 int run(const Options& options) {
   const PipelineConfig reference{"cached+grid-serial", true, true, 1, true};
   int call = 0;
@@ -380,6 +480,7 @@ int run(const Options& options) {
   if (options.matrix && rc == 0) rc = run_far_field_group(options);
   if (options.matrix && rc == 0) rc = run_batch_check(options);
   if (options.matrix && rc == 0) rc = run_svc_group(options);
+  if (options.matrix && rc == 0) rc = run_baselines_group(options);
   return rc;
 }
 
